@@ -1,0 +1,299 @@
+// Benchmarks: one testing.B benchmark per experiment of the DESIGN.md
+// index (E1..E9 reproduce the paper's evaluation; E10..E12 measure its
+// in-text suggestions), plus per-operation benchmarks for the pipeline's
+// hot paths. Run with: go test -bench=. -benchmem .
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/binning"
+	"repro/internal/crypt"
+	"repro/internal/datagen"
+	"repro/internal/dht"
+	"repro/internal/experiments"
+	"repro/internal/ontology"
+	"repro/internal/relation"
+	"repro/internal/watermark"
+	"repro/medshield"
+)
+
+// benchConfig keeps figure regeneration affordable inside testing.B while
+// exercising the full code paths; cmd/experiments runs the paper-scale
+// version (20,000 rows).
+func benchConfig() experiments.Config {
+	return experiments.Config{Rows: 4000, Seed: 1}
+}
+
+func BenchmarkFigure11_KvsInfoLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure11(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12a_SubsetAlteration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure12a(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12b_SubsetAddition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure12b(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12c_SubsetDeletion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure12c(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure13_WatermarkInfoLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure13(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure14_WatermarkVsBinning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure14(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeamlessness_Lemmas(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Seamlessness(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneralizationAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GeneralizationAttack(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinningDirection_Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DownUpAblation(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- per-operation benchmarks ------------------------------------------
+
+func benchTable(b *testing.B, rows int) *relation.Table {
+	b.Helper()
+	tbl, err := datagen.Generate(datagen.Config{Rows: rows, Seed: 1, Correlate: true, ZipfS: 1.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tbl
+}
+
+func BenchmarkDataGeneration20k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := datagen.Generate(datagen.Config{Rows: 20000, Seed: 1, Correlate: true, ZipfS: 1.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonoBinDownward(b *testing.B) {
+	tbl := benchTable(b, 20000)
+	tree := ontology.Symptom()
+	values, _ := tbl.Column(ontology.ColSymptom)
+	maxg := dht.RootGenSet(tree)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := binning.MonoBin(tree, maxg, values, 50, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonoBinUpward(b *testing.B) {
+	tbl := benchTable(b, 20000)
+	tree := ontology.Symptom()
+	values, _ := tbl.Column(ontology.ColSymptom)
+	maxg := dht.RootGenSet(tree)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := binning.MonoBinUpward(tree, maxg, values, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiBinGreedy(b *testing.B) {
+	tbl := benchTable(b, 20000)
+	trees := ontology.Trees()
+	quasi := tbl.Schema().QuasiColumns()
+	ming := map[string]dht.GenSet{}
+	maxg := map[string]dht.GenSet{}
+	for _, col := range quasi {
+		values, _ := tbl.Column(col)
+		mg := dht.RootGenSet(trees[col])
+		g, _, err := binning.MonoBin(trees[col], mg, values, 25, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ming[col] = g
+		maxg[col] = mg
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := binning.MultiBin(tbl, quasi, ming, maxg, 25, binning.StrategyGreedy, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtect20k(b *testing.B) {
+	tbl := benchTable(b, 20000)
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := medshield.NewKey("bench", 75)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Protect(tbl, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func protectedFixture(b *testing.B) (*medshield.Framework, *medshield.Protected, medshield.Key) {
+	b.Helper()
+	tbl := benchTable(b, 20000)
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := medshield.NewKey("bench", 75)
+	p, err := fw.Protect(tbl, key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fw, p, key
+}
+
+func BenchmarkDetect20k(b *testing.B) {
+	fw, p, key := protectedFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Detect(p.Table, p.Provenance, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectUnderAttack20k(b *testing.B) {
+	fw, p, key := protectedFixture(b)
+	attacked := p.Table.Clone()
+	specs, err := fw.SpecsFromProvenance(p.Provenance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pools := map[string][]string{}
+	for col, spec := range specs {
+		pools[col] = spec.UltiGen.Values()
+	}
+	if _, err := attack.AlterSubset(attacked, pools, 0.4, rand.New(rand.NewSource(1))); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Detect(attacked, p.Provenance, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncryptIdentifier(b *testing.B) {
+	c, err := crypt.NewCipher([]byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncryptString("123-45-6789")
+	}
+}
+
+func BenchmarkEmbedOnly20k(b *testing.B) {
+	fw, p, key := protectedFixture(b)
+	specs, err := fw.SpecsFromProvenance(p.Provenance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params, errP := benchParams(p, key)
+	if errP != nil {
+		b.Fatal(errP)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clone := p.Table.Clone()
+		if _, err := watermark.Embed(clone, p.Provenance.IdentCol, specs, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchParams(p *medshield.Protected, key medshield.Key) (watermark.Params, error) {
+	mark, err := bitsFromString(p.Provenance.Mark)
+	if err != nil {
+		return watermark.Params{}, err
+	}
+	return watermark.Params{
+		Key:                    key,
+		Mark:                   mark,
+		Duplication:            p.Provenance.Duplication,
+		SaltPositionWithColumn: p.Provenance.SaltPositionWithColumn,
+		BoundaryPermutation:    p.Provenance.BoundaryPermutation,
+	}, nil
+}
+
+func BenchmarkWeightedVotingAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WeightedVotingAblation(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSwappingAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SwappingAblation(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReIdentification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ReIdentification(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

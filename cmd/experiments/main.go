@@ -1,0 +1,81 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	experiments [-rows N] [-seed S] [-run fig11,fig12a,...|all]
+//
+// Each experiment prints a paper-style table to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var runners = []struct {
+	name string
+	run  func(experiments.Config) (*experiments.Table, error)
+}{
+	{"fig11", experiments.Figure11},
+	{"fig12a", experiments.Figure12a},
+	{"fig12b", experiments.Figure12b},
+	{"fig12c", experiments.Figure12c},
+	{"fig13", experiments.Figure13},
+	{"fig14", experiments.Figure14},
+	{"seamless", experiments.Seamlessness},
+	{"genattack", experiments.GeneralizationAttack},
+	{"ablation", experiments.DownUpAblation},
+	{"weighted", experiments.WeightedVotingAblation},
+	{"swapping", experiments.SwappingAblation},
+	{"reident", experiments.ReIdentification},
+}
+
+func main() {
+	rows := flag.Int("rows", 20000, "synthetic data set size (the paper uses ~20000)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	run := flag.String("run", "all", "comma-separated experiment names, or 'all': "+names())
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, n := range strings.Split(*run, ",") {
+		selected[strings.TrimSpace(n)] = true
+	}
+	cfg := experiments.Config{Rows: *rows, Seed: *seed}
+
+	ran := 0
+	for _, r := range runners {
+		if !selected["all"] && !selected[r.name] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := r.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: rendering %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing selected; known: %s\n", names())
+		os.Exit(2)
+	}
+}
+
+func names() string {
+	out := make([]string, len(runners))
+	for i, r := range runners {
+		out[i] = r.name
+	}
+	return strings.Join(out, ",")
+}

@@ -1,0 +1,313 @@
+// Command medprotect is the operator tool for the protection framework:
+// it generates synthetic clinical data, runs the binning + watermarking
+// pipeline, detects marks in suspected copies, simulates the paper's
+// attacks, and arbitrates ownership disputes — all over CSV files with
+// the builtin schema R(ssn, age, zip_code, doctor, symptom, prescription).
+//
+// Subcommands:
+//
+//	medprotect gen      -rows N -seed S -out data.csv
+//	medprotect protect  -in data.csv -k K -eta E -secret S -out protected.csv -prov prov.json
+//	medprotect detect   -in suspect.csv -prov prov.json -secret S
+//	medprotect attack   -in protected.csv -out attacked.csv -prov prov.json -kind alter|add|delete|rangedelete|generalize -frac F [-col C] [-levels L] -seed S
+//	medprotect dispute  -in disputed.csv -prov prov.json -secret S
+//	medprotect trees    -dir DIR
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/medshield"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "protect":
+		err = cmdProtect(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "attack":
+		err = cmdAttack(os.Args[2:])
+	case "dispute":
+		err = cmdDispute(os.Args[2:])
+	case "trees":
+		err = cmdTrees(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "medprotect: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medprotect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: medprotect <gen|protect|detect|attack|dispute|trees> [flags]
+run "medprotect <subcommand> -h" for flags`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	rows := fs.Int("rows", 20000, "number of tuples")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "data.csv", "output CSV path")
+	_ = fs.Parse(args)
+
+	tbl, err := medshield.GenerateSyntheticData(*rows, *seed)
+	if err != nil {
+		return err
+	}
+	if err := medshield.SaveCSVFile(*out, tbl); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tuples to %s\n", tbl.NumRows(), *out)
+	return nil
+}
+
+func loadProvenance(path string) (core.Provenance, error) {
+	var prov core.Provenance
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return prov, err
+	}
+	if err := json.Unmarshal(data, &prov); err != nil {
+		return prov, fmt.Errorf("decoding provenance %s: %w", path, err)
+	}
+	return prov, nil
+}
+
+func cmdProtect(args []string) error {
+	fs := flag.NewFlagSet("protect", flag.ExitOnError)
+	in := fs.String("in", "data.csv", "input CSV (builtin schema)")
+	k := fs.Int("k", 20, "k-anonymity parameter")
+	eta := fs.Uint64("eta", 75, "watermark selection parameter η")
+	secret := fs.String("secret", "", "owner secret passphrase (required)")
+	out := fs.String("out", "protected.csv", "output CSV path")
+	provPath := fs.String("prov", "prov.json", "provenance output path")
+	autoEps := fs.Bool("auto-epsilon", true, "apply the §6 conservative ε")
+	_ = fs.Parse(args)
+	if *secret == "" {
+		return fmt.Errorf("protect: -secret is required")
+	}
+
+	tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+	if err != nil {
+		return err
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: *k, AutoEpsilon: *autoEps})
+	if err != nil {
+		return err
+	}
+	key := medshield.NewKey(*secret, *eta)
+	p, err := fw.Protect(tbl, key)
+	if err != nil {
+		return err
+	}
+	if err := medshield.SaveCSVFile(*out, p.Table); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(p.Provenance, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*provPath, data, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("protected %d tuples: k=%d (ε=%d), avg info loss %.1f%%, %d tuples marked, %d cells changed\n",
+		p.Table.NumRows(), p.Provenance.K, p.Provenance.Epsilon,
+		p.Binning.AvgLoss*100, p.Embed.TuplesSelected, p.Embed.CellsChanged)
+	fmt.Printf("table -> %s, provenance -> %s (keep the secret and this file)\n", *out, *provPath)
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	in := fs.String("in", "suspect.csv", "suspected CSV copy")
+	provPath := fs.String("prov", "prov.json", "provenance path")
+	secret := fs.String("secret", "", "owner secret passphrase (required)")
+	eta := fs.Uint64("eta", 75, "η used at protection time")
+	_ = fs.Parse(args)
+	if *secret == "" {
+		return fmt.Errorf("detect: -secret is required")
+	}
+
+	tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+	if err != nil {
+		return err
+	}
+	prov, err := loadProvenance(*provPath)
+	if err != nil {
+		return err
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: prov.K})
+	if err != nil {
+		return err
+	}
+	det, err := fw.Detect(tbl, prov, medshield.NewKey(*secret, *eta))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mark: %s\n", det.Result.Mark.String())
+	fmt.Printf("loss: %.1f%% over %d votes\n", det.MarkLoss*100, det.Result.Stats.VotesCast)
+	if det.Match {
+		fmt.Println("verdict: MATCH — this table carries the owner's mark")
+	} else {
+		fmt.Println("verdict: NO MATCH")
+	}
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	in := fs.String("in", "protected.csv", "input CSV")
+	out := fs.String("out", "attacked.csv", "output CSV")
+	provPath := fs.String("prov", "prov.json", "provenance path (for value pools and frontiers)")
+	kind := fs.String("kind", "alter", "alter|add|delete|rangedelete|generalize")
+	frac := fs.Float64("frac", 0.3, "attack strength (fraction of tuples)")
+	col := fs.String("col", "", "column for -kind generalize (default: all quasi columns)")
+	levels := fs.Int("levels", 1, "levels for -kind generalize")
+	seed := fs.Int64("seed", 1, "attack randomness seed")
+	_ = fs.Parse(args)
+
+	tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+	if err != nil {
+		return err
+	}
+	prov, err := loadProvenance(*provPath)
+	if err != nil {
+		return err
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: max(prov.K, 1)})
+	if err != nil {
+		return err
+	}
+	specs, err := fw.SpecsFromProvenance(prov)
+	if err != nil {
+		return err
+	}
+	pools := make(map[string][]string, len(specs))
+	for c, s := range specs {
+		pools[c] = s.UltiGen.Values()
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var n int
+	switch *kind {
+	case "alter":
+		n, err = attack.AlterSubset(tbl, pools, *frac, rng)
+	case "add":
+		gen := attack.BogusRowGenerator(tbl.Schema(), prov.IdentCol, "bogus", pools, rng)
+		n, err = attack.AddSubset(tbl, *frac, gen)
+	case "delete":
+		n, err = attack.DeleteRandom(tbl, *frac, rng)
+	case "rangedelete":
+		n, err = attack.DeleteRanges(tbl, prov.IdentCol, *frac, 8, rng)
+	case "generalize":
+		cols := tbl.Schema().QuasiColumns()
+		if *col != "" {
+			cols = []string{*col}
+		}
+		for _, c := range cols {
+			spec, ok := specs[c]
+			if !ok {
+				return fmt.Errorf("attack: no frontier for column %s in provenance", c)
+			}
+			m, gerr := attack.Generalize(tbl, c, spec.Tree, spec.MaxGen, *levels)
+			if gerr != nil {
+				return gerr
+			}
+			n += m
+		}
+	default:
+		return fmt.Errorf("attack: unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	if err := medshield.SaveCSVFile(*out, tbl); err != nil {
+		return err
+	}
+	fmt.Printf("%s attack touched %d tuples/cells; %d rows -> %s\n", *kind, n, tbl.NumRows(), *out)
+	return nil
+}
+
+func cmdDispute(args []string) error {
+	fs := flag.NewFlagSet("dispute", flag.ExitOnError)
+	in := fs.String("in", "disputed.csv", "disputed CSV")
+	provPath := fs.String("prov", "prov.json", "owner provenance path")
+	secret := fs.String("secret", "", "owner secret passphrase (required)")
+	eta := fs.Uint64("eta", 75, "η used at protection time")
+	_ = fs.Parse(args)
+	if *secret == "" {
+		return fmt.Errorf("dispute: -secret is required")
+	}
+
+	tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+	if err != nil {
+		return err
+	}
+	prov, err := loadProvenance(*provPath)
+	if err != nil {
+		return err
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: max(prov.K, 1)})
+	if err != nil {
+		return err
+	}
+	verdicts, err := fw.Dispute(tbl, prov, medshield.NewKey(*secret, *eta), nil)
+	if err != nil {
+		return err
+	}
+	for _, v := range verdicts {
+		status := "REJECTED"
+		if v.Valid {
+			status = "UPHELD"
+		}
+		fmt.Printf("claim %q: %s (decrypt=%v statistic=%v committed=%v detected=%v loss=%.1f%%)\n",
+			v.Claimant, status, v.DecryptOK, v.StatisticOK, v.MarkDerived, v.MarkDetected, v.MarkLoss*100)
+		if !v.Valid {
+			fmt.Printf("  reason: %s\n", v.Reason)
+		}
+	}
+	return nil
+}
+
+func cmdTrees(args []string) error {
+	fs := flag.NewFlagSet("trees", flag.ExitOnError)
+	dir := fs.String("dir", "trees", "output directory for tree JSON files")
+	_ = fs.Parse(args)
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for col, tree := range medshield.BuiltinTrees() {
+		data, err := json.MarshalIndent(tree.Doc(), "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, col+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d nodes, %d leaves -> %s\n", col, tree.Size(), tree.NumLeaves(), path)
+	}
+	return nil
+}

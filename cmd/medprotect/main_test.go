@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/medshield"
+)
+
+// The subcommand functions are exercised directly (they are plain
+// functions over flag slices), covering the full operator workflow:
+// gen → protect → attack → detect → dispute → trees.
+
+func TestCLIWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	protected := filepath.Join(dir, "protected.csv")
+	prov := filepath.Join(dir, "prov.json")
+	attacked := filepath.Join(dir, "attacked.csv")
+
+	if err := cmdGen([]string{"-rows", "3000", "-seed", "5", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if _, err := os.Stat(data); err != nil {
+		t.Fatalf("gen wrote nothing: %v", err)
+	}
+
+	if err := cmdProtect([]string{
+		"-in", data, "-k", "15", "-eta", "40",
+		"-secret", "cli test secret", "-out", protected, "-prov", prov,
+	}); err != nil {
+		t.Fatalf("protect: %v", err)
+	}
+	tbl, err := medshield.LoadCSVFile(protected, medshield.BuiltinSchema())
+	if err != nil {
+		t.Fatalf("protected CSV unreadable: %v", err)
+	}
+	if tbl.NumRows() != 3000 {
+		t.Errorf("protected rows = %d", tbl.NumRows())
+	}
+
+	if err := cmdAttack([]string{
+		"-in", protected, "-out", attacked, "-prov", prov,
+		"-kind", "rangedelete", "-frac", "0.3", "-seed", "2",
+	}); err != nil {
+		t.Fatalf("attack: %v", err)
+	}
+	att, err := medshield.LoadCSVFile(attacked, medshield.BuiltinSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.NumRows() >= 3000 {
+		t.Errorf("attack deleted nothing: %d rows", att.NumRows())
+	}
+
+	if err := cmdDetect([]string{
+		"-in", attacked, "-prov", prov, "-secret", "cli test secret", "-eta", "40",
+	}); err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+
+	if err := cmdDispute([]string{
+		"-in", attacked, "-prov", prov, "-secret", "cli test secret", "-eta", "40",
+	}); err != nil {
+		t.Fatalf("dispute: %v", err)
+	}
+}
+
+func TestCLIAttackKinds(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	protected := filepath.Join(dir, "protected.csv")
+	prov := filepath.Join(dir, "prov.json")
+	if err := cmdGen([]string{"-rows", "1500", "-seed", "9", "-out", data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdProtect([]string{
+		"-in", data, "-k", "10", "-eta", "30",
+		"-secret", "s", "-out", protected, "-prov", prov,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"alter", "add", "delete", "generalize"} {
+		out := filepath.Join(dir, kind+".csv")
+		if err := cmdAttack([]string{
+			"-in", protected, "-out", out, "-prov", prov,
+			"-kind", kind, "-frac", "0.2", "-seed", "3",
+		}); err != nil {
+			t.Errorf("attack %s: %v", kind, err)
+		}
+	}
+	if err := cmdAttack([]string{
+		"-in", protected, "-out", filepath.Join(dir, "x.csv"), "-prov", prov,
+		"-kind", "nonsense", "-frac", "0.2",
+	}); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Errorf("unknown attack kind accepted: %v", err)
+	}
+}
+
+func TestCLITrees(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "trees")
+	if err := cmdTrees([]string{"-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("tree files = %d, want 5", len(entries))
+	}
+	// every dumped tree must parse back
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := medshield.ParseTree(data); err != nil {
+			t.Errorf("%s does not round-trip: %v", e.Name(), err)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdProtect([]string{"-in", "nope.csv", "-secret", "s"}); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := cmdProtect([]string{"-in", "nope.csv"}); err == nil {
+		t.Error("missing secret accepted")
+	}
+	if err := cmdDetect([]string{"-in", "nope.csv"}); err == nil {
+		t.Error("detect without secret accepted")
+	}
+	if err := cmdDispute([]string{"-in", "nope.csv"}); err == nil {
+		t.Error("dispute without secret accepted")
+	}
+	if err := cmdGen([]string{"-rows", "10", "-out", filepath.Join(dir, "no", "dir", "x.csv")}); err == nil {
+		t.Error("bad output path accepted")
+	}
+	// provenance that is not JSON
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data := filepath.Join(dir, "d.csv")
+	if err := cmdGen([]string{"-rows", "10", "-out", data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDetect([]string{"-in", data, "-prov", bad, "-secret", "s"}); err == nil {
+		t.Error("corrupt provenance accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Cross-module integration tests: the full owner workflow over real CSV
+// files and provenance JSON, exactly as an adopter would run it.
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/anonymity"
+	"repro/internal/attack"
+	"repro/internal/bitstr"
+	"repro/internal/experiments"
+	"repro/medshield"
+)
+
+// bitsFromString adapts the provenance mark encoding for bench helpers.
+func bitsFromString(s string) (bitstr.Bits, error) { return bitstr.FromString(s) }
+
+func TestFullWorkflowThroughFiles(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.csv")
+	protectedPath := filepath.Join(dir, "protected.csv")
+	provPath := filepath.Join(dir, "prov.json")
+
+	// 1. The hospital exports its records.
+	original, err := medshield.GenerateSyntheticData(6000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := medshield.SaveCSVFile(dataPath, original); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Protection run: load, protect, persist table + provenance.
+	loaded, err := medshield.LoadCSVFile(dataPath, medshield.BuiltinSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := medshield.NewKey("integration secret", 50)
+	p, err := fw.Protect(loaded, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := medshield.SaveCSVFile(protectedPath, p.Table); err != nil {
+		t.Fatal(err)
+	}
+	provJSON, err := json.Marshal(p.Provenance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(provPath, provJSON, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Privacy holds on the shipped file.
+	shipped, err := medshield.LoadCSVFile(protectedPath, medshield.BuiltinSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := anonymity.SatisfiesK(shipped, shipped.Schema().QuasiColumns(), 20)
+	if err != nil || !ok {
+		t.Fatal("shipped file violates k-anonymity")
+	}
+
+	// 4. A pirated copy surfaces after attacks; the owner re-loads the
+	// provenance from disk and proves the mark.
+	pirated := shipped.Clone()
+	rng := rand.New(rand.NewSource(17))
+	if _, err := attack.DeleteRandom(pirated, 0.25, rng); err != nil {
+		t.Fatal(err)
+	}
+	var prov medshield.Provenance
+	if err := json.Unmarshal(mustRead(t, provPath), &prov); err != nil {
+		t.Fatal(err)
+	}
+	det, err := fw.Detect(pirated, prov, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Match {
+		t.Fatalf("mark not found in pirated copy (loss %v)", det.MarkLoss)
+	}
+
+	// 5. And a party without the secret cannot claim it.
+	impostor := medshield.NewKey("impostor", 50)
+	verdicts, err := fw.Dispute(pirated, prov, key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdicts[0].Valid {
+		t.Fatalf("owner dispute failed: %+v", verdicts[0])
+	}
+	badDet, err := fw.Detect(pirated, prov, impostor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badDet.Match {
+		t.Error("impostor key matched")
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestExperimentsRenderAll(t *testing.T) {
+	// The experiment suite must run end-to-end at reduced scale and
+	// render without errors — this is what cmd/experiments does.
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	tables, err := experiments.All(experiments.Config{Rows: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 12 {
+		t.Fatalf("experiments = %d, want 12 (E1..E9 + three extensions)", len(tables))
+	}
+	var buf bytes.Buffer
+	for _, tbl := range tables {
+		if err := tbl.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}

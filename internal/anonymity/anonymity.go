@@ -1,0 +1,175 @@
+// Package anonymity implements k-anonymity verification and the bin
+// statistics of the paper. "Records containing the same value constitute
+// a bin, and the size of every bin is at least equal to k" (Section 2).
+// Figure 14's seamlessness experiment reports, per attribute, the total
+// number of bins, the number of bins whose size changed under
+// watermarking, and the number of bins that fell below k.
+package anonymity
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// keySep joins cell values into a bin key; \x1f (unit separator) cannot
+// appear in normal cell values.
+const keySep = "\x1f"
+
+// BinKey builds the bin identity of a row over the given column indices.
+func BinKey(row []string, colIdx []int) string {
+	parts := make([]string, len(colIdx))
+	for i, c := range colIdx {
+		parts[i] = row[c]
+	}
+	return strings.Join(parts, keySep)
+}
+
+// Bins returns the bin-size map of the table over the given columns:
+// bin value-combination → number of tuples.
+func Bins(tbl *relation.Table, cols []string) (map[string]int, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		ci, err := tbl.Schema().Index(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = ci
+	}
+	out := make(map[string]int)
+	tbl.ForEachRow(func(_ int, row []string) {
+		out[BinKey(row, idx)]++
+	})
+	return out, nil
+}
+
+// MinBinSize returns the smallest bin size of the table over cols.
+// An empty table has min bin size 0.
+func MinBinSize(tbl *relation.Table, cols []string) (int, error) {
+	bins, err := Bins(tbl, cols)
+	if err != nil {
+		return 0, err
+	}
+	if len(bins) == 0 {
+		return 0, nil
+	}
+	min := -1
+	for _, n := range bins {
+		if min < 0 || n < min {
+			min = n
+		}
+	}
+	return min, nil
+}
+
+// SatisfiesK reports whether every bin over cols holds at least k tuples
+// — the paper's k-anonymity specification.
+func SatisfiesK(tbl *relation.Table, cols []string, k int) (bool, error) {
+	if tbl.NumRows() == 0 {
+		return k <= 0, nil
+	}
+	min, err := MinBinSize(tbl, cols)
+	if err != nil {
+		return false, err
+	}
+	return min >= k, nil
+}
+
+// Stats summarizes the effect of a transformation on a bin map — one
+// column of Figure 14.
+type Stats struct {
+	// Total is the number of distinct bins before the transformation.
+	Total int
+	// Changed is the number of original bins whose size changed.
+	Changed int
+	// BelowK is the number of bins (before or after) whose size dropped
+	// below k after the transformation.
+	BelowK int
+	// NewBins counts value-combinations present only after the
+	// transformation (created, e.g., by boundary permutation).
+	NewBins int
+}
+
+// Compare computes the Figure 14 statistics between the bin maps of a
+// table before and after watermarking, against the anonymity parameter k.
+// Bins present before count toward Total; a before-bin missing after has
+// size 0 (changed, and below k if k > 0).
+func Compare(before, after map[string]int, k int) Stats {
+	s := Stats{Total: len(before)}
+	for key, nb := range before {
+		na := after[key]
+		if na != nb {
+			s.Changed++
+		}
+		if na < k {
+			s.BelowK++
+		}
+	}
+	for key := range after {
+		if _, ok := before[key]; !ok {
+			s.NewBins++
+			if after[key] < k {
+				s.BelowK++
+			}
+		}
+	}
+	return s
+}
+
+// String renders the stats like a Figure 14 cell: "total changed belowK".
+func (s Stats) String() string {
+	return fmt.Sprintf("%d %d %d", s.Total, s.Changed, s.BelowK)
+}
+
+// BinFlow records, for one bin, how watermarking moved tuples — the
+// empirical counterpart of Lemmas 1 and 2 (Section 6): the per-embedding
+// probability of a bin losing a tuple (Pr−) should equal that of gaining
+// one (Pr+), so on average watermarking neither shrinks nor grows bins.
+type BinFlow struct {
+	// Before and After are the bin sizes before/after watermarking.
+	Before, After int
+	// Out counts tuples that left this bin; In counts tuples that entered.
+	Out, In int
+}
+
+// Flow compares per-row bin keys before and after watermarking over the
+// same (row-aligned) tables, returning per-bin flow statistics keyed by
+// the bin's value combination. Both tables must have equal row counts;
+// the watermarking agent permutes values in place, so rows stay aligned.
+func Flow(before, after *relation.Table, cols []string) (map[string]*BinFlow, error) {
+	if before.NumRows() != after.NumRows() {
+		return nil, fmt.Errorf("anonymity: row count mismatch %d vs %d", before.NumRows(), after.NumRows())
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		ci, err := before.Schema().Index(c)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := after.Schema().Index(c); err != nil {
+			return nil, err
+		}
+		idx[i] = ci
+	}
+	flows := make(map[string]*BinFlow)
+	get := func(key string) *BinFlow {
+		f := flows[key]
+		if f == nil {
+			f = &BinFlow{}
+			flows[key] = f
+		}
+		return f
+	}
+	for i := 0; i < before.NumRows(); i++ {
+		kb := BinKey(before.Row(i), idx)
+		ka := BinKey(after.Row(i), idx)
+		get(kb).Before++
+		get(ka).After++
+		if kb != ka {
+			get(kb).Out++
+			get(ka).In++
+		}
+	}
+	return flows, nil
+}

@@ -1,0 +1,290 @@
+package attack
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/relation"
+)
+
+func makeTable(t *testing.T, n int) *relation.Table {
+	t.Helper()
+	tbl := relation.NewTable(relation.MustSchema(
+		relation.Column{Name: "ssn", Kind: relation.Identifying},
+		relation.Column{Name: "zip", Kind: relation.QuasiCategorical},
+	))
+	for i := 0; i < n; i++ {
+		if err := tbl.AppendRow([]string{
+			// zero-padded so lexicographic order == numeric order
+			strings.Repeat("0", 6-len(itox(i))) + itox(i),
+			"Z" + itox(i%4),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func itox(i int) string {
+	const digits = "0123456789"
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{digits[i%10]}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestAlterSubset(t *testing.T) {
+	tbl := makeTable(t, 1000)
+	orig := tbl.Clone()
+	rng := rand.New(rand.NewSource(1))
+	n, err := AlterSubset(tbl, map[string][]string{"zip": {"A", "B"}}, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 {
+		t.Errorf("altered %d, want 300", n)
+	}
+	changed := 0
+	ci, _ := tbl.Schema().Index("zip")
+	for i := 0; i < tbl.NumRows(); i++ {
+		if tbl.CellAt(i, ci) != orig.CellAt(i, ci) {
+			changed++
+			if v := tbl.CellAt(i, ci); v != "A" && v != "B" {
+				t.Fatalf("altered value %q not from replacement set", v)
+			}
+		}
+	}
+	if changed == 0 || changed > 300 {
+		t.Errorf("changed cells = %d", changed)
+	}
+	// validation
+	if _, err := AlterSubset(tbl, map[string][]string{"zip": {"A"}}, 1.5, rng); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := AlterSubset(tbl, map[string][]string{"zip": {}}, 0.1, rng); err == nil {
+		t.Error("empty value set accepted")
+	}
+	if _, err := AlterSubset(tbl, map[string][]string{"missing": {"A"}}, 0.1, rng); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestAddSubsetAndBogusRows(t *testing.T) {
+	tbl := makeTable(t, 500)
+	rng := rand.New(rand.NewSource(2))
+	gen := BogusRowGenerator(tbl.Schema(), "ssn", "fake", map[string][]string{"zip": {"Z0", "Z1"}}, rng)
+	n, err := AddSubset(tbl, 0.2, gen)
+	if err != nil || n != 100 {
+		t.Fatalf("added %d, %v; want 100", n, err)
+	}
+	if tbl.NumRows() != 600 {
+		t.Errorf("rows = %d", tbl.NumRows())
+	}
+	// added identifiers carry the prefix, zips from the set
+	ssn, _ := tbl.Cell(599, "ssn")
+	if !strings.HasPrefix(ssn, "fake-") {
+		t.Errorf("bogus ssn = %q", ssn)
+	}
+	zip, _ := tbl.Cell(599, "zip")
+	if zip != "Z0" && zip != "Z1" {
+		t.Errorf("bogus zip = %q", zip)
+	}
+	if _, err := AddSubset(tbl, -0.1, gen); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}
+
+func TestDeleteRandom(t *testing.T) {
+	tbl := makeTable(t, 1000)
+	rng := rand.New(rand.NewSource(3))
+	n, err := DeleteRandom(tbl, 0.25, rng)
+	if err != nil || n != 250 {
+		t.Fatalf("deleted %d, %v", n, err)
+	}
+	if tbl.NumRows() != 750 {
+		t.Errorf("rows = %d, want 750", tbl.NumRows())
+	}
+	if _, err := DeleteRandom(tbl, 2, rng); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestDeleteRanges(t *testing.T) {
+	tbl := makeTable(t, 1000)
+	rng := rand.New(rand.NewSource(4))
+	n, err := DeleteRanges(tbl, "ssn", 0.3, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing deleted")
+	}
+	// ranges overlap sometimes, so up to the target is deleted
+	if n > 320 {
+		t.Errorf("deleted %d, target was ~300", n)
+	}
+	if tbl.NumRows() != 1000-n {
+		t.Errorf("rows = %d after deleting %d", tbl.NumRows(), n)
+	}
+	// validation
+	if _, err := DeleteRanges(tbl, "ssn", -1, 2, rng); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := DeleteRanges(tbl, "ssn", 0.1, 0, rng); err == nil {
+		t.Error("zero pieces accepted")
+	}
+	if _, err := DeleteRanges(tbl, "missing", 0.1, 1, rng); err == nil {
+		t.Error("missing column accepted")
+	}
+	if n, err := DeleteRanges(tbl, "ssn", 0, 1, rng); err != nil || n != 0 {
+		t.Errorf("zero fraction: %d, %v", n, err)
+	}
+}
+
+func genTree(t *testing.T) *dht.Tree {
+	t.Helper()
+	tree, err := dht.NewCategorical("zip", dht.Spec{
+		Value: "ALL",
+		Children: []dht.Spec{
+			{Value: "R0", Children: []dht.Spec{
+				{Value: "S0", Children: []dht.Spec{{Value: "Z0"}, {Value: "Z1"}}},
+				{Value: "S1", Children: []dht.Spec{{Value: "Z2"}, {Value: "Z3"}}},
+			}},
+			{Value: "R1", Children: []dht.Spec{
+				{Value: "S2", Children: []dht.Spec{{Value: "Z4"}, {Value: "Z5"}}},
+			}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestGeneralize(t *testing.T) {
+	tbl := makeTable(t, 8) // zips Z0..Z3 cycle
+	tree := genTree(t)
+	ceiling, err := dht.NewGenSetFromValues(tree, []string{"R0", "R1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := Generalize(tbl, "zip", tree, ceiling, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 8 {
+		t.Errorf("changed = %d, want 8", changed)
+	}
+	ci, _ := tbl.Schema().Index("zip")
+	for i := 0; i < tbl.NumRows(); i++ {
+		v := tbl.CellAt(i, ci)
+		if v != "S0" && v != "S1" {
+			t.Errorf("row %d: %q, want state level", i, v)
+		}
+	}
+	// second step climbs to regions but not past the ceiling
+	if _, err := Generalize(tbl, "zip", tree, ceiling, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tbl.NumRows(); i++ {
+		if v := tbl.CellAt(i, ci); v != "R0" {
+			t.Errorf("row %d: %q, want R0 (ceiling)", i, v)
+		}
+	}
+	// once at the ceiling, nothing changes
+	changed, err = Generalize(tbl, "zip", tree, ceiling, 1)
+	if err != nil || changed != 0 {
+		t.Errorf("at ceiling: changed=%d, %v", changed, err)
+	}
+}
+
+func TestGeneralizeValidation(t *testing.T) {
+	tbl := makeTable(t, 4)
+	tree := genTree(t)
+	other := genTree(t)
+	ceiling := dht.RootGenSet(other)
+	if _, err := Generalize(tbl, "zip", tree, ceiling, 1); err == nil {
+		t.Error("cross-tree ceiling accepted")
+	}
+	if _, err := Generalize(tbl, "zip", tree, dht.RootGenSet(tree), 0); err == nil {
+		t.Error("levels=0 accepted")
+	}
+	if _, err := Generalize(tbl, "missing", tree, dht.RootGenSet(tree), 1); err == nil {
+		t.Error("missing column accepted")
+	}
+	// out-of-domain values are skipped silently
+	_ = tbl.SetCell(0, "zip", "not-in-tree")
+	changed, err := Generalize(tbl, "zip", tree, dht.RootGenSet(tree), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 3 {
+		t.Errorf("changed = %d, want 3 (one cell out of domain)", changed)
+	}
+}
+
+func TestRespecialize(t *testing.T) {
+	tbl := makeTable(t, 12) // zips Z0..Z3 cycle
+	tree := genTree(t)
+	ceiling, err := dht.NewGenSetFromValues(tree, []string{"R0", "R1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier, err := dht.NewGenSetFromValues(tree, []string{"Z0", "Z1", "Z2", "Z3", "Z4", "Z5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	changed, err := Respecialize(tbl, "zip", tree, ceiling, frontier, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every value stays ON the frontier (the attack leaves no trace)...
+	ci, _ := tbl.Schema().Index("zip")
+	for i := 0; i < tbl.NumRows(); i++ {
+		id, err := tree.ResolveValue(tbl.CellAt(i, ci))
+		if err != nil || !frontier.Contains(id) {
+			t.Fatalf("row %d: %q off the frontier after respecialization", i, tbl.CellAt(i, ci))
+		}
+	}
+	// ...and some values changed (with 12 rows and 2-child parents the
+	// chance of zero changes is (1/2)^12).
+	if changed == 0 {
+		t.Error("respecialization changed nothing")
+	}
+	// One level up from Z* is S*; the re-specialized value must share the
+	// original's parent (the climb point).
+	orig := makeTable(t, 12)
+	oi, _ := orig.Schema().Index("zip")
+	for i := 0; i < tbl.NumRows(); i++ {
+		before, _ := tree.ResolveValue(orig.CellAt(i, oi))
+		after, _ := tree.ResolveValue(tbl.CellAt(i, ci))
+		if tree.Parent(before) != tree.Parent(after) {
+			t.Errorf("row %d: respecialization escaped the climb subtree", i)
+		}
+	}
+}
+
+func TestRespecializeValidation(t *testing.T) {
+	tbl := makeTable(t, 4)
+	tree := genTree(t)
+	frontier, _ := dht.NewGenSetFromValues(tree, []string{"Z0", "Z1", "Z2", "Z3", "Z4", "Z5"})
+	rng := rand.New(rand.NewSource(7))
+	if _, err := Respecialize(tbl, "zip", tree, dht.RootGenSet(tree), frontier, 0, rng); err == nil {
+		t.Error("levels=0 accepted")
+	}
+	other := genTree(t)
+	if _, err := Respecialize(tbl, "zip", tree, dht.RootGenSet(other), frontier, 1, rng); err == nil {
+		t.Error("cross-tree ceiling accepted")
+	}
+	if _, err := Respecialize(tbl, "missing", tree, dht.RootGenSet(tree), frontier, 1, rng); err == nil {
+		t.Error("missing column accepted")
+	}
+}

@@ -1,0 +1,252 @@
+package binning
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/anonymity"
+	"repro/internal/crypt"
+	"repro/internal/dht"
+	"repro/internal/infoloss"
+	"repro/internal/relation"
+)
+
+// Config parameterizes the binning agent.
+type Config struct {
+	// K is the k-anonymity parameter.
+	K int
+	// Epsilon is the slack of Section 6: binning targets k+ε so that the
+	// later watermarking step cannot push any bin below k. Use
+	// EpsilonForMark for the paper's conservative choice.
+	Epsilon int
+	// Trees maps every quasi-identifying column to its DHT.
+	Trees map[string]*dht.Tree
+	// MaxGens is the usage metrics in maximal-generalization-node form
+	// (the paper's preferred, off-line-enforced representation). Columns
+	// absent here fall back to Metrics-derived frontiers, or to the root
+	// frontier when Metrics is nil.
+	MaxGens map[string]dht.GenSet
+	// Metrics optionally provides Equation (4) bounds from which maximal
+	// generalization nodes are derived for columns missing from MaxGens.
+	Metrics *infoloss.Metrics
+	// Strategy selects the multi-attribute search (default Auto).
+	Strategy Strategy
+	// EnumLimit caps exhaustive enumeration (default DefaultEnumLimit).
+	EnumLimit int
+	// Aggressive switches mono-attribute binning to the paper's sketched
+	// aggressive minimality rule (may yield deficient bins, which Run
+	// suppresses).
+	Aggressive bool
+}
+
+// Result is the outcome of the binning agent.
+type Result struct {
+	// Table is the binned table: identifying columns encrypted, quasi
+	// columns generalized to the ultimate generalization nodes.
+	Table *relation.Table
+	// MinGens, MaxGens and UltiGens are the per-column frontiers
+	// (minimal, maximal and ultimate generalization nodes).
+	MinGens, MaxGens, UltiGens map[string]dht.GenSet
+	// ColumnLoss is the Equation (1)/(2) information loss per column, and
+	// AvgLoss the Equation (3) normalized loss.
+	ColumnLoss map[string]float64
+	AvgLoss    float64
+	// EffectiveK is K+Epsilon, the anonymity level actually enforced.
+	EffectiveK int
+	// Suppressed counts rows dropped because of deficient bins (only
+	// under the aggressive rule).
+	Suppressed int
+	// MonoStats and MultiStats expose algorithm work counters.
+	MonoStats  map[string]MonoStats
+	MultiStats MultiStats
+}
+
+// EpsilonForMark returns the paper's conservative ε (Section 6):
+// ε = (s/S)·|wmd|, where s is the biggest bin size, S the sum of all bin
+// sizes and |wmd| the replicated mark length.
+func EpsilonForMark(binSizes map[string]int, wmdLen int) int {
+	s, total := 0, 0
+	for _, n := range binSizes {
+		total += n
+		if n > s {
+			s = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return int(math.Ceil(float64(s) / float64(total) * float64(wmdLen)))
+}
+
+// Run executes the complete binning algorithm of Figure 8 on tbl:
+//
+//  1. derive/validate the usage metrics (maximal generalization nodes),
+//  2. mono-attribute binning per quasi column (Figure 5, downward),
+//  3. multi-attribute binning across columns (Figure 7),
+//  4. encrypt identifying columns with cipher (one-to-one replacement),
+//  5. generalize quasi columns to the ultimate generalization nodes.
+//
+// The input table is not modified. Cipher must not be nil when the schema
+// has identifying columns.
+func Run(tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("binning: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Epsilon < 0 {
+		return nil, fmt.Errorf("binning: Epsilon must be >= 0, got %d", cfg.Epsilon)
+	}
+	schema := tbl.Schema()
+	quasi := schema.QuasiColumns()
+	if len(quasi) == 0 {
+		return nil, fmt.Errorf("binning: schema has no quasi-identifying columns")
+	}
+	idents := schema.IdentColumns()
+	if len(idents) > 0 && cipher == nil {
+		return nil, fmt.Errorf("binning: schema has identifying columns but no cipher")
+	}
+	effectiveK := cfg.K + cfg.Epsilon
+
+	// 1. Usage metrics in maximal-generalization-node form.
+	maxGens := make(map[string]dht.GenSet, len(quasi))
+	histograms := make(map[string][]int, len(quasi))
+	for _, col := range quasi {
+		tree, ok := cfg.Trees[col]
+		if !ok || tree == nil {
+			return nil, fmt.Errorf("binning: no DHT for quasi column %s", col)
+		}
+		values, err := tbl.Column(col)
+		if err != nil {
+			return nil, err
+		}
+		hist, err := infoloss.LeafHistogram(tree, values)
+		if err != nil {
+			return nil, fmt.Errorf("binning: column %s: %w", col, err)
+		}
+		histograms[col] = hist
+
+		if g, ok := cfg.MaxGens[col]; ok {
+			if g.Tree() != tree {
+				return nil, fmt.Errorf("binning: maximal nodes for %s belong to a different tree", col)
+			}
+			maxGens[col] = g
+			continue
+		}
+		if cfg.Metrics != nil {
+			g, err := infoloss.DeriveMaxGen(tree, hist, cfg.Metrics.Bound(col))
+			if err != nil {
+				return nil, err
+			}
+			maxGens[col] = g
+			continue
+		}
+		maxGens[col] = dht.RootGenSet(tree)
+	}
+
+	// 2. Mono-attribute binning (downward from the maximal nodes).
+	minGens := make(map[string]dht.GenSet, len(quasi))
+	monoStats := make(map[string]MonoStats, len(quasi))
+	suppressed := 0
+	work := tbl.Clone()
+	for _, col := range quasi {
+		values, err := work.Column(col)
+		if err != nil {
+			return nil, err
+		}
+		g, st, err := MonoBin(cfg.Trees[col], maxGens[col], values, effectiveK, cfg.Aggressive)
+		if err != nil {
+			return nil, err
+		}
+		if len(st.Deficient) > 0 {
+			// Aggressive rule produced under-k bins: suppress their rows
+			// (the "suppression" half of generalization and suppression).
+			tree := cfg.Trees[col]
+			colIdx, _ := work.Schema().Index(col)
+			n := work.DeleteWhere(func(row []string) bool {
+				leaf, err := tree.ResolveLeaf(row[colIdx])
+				if err != nil {
+					return false
+				}
+				for _, d := range st.Deficient {
+					if tree.IsAncestorOrSelf(d, leaf) {
+						return true
+					}
+				}
+				return false
+			})
+			suppressed += n
+		}
+		minGens[col] = g
+		monoStats[col] = st
+	}
+
+	// 3. Multi-attribute binning.
+	ultiGens, multiStats, err := MultiBin(work, quasi, minGens, maxGens, effectiveK, cfg.Strategy, cfg.EnumLimit)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4+5. Encrypt identifying columns, generalize quasi columns.
+	out := work
+	for _, col := range idents {
+		colIdx, _ := out.Schema().Index(col)
+		for i := 0; i < out.NumRows(); i++ {
+			out.SetCellAt(i, colIdx, cipher.EncryptString(out.CellAt(i, colIdx)))
+		}
+	}
+	for _, col := range quasi {
+		gen := ultiGens[col]
+		colIdx, _ := out.Schema().Index(col)
+		for i := 0; i < out.NumRows(); i++ {
+			v, err := gen.GeneralizeValue(out.CellAt(i, colIdx))
+			if err != nil {
+				return nil, fmt.Errorf("binning: column %s row %d: %w", col, i, err)
+			}
+			out.SetCellAt(i, colIdx, v)
+		}
+	}
+
+	// Defensive verification: the binned table must satisfy k-anonymity
+	// at the effective level.
+	if out.NumRows() > 0 {
+		ok, err := anonymity.SatisfiesK(out, quasi, effectiveK)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("binning: internal: output violates k=%d anonymity", effectiveK)
+		}
+	}
+
+	// Information loss per Equations (1)-(3), measured on the original
+	// histograms (suppression notwithstanding, the metric describes the
+	// published generalization).
+	colLoss := make(map[string]float64, len(quasi))
+	losses := make([]float64, 0, len(quasi))
+	for _, col := range quasi {
+		l, err := infoloss.ColumnLoss(ultiGens[col], histograms[col])
+		if err != nil {
+			return nil, err
+		}
+		colLoss[col] = l
+		losses = append(losses, l)
+	}
+	avg := infoloss.NormalizedLoss(losses)
+	if cfg.Metrics != nil {
+		if err := cfg.Metrics.Check(colLoss); err != nil {
+			return nil, err
+		}
+	}
+
+	return &Result{
+		Table:      out,
+		MinGens:    minGens,
+		MaxGens:    maxGens,
+		UltiGens:   ultiGens,
+		ColumnLoss: colLoss,
+		AvgLoss:    avg,
+		EffectiveK: effectiveK,
+		Suppressed: suppressed,
+		MonoStats:  monoStats,
+		MultiStats: multiStats,
+	}, nil
+}

@@ -1,0 +1,431 @@
+package binning
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dht"
+	"repro/internal/relation"
+)
+
+// Strategy selects how multi-attribute binning searches the space of
+// allowable generalizations (§4.2.2).
+type Strategy int
+
+const (
+	// StrategyAuto enumerates exhaustively when the candidate product is
+	// within EnumLimit and falls back to greedy otherwise.
+	StrategyAuto Strategy = iota
+	// StrategyExhaustive implements Figure 7 literally: enumerate every
+	// combination of allowable generalizations, filter by k-anonymity,
+	// select the one with minimal specificity loss.
+	StrategyExhaustive
+	// StrategyGreedy ascends the generalization lattice from the minimal
+	// nodes, merging the cheapest frontier member that covers a violating
+	// bin, until joint k-anonymity holds.
+	StrategyGreedy
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyExhaustive:
+		return "exhaustive"
+	case StrategyGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// MultiStats reports the work done by multi-attribute binning.
+type MultiStats struct {
+	// Strategy actually used (after Auto resolution).
+	Strategy Strategy
+	// Candidates is the number of joint generalizations evaluated
+	// (exhaustive) and Valid how many satisfied k-anonymity.
+	Candidates, Valid int
+	// GreedyMerges is the number of lattice ascent steps (greedy).
+	GreedyMerges int
+}
+
+// DefaultEnumLimit bounds the exhaustive candidate product in Auto mode.
+const DefaultEnumLimit = 4096
+
+// MultiBin implements GenUltiNd of Figure 7: given per-column minimal and
+// maximal generalization nodes, it chooses the ultimate generalization —
+// a per-column frontier between the bounds whose joint table satisfies
+// k-anonymity with minimal specificity loss ((N−Ng)/N averaged over
+// columns, the paper's efficient estimate).
+//
+// cols fixes the column order; every col must appear in trees, mingends
+// and maxgends. Rows of tbl provide the joint distribution.
+func MultiBin(
+	tbl *relation.Table,
+	cols []string,
+	mingends, maxgends map[string]dht.GenSet,
+	k int,
+	strategy Strategy,
+	enumLimit int,
+) (map[string]dht.GenSet, MultiStats, error) {
+	var stats MultiStats
+	if k < 1 {
+		return nil, stats, fmt.Errorf("binning: k must be >= 1, got %d", k)
+	}
+	if len(cols) == 0 {
+		return nil, stats, fmt.Errorf("binning: no columns to bin")
+	}
+	if enumLimit <= 0 {
+		enumLimit = DefaultEnumLimit
+	}
+	for _, c := range cols {
+		lo, ok := mingends[c]
+		if !ok {
+			return nil, stats, fmt.Errorf("binning: no minimal generalization nodes for %s", c)
+		}
+		hi, ok := maxgends[c]
+		if !ok {
+			return nil, stats, fmt.Errorf("binning: no maximal generalization nodes for %s", c)
+		}
+		if lo.Tree() != hi.Tree() || lo.Tree() == nil {
+			return nil, stats, fmt.Errorf("binning: bounds for %s not over one tree", c)
+		}
+		if !lo.AtOrBelow(hi) {
+			return nil, stats, fmt.Errorf("binning: minimal nodes for %s not below maximal nodes", c)
+		}
+	}
+
+	// An empty table satisfies any k vacuously: keep the minimal nodes.
+	if tbl.NumRows() == 0 {
+		out := make(map[string]dht.GenSet, len(cols))
+		for _, c := range cols {
+			out[c] = mingends[c]
+		}
+		stats.Strategy = strategy
+		return out, stats, nil
+	}
+
+	rowLeaves, err := resolveRowLeaves(tbl, cols, mingends)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Resolve Auto by counting the candidate product with a cap.
+	resolved := strategy
+	if resolved == StrategyAuto {
+		product := 1
+		for _, c := range cols {
+			n, err := dht.CountBetween(mingends[c], maxgends[c], enumLimit+1)
+			if err != nil {
+				return nil, stats, err
+			}
+			product *= n
+			if product > enumLimit {
+				break
+			}
+		}
+		if product > enumLimit {
+			resolved = StrategyGreedy
+		} else {
+			resolved = StrategyExhaustive
+		}
+	}
+	stats.Strategy = resolved
+
+	switch resolved {
+	case StrategyExhaustive:
+		return multiExhaustive(tbl, cols, mingends, maxgends, k, enumLimit, rowLeaves, &stats)
+	case StrategyGreedy:
+		return multiGreedy(tbl, cols, mingends, maxgends, k, rowLeaves, &stats)
+	default:
+		return nil, stats, fmt.Errorf("binning: unknown strategy %v", strategy)
+	}
+}
+
+// resolveRowLeaves maps every row and column to its DHT leaf once, so
+// candidate evaluation is pure array work.
+func resolveRowLeaves(tbl *relation.Table, cols []string, gens map[string]dht.GenSet) ([][]dht.NodeID, error) {
+	out := make([][]dht.NodeID, len(cols))
+	for ci, col := range cols {
+		tree := gens[col].Tree()
+		colIdx, err := tbl.Schema().Index(col)
+		if err != nil {
+			return nil, err
+		}
+		leaves := make([]dht.NodeID, tbl.NumRows())
+		var resolveErr error
+		tbl.ForEachRow(func(i int, row []string) {
+			if resolveErr != nil {
+				return
+			}
+			leaf, err := tree.ResolveLeaf(row[colIdx])
+			if err != nil {
+				resolveErr = fmt.Errorf("binning: column %s row %d: %w", col, i, err)
+				return
+			}
+			leaves[i] = leaf
+		})
+		if resolveErr != nil {
+			return nil, resolveErr
+		}
+		out[ci] = leaves
+	}
+	return out, nil
+}
+
+// coverTable maps every tree node to the index (into gen.Nodes()) of its
+// covering member, or -1. Leaf lookups then run in O(1).
+func coverTable(gen dht.GenSet) []int32 {
+	tree := gen.Tree()
+	table := make([]int32, tree.Size())
+	for i := range table {
+		table[i] = -1
+	}
+	for mi, m := range gen.Nodes() {
+		for _, leaf := range tree.LeavesUnder(m) {
+			table[leaf] = int32(mi)
+		}
+		table[m] = int32(mi)
+	}
+	return table
+}
+
+// jointMinBin computes the minimum non-empty joint bin size of the table
+// under the per-column frontiers.
+func jointMinBin(rowLeaves [][]dht.NodeID, covers [][]int32) int {
+	if len(rowLeaves) == 0 || len(rowLeaves[0]) == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(rowLeaves[0])/4+1)
+	var sb strings.Builder
+	for row := 0; row < len(rowLeaves[0]); row++ {
+		sb.Reset()
+		for ci := range rowLeaves {
+			mi := covers[ci][rowLeaves[ci][row]]
+			fmt.Fprintf(&sb, "%d|", mi)
+		}
+		counts[sb.String()]++
+	}
+	min := -1
+	for _, n := range counts {
+		if min < 0 || n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// avgSpecificityLoss averages (N−Ng)/N across the chosen frontiers.
+func avgSpecificityLoss(gens []dht.GenSet) float64 {
+	if len(gens) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, g := range gens {
+		sum += g.SpecificityLoss()
+	}
+	return sum / float64(len(gens))
+}
+
+func multiExhaustive(
+	tbl *relation.Table,
+	cols []string,
+	mingends, maxgends map[string]dht.GenSet,
+	k, enumLimit int,
+	rowLeaves [][]dht.NodeID,
+	stats *MultiStats,
+) (map[string]dht.GenSet, MultiStats, error) {
+	// Materialize per-column allowable generalizations (EnumGen of the
+	// paper, bounded by enumLimit on the total product).
+	perCol := make([][]dht.GenSet, len(cols))
+	product := 1
+	for ci, col := range cols {
+		var list []dht.GenSet
+		err := dht.EnumerateBetween(mingends[col], maxgends[col], func(g dht.GenSet) bool {
+			list = append(list, g)
+			return product*len(list) <= enumLimit
+		})
+		if err != nil {
+			return nil, *stats, err
+		}
+		if len(list) == 0 {
+			return nil, *stats, fmt.Errorf("binning: no allowable generalization for %s", col)
+		}
+		perCol[ci] = list
+		product *= len(list)
+		if product > enumLimit {
+			return nil, *stats, fmt.Errorf(
+				"binning: candidate product exceeds limit %d; use StrategyGreedy or raise EnumLimit", enumLimit)
+		}
+	}
+
+	var (
+		best     []dht.GenSet
+		bestLoss float64
+		choice   = make([]dht.GenSet, len(cols))
+	)
+	var walk func(ci int)
+	walk = func(ci int) {
+		if ci == len(cols) {
+			stats.Candidates++
+			covers := make([][]int32, len(cols))
+			for i, g := range choice {
+				covers[i] = coverTable(g)
+			}
+			if jointMinBin(rowLeaves, covers) < k {
+				return
+			}
+			stats.Valid++
+			loss := avgSpecificityLoss(choice)
+			if best == nil || loss < bestLoss {
+				best = append([]dht.GenSet(nil), choice...)
+				bestLoss = loss
+			}
+			return
+		}
+		for _, g := range perCol[ci] {
+			choice[ci] = g
+			walk(ci + 1)
+		}
+	}
+	walk(0)
+
+	if best == nil {
+		return nil, *stats, fmt.Errorf(
+			"binning: no allowable generalization satisfies k=%d; data not binnable under the usage metrics", k)
+	}
+	out := make(map[string]dht.GenSet, len(cols))
+	for i, col := range cols {
+		out[col] = best[i]
+	}
+	return out, *stats, nil
+}
+
+func multiGreedy(
+	tbl *relation.Table,
+	cols []string,
+	mingends, maxgends map[string]dht.GenSet,
+	k int,
+	rowLeaves [][]dht.NodeID,
+	stats *MultiStats,
+) (map[string]dht.GenSet, MultiStats, error) {
+	cur := make([]dht.GenSet, len(cols))
+	for ci, col := range cols {
+		cur[ci] = mingends[col]
+	}
+	covers := make([][]int32, len(cols))
+	for ci := range cur {
+		covers[ci] = coverTable(cur[ci])
+	}
+
+	for {
+		// Identify violating rows (bins under k).
+		counts := make(map[string]int)
+		keys := make([]string, len(rowLeaves[0]))
+		var sb strings.Builder
+		for row := range keys {
+			sb.Reset()
+			for ci := range cur {
+				fmt.Fprintf(&sb, "%d|", covers[ci][rowLeaves[ci][row]])
+			}
+			keys[row] = sb.String()
+			counts[keys[row]]++
+		}
+		// Members (per column) participating in violating bins.
+		violating := make([]map[int32]bool, len(cols))
+		for ci := range violating {
+			violating[ci] = make(map[int32]bool)
+		}
+		anyViolation := false
+		for row, key := range keys {
+			if counts[key] < k {
+				anyViolation = true
+				for ci := range cur {
+					violating[ci][covers[ci][rowLeaves[ci][row]]] = true
+				}
+			}
+		}
+		if !anyViolation {
+			break
+		}
+
+		// Candidate moves: merge a parent whose children are all frontier
+		// members, staying within the maximal nodes. Prefer moves whose
+		// merged member covers a violating bin; among those, the smallest
+		// specificity-loss increase; deterministic tie-break.
+		type move struct {
+			ci     int
+			parent dht.NodeID
+			delta  float64
+			helps  bool
+		}
+		var bestMove *move
+		better := func(a, b *move) bool {
+			if a.helps != b.helps {
+				return a.helps
+			}
+			if a.delta != b.delta {
+				return a.delta < b.delta
+			}
+			if a.ci != b.ci {
+				return a.ci < b.ci
+			}
+			return a.parent < b.parent
+		}
+		for ci, col := range cols {
+			tree := cur[ci].Tree()
+			memberIndex := make(map[dht.NodeID]int32, cur[ci].Len())
+			for mi, m := range cur[ci].Nodes() {
+				memberIndex[m] = int32(mi)
+			}
+			for _, p := range cur[ci].MergeCandidates() {
+				if _, ok := maxgends[col].CoverOf(p); !ok {
+					continue // would climb past the usage metrics
+				}
+				helps := false
+				for _, c := range tree.Children(p) {
+					if violating[ci][memberIndex[c]] {
+						helps = true
+						break
+					}
+				}
+				delta := float64(len(tree.Children(p))-1) / float64(tree.NumLeaves())
+				m := &move{ci: ci, parent: p, delta: delta, helps: helps}
+				if bestMove == nil || better(m, bestMove) {
+					bestMove = m
+				}
+			}
+		}
+		if bestMove == nil {
+			return nil, *stats, fmt.Errorf(
+				"binning: greedy ascent exhausted at k=%d without satisfying k-anonymity; data not binnable under the usage metrics", k)
+		}
+		next, err := cur[bestMove.ci].MergeAt(bestMove.parent)
+		if err != nil {
+			return nil, *stats, fmt.Errorf("binning: internal: %w", err)
+		}
+		cur[bestMove.ci] = next
+		covers[bestMove.ci] = coverTable(next)
+		stats.GreedyMerges++
+	}
+
+	out := make(map[string]dht.GenSet, len(cols))
+	for ci, col := range cols {
+		out[col] = cur[ci]
+	}
+	return out, *stats, nil
+}
+
+// SortedColumns returns the quasi-identifying column names of the schema
+// in deterministic (schema) order — the canonical cols argument for
+// MultiBin and Run.
+func SortedColumns(tbl *relation.Table) []string {
+	cols := tbl.Schema().QuasiColumns()
+	sorted := make([]string, len(cols))
+	copy(sorted, cols)
+	sort.Strings(sorted)
+	return sorted
+}

@@ -1,0 +1,188 @@
+package binning
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dht"
+	"repro/internal/infoloss"
+)
+
+// randomCatTree builds a random categorical tree (no single-child nodes).
+func randomCatTree(rng *rand.Rand) *dht.Tree {
+	counter := 0
+	var build func(depth int) dht.Spec
+	build = func(depth int) dht.Spec {
+		counter++
+		s := dht.Spec{Value: quickName(counter)}
+		if depth >= 3 {
+			return s
+		}
+		fanout := rng.Intn(4)
+		if depth == 0 && fanout < 2 {
+			fanout = 2
+		}
+		if fanout == 1 {
+			fanout = 2
+		}
+		for i := 0; i < fanout; i++ {
+			s.Children = append(s.Children, build(depth+1))
+		}
+		return s
+	}
+	tree, err := dht.NewCategorical("q", build(0))
+	if err != nil {
+		panic(err)
+	}
+	return tree
+}
+
+func quickName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	name := []byte{}
+	for i > 0 {
+		name = append(name, letters[i%26])
+		i /= 26
+	}
+	return "v" + string(name)
+}
+
+// randomValues draws n skewed leaf values.
+func randomValues(tree *dht.Tree, n int, rng *rand.Rand) []string {
+	leaves := tree.Leaves()
+	out := make([]string, n)
+	for i := range out {
+		// head-heavy: square the uniform draw
+		idx := int(float64(len(leaves)) * rng.Float64() * rng.Float64())
+		if idx >= len(leaves) {
+			idx = len(leaves) - 1
+		}
+		out[i] = tree.Value(leaves[idx])
+	}
+	return out
+}
+
+// Property: on random trees, random data and random k, the downward
+// mono-binning frontier (a) is a valid generalization, (b) gives every
+// non-empty bin at least k tuples, and (c) is minimal under the
+// conservative rule (every splittable member has an under-k child).
+func TestQuickMonoBinInvariants(t *testing.T) {
+	f := func(seed int64, kRaw uint8, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomCatTree(rng)
+		n := int(nRaw)%800 + 50
+		k := int(kRaw)%20 + 1
+		if k > n {
+			k = n
+		}
+		values := randomValues(tree, n, rng)
+		maxg := dht.RootGenSet(tree)
+		gen, _, err := MonoBin(tree, maxg, values, k, false)
+		if err != nil {
+			// only legitimate when the whole table is smaller than k
+			return n < k
+		}
+		hist, err := infoloss.LeafHistogram(tree, values)
+		if err != nil {
+			return false
+		}
+		sub := infoloss.SubtreeCounts(tree, hist)
+		// (a) validity via re-construction
+		if _, err := dht.NewGenSet(tree, gen.Nodes()); err != nil {
+			return false
+		}
+		for _, nd := range gen.Nodes() {
+			// (b) k-anonymity per non-empty bin
+			if c := sub[nd]; c > 0 && c < k {
+				return false
+			}
+			// (c) minimality
+			if !tree.Node(nd).IsLeaf() && sub[nd] > 0 {
+				allOK := true
+				for _, c := range tree.Children(nd) {
+					if sub[c] < k {
+						allOK = false
+						break
+					}
+				}
+				if allOK {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the upward comparator also lands on a valid k-anonymous
+// frontier whenever it succeeds, and downward loss never exceeds upward
+// loss by more than the granularity the different search orders allow
+// — both must be within [0, 1].
+func TestQuickUpwardInvariants(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomCatTree(rng)
+		values := randomValues(tree, 400, rng)
+		k := int(kRaw)%15 + 1
+		maxg := dht.RootGenSet(tree)
+		up, _, err := MonoBinUpward(tree, maxg, values, k)
+		if err != nil {
+			return true // not binnable upward under these draws
+		}
+		hist, _ := infoloss.LeafHistogram(tree, values)
+		sub := infoloss.SubtreeCounts(tree, hist)
+		for _, nd := range up.Nodes() {
+			if c := sub[nd]; c > 0 && c < k {
+				return false
+			}
+		}
+		loss, err := infoloss.ColumnLoss(up, hist)
+		return err == nil && loss >= 0 && loss <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: information loss (Eq. 1) is monotone along the lattice — a
+// frontier at-or-below another never has larger loss.
+func TestQuickColumnLossMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomCatTree(rng)
+		values := randomValues(tree, 300, rng)
+		hist, err := infoloss.LeafHistogram(tree, values)
+		if err != nil {
+			return false
+		}
+		g := dht.LeafGenSet(tree)
+		prev, err := infoloss.ColumnLoss(g, hist)
+		if err != nil || prev != 0 {
+			return false
+		}
+		for {
+			cands := g.MergeCandidates()
+			if len(cands) == 0 {
+				break
+			}
+			next, err := g.MergeAt(cands[rng.Intn(len(cands))])
+			if err != nil {
+				return false
+			}
+			loss, err := infoloss.ColumnLoss(next, hist)
+			if err != nil || loss+1e-12 < prev || loss > 1 {
+				return false
+			}
+			prev = loss
+			g = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package binning
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dht"
+	"repro/internal/relation"
+)
+
+// RestrainedSwap implements the §6 suggestion for making Lemma 1's
+// equal-bin-size assumption hold: "we can incorporate 'restrained
+// swapping' (e.g., swapping tuples among bins that correspond to sibling
+// nodes) into binning". For every group of ultimate generalization nodes
+// sharing a parent, tuples are moved from over-full bins to under-full
+// ones until the group's bin sizes differ by at most one. Movement stays
+// inside the sibling group, so the effective information loss of a moved
+// tuple equals a generalization to the shared parent — the same bandwidth
+// argument that justifies watermarking (§5.1).
+//
+// maxMoves caps the total number of moved tuples (0 = no cap). It returns
+// the number of tuples whose column value changed.
+func RestrainedSwap(tbl *relation.Table, col string, ulti dht.GenSet, maxMoves int, rng *rand.Rand) (int, error) {
+	tree := ulti.Tree()
+	if tree == nil {
+		return 0, fmt.Errorf("binning: zero frontier")
+	}
+	ci, err := tbl.Schema().Index(col)
+	if err != nil {
+		return 0, err
+	}
+
+	// Group frontier members by parent; only groups of 2+ siblings that
+	// are all frontier members can swap (restrained: the parent's
+	// indiscrimination set already covers them).
+	groups := make(map[dht.NodeID][]dht.NodeID)
+	for _, nd := range ulti.Nodes() {
+		p := tree.Parent(nd)
+		if p == dht.None {
+			continue
+		}
+		groups[p] = append(groups[p], nd)
+	}
+
+	// Rows per frontier member.
+	rowsOf := make(map[dht.NodeID][]int)
+	var resolveErr error
+	tbl.ForEachRow(func(i int, row []string) {
+		if resolveErr != nil {
+			return
+		}
+		id, err := tree.ResolveValue(row[ci])
+		if err != nil {
+			resolveErr = fmt.Errorf("binning: row %d: %w", i, err)
+			return
+		}
+		cover, ok := ulti.CoverOf(id)
+		if !ok {
+			resolveErr = fmt.Errorf("binning: row %d: value %q above the frontier", i, row[ci])
+			return
+		}
+		rowsOf[cover] = append(rowsOf[cover], i)
+	})
+	if resolveErr != nil {
+		return 0, resolveErr
+	}
+
+	parents := make([]dht.NodeID, 0, len(groups))
+	for p := range groups {
+		parents = append(parents, p)
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+
+	moved := 0
+	for _, p := range parents {
+		members := groups[p]
+		if len(members) < 2 {
+			continue
+		}
+		// Full sibling coverage required: if some child of p is not a
+		// frontier member, swapping into/out of it would change the
+		// generalization semantics.
+		if len(members) != len(tree.Children(p)) {
+			continue
+		}
+		sort.Slice(members, func(i, j int) bool {
+			return tree.Value(members[i]) < tree.Value(members[j])
+		})
+		total := 0
+		for _, m := range members {
+			total += len(rowsOf[m])
+		}
+		target := total / len(members)
+		// Donors give their excess above target+1; receivers fill up to
+		// target. One pass is enough for the ±1 guarantee.
+		type donor struct {
+			nd    dht.NodeID
+			extra []int
+		}
+		var donors []donor
+		var needs []dht.NodeID
+		for _, m := range members {
+			n := len(rowsOf[m])
+			switch {
+			case n > target+1:
+				rows := rowsOf[m]
+				if rng != nil {
+					rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+				}
+				donors = append(donors, donor{m, rows[:n-target-1]})
+			case n < target:
+				needs = append(needs, m)
+			}
+		}
+		di, used := 0, 0
+		for _, recv := range needs {
+			deficit := target - len(rowsOf[recv])
+			for deficit > 0 && di < len(donors) {
+				if used >= len(donors[di].extra) {
+					di++
+					used = 0
+					continue
+				}
+				row := donors[di].extra[used]
+				used++
+				tbl.SetCellAt(row, ci, tree.Value(recv))
+				rowsOf[recv] = append(rowsOf[recv], row)
+				moved++
+				deficit--
+				if maxMoves > 0 && moved >= maxMoves {
+					return moved, nil
+				}
+			}
+		}
+	}
+	return moved, nil
+}

@@ -1,0 +1,172 @@
+package binning
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/anonymity"
+	"repro/internal/dht"
+	"repro/internal/relation"
+)
+
+func swapFixture(t *testing.T, counts map[string]int) (*relation.Table, *dht.Tree, dht.GenSet) {
+	t.Helper()
+	tree, err := dht.NewCategorical("c", dht.Spec{
+		Value: "root",
+		Children: []dht.Spec{
+			{Value: "P", Children: []dht.Spec{{Value: "a"}, {Value: "b"}, {Value: "c"}}},
+			{Value: "Q", Children: []dht.Spec{{Value: "d"}, {Value: "e"}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ulti, err := dht.NewGenSetFromValues(tree, []string{"a", "b", "c", "d", "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := relation.NewTable(relation.MustSchema(
+		relation.Column{Name: "id", Kind: relation.Identifying},
+		relation.Column{Name: "c", Kind: relation.QuasiCategorical},
+	))
+	i := 0
+	for v, n := range counts {
+		for j := 0; j < n; j++ {
+			if err := tbl.AppendRow([]string{string(rune('A' + i)), v}); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+	}
+	return tbl, tree, ulti
+}
+
+func TestRestrainedSwapEqualizes(t *testing.T) {
+	tbl, _, ulti := swapFixture(t, map[string]int{
+		"a": 30, "b": 3, "c": 3, // P group: total 36 -> target 12 each
+		"d": 10, "e": 10, // Q group: already equal
+	})
+	rng := rand.New(rand.NewSource(1))
+	moved, err := RestrainedSwap(tbl, "c", ulti, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("nothing moved")
+	}
+	bins, err := anonymity.Bins(tbl, []string{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P group equalized within ±1 of 12.
+	for _, v := range []string{"a", "b", "c"} {
+		if n := bins[v]; n < 11 || n > 13 {
+			t.Errorf("bin %s = %d, want ~12", v, n)
+		}
+	}
+	// Q group untouched.
+	if bins["d"] != 10 || bins["e"] != 10 {
+		t.Errorf("Q group changed: d=%d e=%d", bins["d"], bins["e"])
+	}
+	// Total preserved.
+	total := 0
+	for _, n := range bins {
+		total += n
+	}
+	if total != 56 {
+		t.Errorf("total = %d, want 56", total)
+	}
+}
+
+func TestRestrainedSwapStaysInsideSiblingGroups(t *testing.T) {
+	tbl, _, ulti := swapFixture(t, map[string]int{"a": 20, "b": 2, "c": 2, "d": 2, "e": 20})
+	before, _ := anonymity.Bins(tbl, []string{"c"})
+	rng := rand.New(rand.NewSource(2))
+	if _, err := RestrainedSwap(tbl, "c", ulti, 0, rng); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := anonymity.Bins(tbl, []string{"c"})
+	// Group sums invariant: P = a+b+c, Q = d+e.
+	sum := func(m map[string]int, keys ...string) int {
+		s := 0
+		for _, k := range keys {
+			s += m[k]
+		}
+		return s
+	}
+	if sum(before, "a", "b", "c") != sum(after, "a", "b", "c") {
+		t.Error("P group total changed — swap crossed sibling groups")
+	}
+	if sum(before, "d", "e") != sum(after, "d", "e") {
+		t.Error("Q group total changed — swap crossed sibling groups")
+	}
+}
+
+func TestRestrainedSwapMaxMoves(t *testing.T) {
+	tbl, _, ulti := swapFixture(t, map[string]int{"a": 30, "b": 3, "c": 3})
+	rng := rand.New(rand.NewSource(3))
+	moved, err := RestrainedSwap(tbl, "c", ulti, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 5 {
+		t.Errorf("moved = %d, want exactly the cap 5", moved)
+	}
+}
+
+func TestRestrainedSwapPartialSiblingCoverage(t *testing.T) {
+	// A frontier where one sibling is generalized (P covers a+b+c as one
+	// member) must not swap within the mixed group.
+	tree, err := dht.NewCategorical("c", dht.Spec{
+		Value: "root",
+		Children: []dht.Spec{
+			{Value: "P", Children: []dht.Spec{{Value: "a"}, {Value: "b"}}},
+			{Value: "q"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// frontier {P, q}: P and q are siblings but q's group has P as an
+	// internal mixed member at a different granularity.
+	ulti, err := dht.NewGenSetFromValues(tree, []string{"P", "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := relation.NewTable(relation.MustSchema(
+		relation.Column{Name: "id", Kind: relation.Identifying},
+		relation.Column{Name: "c", Kind: relation.QuasiCategorical},
+	))
+	for i := 0; i < 9; i++ {
+		_ = tbl.AppendRow([]string{string(rune('A' + i)), "P"})
+	}
+	_ = tbl.AppendRow([]string{"Z", "q"})
+	rng := rand.New(rand.NewSource(4))
+	moved, err := RestrainedSwap(tbl, "c", ulti, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P and q are both children of root and both frontier members with
+	// full coverage (root's children = {P, q}), so swapping is legal here
+	// — it equalizes to 5/5.
+	bins, _ := anonymity.Bins(tbl, []string{"c"})
+	if moved == 0 || bins["P"] < 4 || bins["q"] < 4 {
+		t.Errorf("moved=%d bins=%v", moved, bins)
+	}
+}
+
+func TestRestrainedSwapErrors(t *testing.T) {
+	tbl, _, ulti := swapFixture(t, map[string]int{"a": 2})
+	rng := rand.New(rand.NewSource(5))
+	if _, err := RestrainedSwap(tbl, "missing", ulti, 0, rng); err == nil {
+		t.Error("missing column accepted")
+	}
+	if _, err := RestrainedSwap(tbl, "c", dht.GenSet{}, 0, rng); err == nil {
+		t.Error("zero frontier accepted")
+	}
+	// value above the frontier
+	_ = tbl.SetCell(0, "c", "P")
+	if _, err := RestrainedSwap(tbl, "c", ulti, 0, rng); err == nil {
+		t.Error("above-frontier value accepted")
+	}
+}

@@ -1,0 +1,410 @@
+// Package core implements the paper's unified protection framework for
+// outsourced medical data (Section 3, Figure 2): a binning agent that
+// transforms the table to satisfy the k-anonymity specification under
+// usage metrics, followed by a watermarking agent that embeds an
+// owner-specific mark into the binned data. The output simultaneously
+// protects individual privacy (no bin smaller than k) and data ownership
+// (a key-protected, attack-resilient mark whose value commits to a
+// statistic of the encrypted identifiers, resolving the rightful
+// ownership problem of §5.4).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/anonymity"
+	"repro/internal/binning"
+	"repro/internal/bitstr"
+	"repro/internal/crypt"
+	"repro/internal/dht"
+	"repro/internal/infoloss"
+	"repro/internal/ownership"
+	"repro/internal/relation"
+	"repro/internal/watermark"
+)
+
+// Config parameterizes the framework. Zero values get sensible defaults
+// from New: MarkBits 20 (as in §7.2), Duplication 4, Quantum 1e6, Tau
+// 5e7, LossThreshold 0.15, SaltPositionWithColumn true.
+type Config struct {
+	// K is the k-anonymity specification parameter.
+	K int
+	// Epsilon is the §6 slack added to K during binning so watermarking
+	// cannot push a bin below K. Ignored when AutoEpsilon is set.
+	Epsilon int
+	// AutoEpsilon computes the paper's conservative ε = (s/S)·|wmd| from
+	// a first binning pass, then re-bins at K+ε.
+	AutoEpsilon bool
+	// MaxGens optionally gives the usage metrics directly as maximal
+	// generalization nodes (the simplification §7 uses).
+	MaxGens map[string]dht.GenSet
+	// Metrics optionally gives Equation (4) bounds instead.
+	Metrics *infoloss.Metrics
+	// Strategy and EnumLimit control multi-attribute binning.
+	Strategy  binning.Strategy
+	EnumLimit int
+	// Aggressive selects the sketched aggressive mono-binning rule.
+	Aggressive bool
+	// IdentCol names the identifying column used as the watermark anchor;
+	// empty selects the schema's sole identifying column.
+	IdentCol string
+	// MarkBits is the mark length |wm| (default 20).
+	MarkBits int
+	// Duplication is the replication factor l (default 4).
+	Duplication int
+	// Quantum is the quantization step of the ownership function F.
+	Quantum float64
+	// Tau is the statistic tolerance τ used in disputes.
+	Tau float64
+	// LossThreshold is the maximal mark loss accepted as a match.
+	LossThreshold float64
+	// WeightedVoting, SaltPositionWithColumn and BoundaryPermutation are
+	// passed to the watermarking agent (see watermark.Params).
+	WeightedVoting         bool
+	SaltPositionWithColumn bool
+	NoColumnSalt           bool // set to disable the default column salt
+	BoundaryPermutation    bool
+}
+
+// ColumnProvenance records one column's frontiers in portable form.
+type ColumnProvenance struct {
+	Ulti []string `json:"ulti"`
+	Max  []string `json:"max"`
+}
+
+// Provenance is everything (besides the secret key) the owner must retain
+// to later detect the mark or argue a dispute. It is JSON-serializable;
+// it contains no key material.
+type Provenance struct {
+	IdentCol               string                      `json:"ident_col"`
+	K                      int                         `json:"k"`
+	Epsilon                int                         `json:"epsilon"`
+	Mark                   string                      `json:"mark"` // '0'/'1' runes
+	V                      float64                     `json:"v"`    // the §5.4 statistic
+	Quantum                float64                     `json:"quantum"`
+	Duplication            int                         `json:"duplication"`
+	WeightedVoting         bool                        `json:"weighted_voting,omitempty"`
+	SaltPositionWithColumn bool                        `json:"salt_position_with_column,omitempty"`
+	BoundaryPermutation    bool                        `json:"boundary_permutation,omitempty"`
+	Columns                map[string]ColumnProvenance `json:"columns"`
+}
+
+// Protected is the outcome of Protect.
+type Protected struct {
+	// Table is the outsourcing-ready table: binned and watermarked.
+	Table *relation.Table
+	// Provenance is the owner's detection/dispute record.
+	Provenance Provenance
+	// Binning exposes the binning agent's result (frontiers, losses).
+	Binning *binning.Result
+	// Embed exposes the watermarking agent's statistics.
+	Embed watermark.EmbedStats
+	// BinStats compares the per-column mono bins before and after
+	// watermarking (the Figure 14 measurement for this run).
+	BinStats anonymity.Stats
+}
+
+// Framework wires the binning agent and the watermarking agent.
+type Framework struct {
+	trees map[string]*dht.Tree
+	cfg   Config
+}
+
+// New validates the configuration and returns a Framework over the given
+// per-column domain hierarchy trees.
+func New(trees map[string]*dht.Tree, cfg Config) (*Framework, error) {
+	if len(trees) == 0 {
+		return nil, errors.New("core: no domain hierarchy trees")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("core: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.MarkBits == 0 {
+		cfg.MarkBits = 20
+	}
+	if cfg.MarkBits < 1 {
+		return nil, fmt.Errorf("core: MarkBits must be >= 1")
+	}
+	if cfg.Duplication == 0 {
+		cfg.Duplication = 4
+	}
+	if cfg.Duplication < 1 {
+		return nil, fmt.Errorf("core: Duplication must be >= 1")
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 1e6
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = 5e7
+	}
+	if cfg.LossThreshold == 0 {
+		cfg.LossThreshold = 0.15
+	}
+	if !cfg.NoColumnSalt {
+		cfg.SaltPositionWithColumn = true
+	}
+	return &Framework{trees: trees, cfg: cfg}, nil
+}
+
+// Trees returns the framework's tree map (shared, not copied).
+func (f *Framework) Trees() map[string]*dht.Tree { return f.trees }
+
+// Config returns the effective (defaulted) configuration.
+func (f *Framework) Config() Config { return f.cfg }
+
+func (f *Framework) identCol(schema *relation.Schema) (string, error) {
+	if f.cfg.IdentCol != "" {
+		if _, err := schema.Index(f.cfg.IdentCol); err != nil {
+			return "", err
+		}
+		return f.cfg.IdentCol, nil
+	}
+	idents := schema.IdentColumns()
+	if len(idents) != 1 {
+		return "", fmt.Errorf("core: schema has %d identifying columns; set Config.IdentCol", len(idents))
+	}
+	return idents[0], nil
+}
+
+// Protect runs the full pipeline of Figure 2 on tbl under the secret key:
+// derive the ownership mark wm = F(v) from the clear-text identifiers
+// (§5.4), bin to satisfy k-anonymity (+ε) under the usage metrics
+// (Section 4), and watermark the binned table hierarchically (Section 5).
+// The input table is not modified.
+func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Protected, error) {
+	if err := key.Validate(); err != nil {
+		return nil, err
+	}
+	identCol, err := f.identCol(tbl.Schema())
+	if err != nil {
+		return nil, err
+	}
+	cipher, err := crypt.NewCipher(key.Enc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Ownership mark from the clear-text identifying column (§5.4).
+	mark, v, err := ownership.OwnerMark(tbl, identCol, f.cfg.Quantum, f.cfg.MarkBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: deriving ownership mark: %w", err)
+	}
+
+	// Binning agent, optionally twice for the conservative ε.
+	binCfg := binning.Config{
+		K:          f.cfg.K,
+		Epsilon:    f.cfg.Epsilon,
+		Trees:      f.trees,
+		MaxGens:    f.cfg.MaxGens,
+		Metrics:    f.cfg.Metrics,
+		Strategy:   f.cfg.Strategy,
+		EnumLimit:  f.cfg.EnumLimit,
+		Aggressive: f.cfg.Aggressive,
+	}
+	binRes, err := binning.Run(tbl, binCfg, cipher)
+	if err != nil {
+		return nil, err
+	}
+	if f.cfg.AutoEpsilon {
+		bins, err := anonymity.Bins(binRes.Table, tbl.Schema().QuasiColumns())
+		if err != nil {
+			return nil, err
+		}
+		eps := binning.EpsilonForMark(bins, f.cfg.MarkBits*f.cfg.Duplication)
+		if eps > binCfg.Epsilon {
+			binCfg.Epsilon = eps
+			if binRes, err = binning.Run(tbl, binCfg, cipher); err != nil {
+				return nil, fmt.Errorf("core: re-binning at k+ε=%d: %w", f.cfg.K+eps, err)
+			}
+		}
+	}
+
+	// Watermarking agent on the binned table.
+	columns := f.columnSpecs(binRes)
+	params := watermark.Params{
+		Key:                    key,
+		Mark:                   mark,
+		Duplication:            f.cfg.Duplication,
+		WeightedVoting:         f.cfg.WeightedVoting,
+		SaltPositionWithColumn: f.cfg.SaltPositionWithColumn,
+		BoundaryPermutation:    f.cfg.BoundaryPermutation,
+	}
+	before, err := anonymity.Bins(binRes.Table, tbl.Schema().QuasiColumns())
+	if err != nil {
+		return nil, err
+	}
+	marked := binRes.Table.Clone()
+	embedStats, err := watermark.Embed(marked, identCol, columns, params)
+	if err != nil {
+		return nil, err
+	}
+	if embedStats.BitsEmbedded == 0 && !params.BoundaryPermutation {
+		// §5.1 special case: k-anonymity forced the ultimate
+		// generalization nodes all the way up to the maximal nodes, so
+		// the hierarchical channel is empty. Apply the paper's remedy —
+		// permute boundary values among sibling frontier nodes, accepting
+		// a slight usage-metric overshoot for a small tuple fraction.
+		params.BoundaryPermutation = true
+		marked = binRes.Table.Clone()
+		if embedStats, err = watermark.Embed(marked, identCol, columns, params); err != nil {
+			return nil, err
+		}
+	}
+	if embedStats.BitsEmbedded == 0 && embedStats.TuplesSelected > 0 {
+		return nil, errors.New(
+			"core: no watermark bandwidth: every frontier sits at the usage metrics with no permutable siblings; relax the metrics or lower K")
+	}
+	after, err := anonymity.Bins(marked, tbl.Schema().QuasiColumns())
+	if err != nil {
+		return nil, err
+	}
+	binStats := anonymity.Compare(before, after, f.cfg.K)
+
+	// The seamlessness guarantee: no bin below K after watermarking.
+	if binStats.BelowK > 0 && !params.BoundaryPermutation {
+		return nil, fmt.Errorf(
+			"core: watermarking pushed %d bins below k=%d; increase Epsilon or enable AutoEpsilon",
+			binStats.BelowK, f.cfg.K)
+	}
+
+	prov := Provenance{
+		IdentCol:               identCol,
+		K:                      f.cfg.K,
+		Epsilon:                binCfg.Epsilon,
+		Mark:                   mark.String(),
+		V:                      v,
+		Quantum:                f.cfg.Quantum,
+		Duplication:            f.cfg.Duplication,
+		WeightedVoting:         f.cfg.WeightedVoting,
+		SaltPositionWithColumn: f.cfg.SaltPositionWithColumn,
+		// record the effective value: the §5.1 fallback may have enabled
+		// boundary permutation, and detection must mirror it
+		BoundaryPermutation: params.BoundaryPermutation,
+		Columns:             make(map[string]ColumnProvenance, len(columns)),
+	}
+	for col, spec := range columns {
+		prov.Columns[col] = ColumnProvenance{
+			Ulti: spec.UltiGen.Values(),
+			Max:  spec.MaxGen.Values(),
+		}
+	}
+
+	return &Protected{
+		Table:      marked,
+		Provenance: prov,
+		Binning:    binRes,
+		Embed:      embedStats,
+		BinStats:   binStats,
+	}, nil
+}
+
+func (f *Framework) columnSpecs(res *binning.Result) map[string]watermark.ColumnSpec {
+	out := make(map[string]watermark.ColumnSpec, len(res.UltiGens))
+	for col, ulti := range res.UltiGens {
+		out[col] = watermark.ColumnSpec{
+			Tree:    f.trees[col],
+			MaxGen:  res.MaxGens[col],
+			UltiGen: ulti,
+		}
+	}
+	return out
+}
+
+// SpecsFromProvenance rebuilds the watermark column specs from a stored
+// provenance record and the framework's trees.
+func (f *Framework) SpecsFromProvenance(prov Provenance) (map[string]watermark.ColumnSpec, error) {
+	out := make(map[string]watermark.ColumnSpec, len(prov.Columns))
+	for col, cp := range prov.Columns {
+		tree, ok := f.trees[col]
+		if !ok {
+			return nil, fmt.Errorf("core: no tree for column %s", col)
+		}
+		ulti, err := dht.NewGenSetFromValues(tree, cp.Ulti)
+		if err != nil {
+			return nil, fmt.Errorf("core: column %s: %w", col, err)
+		}
+		maxg, err := dht.NewGenSetFromValues(tree, cp.Max)
+		if err != nil {
+			return nil, fmt.Errorf("core: column %s: %w", col, err)
+		}
+		out[col] = watermark.ColumnSpec{Tree: tree, MaxGen: maxg, UltiGen: ulti}
+	}
+	return out, nil
+}
+
+// paramsFromProvenance rebuilds detection parameters; the mark comes from
+// the provenance record, the key from the caller.
+func paramsFromProvenance(prov Provenance, key crypt.WatermarkKey) (watermark.Params, error) {
+	mark, err := bitstr.FromString(prov.Mark)
+	if err != nil {
+		return watermark.Params{}, fmt.Errorf("core: provenance mark: %w", err)
+	}
+	return watermark.Params{
+		Key:                    key,
+		Mark:                   mark,
+		Duplication:            prov.Duplication,
+		WeightedVoting:         prov.WeightedVoting,
+		SaltPositionWithColumn: prov.SaltPositionWithColumn,
+		BoundaryPermutation:    prov.BoundaryPermutation,
+	}, nil
+}
+
+// Detection is Detect's report.
+type Detection struct {
+	Result watermark.DetectResult
+	// MarkLoss is the detected mark's loss against the provenance mark.
+	MarkLoss float64
+	// Match applies the configured loss threshold.
+	Match bool
+}
+
+// Detect recovers the mark from a (possibly attacked) table under the
+// secret key and compares it with the provenance record.
+func (f *Framework) Detect(tbl *relation.Table, prov Provenance, key crypt.WatermarkKey) (*Detection, error) {
+	columns, err := f.SpecsFromProvenance(prov)
+	if err != nil {
+		return nil, err
+	}
+	params, err := paramsFromProvenance(prov, key)
+	if err != nil {
+		return nil, err
+	}
+	res, err := watermark.Detect(tbl, prov.IdentCol, columns, params)
+	if err != nil {
+		return nil, err
+	}
+	loss, err := params.Mark.LossFraction(res.Mark)
+	if err != nil {
+		return nil, err
+	}
+	return &Detection{Result: res, MarkLoss: loss, Match: loss <= f.cfg.LossThreshold}, nil
+}
+
+// Dispute arbitrates ownership of a disputed table (§5.4). The owner's
+// claim is built from the provenance record plus the owner's key; rival
+// claims come as ownership.Claim values.
+func (f *Framework) Dispute(disputed *relation.Table, prov Provenance, ownerKey crypt.WatermarkKey, rivals []ownership.Claim) ([]ownership.Verdict, error) {
+	columns, err := f.SpecsFromProvenance(prov)
+	if err != nil {
+		return nil, err
+	}
+	params, err := paramsFromProvenance(prov, ownerKey)
+	if err != nil {
+		return nil, err
+	}
+	judge := ownership.Judge{
+		IdentCol:      prov.IdentCol,
+		Columns:       columns,
+		Tau:           f.cfg.Tau,
+		Quantum:       prov.Quantum,
+		LossThreshold: f.cfg.LossThreshold,
+	}
+	claims := append([]ownership.Claim{{
+		Claimant: "owner",
+		V:        prov.V,
+		Key:      ownerKey,
+		Params:   params,
+	}}, rivals...)
+	return judge.Resolve(disputed, claims)
+}

@@ -1,0 +1,221 @@
+// Package crypt provides the cryptographic substrate of the framework:
+//
+//   - H, the keyed hash the paper uses for secret tuple selection
+//     (Equation 5: H(ti.ident, k1) mod η = 0) and for pseudorandom index
+//     derivation inside Permutate. The paper suggests MD5 or SHA1; we use
+//     HMAC-SHA256, which keeps the required keyed-PRF contract with modern
+//     primitives.
+//
+//   - E, the one-to-one encryption the binning algorithm applies to
+//     identifying columns (Figure 8: ti.ident.val ← E(ti.ident.val)).
+//     The paper suggests DES or AES; we implement deterministic
+//     authenticated encryption: AES-256-CTR under a synthetic IV derived
+//     from the plaintext (SIV-style), so equal plaintexts map to equal
+//     ciphertexts (one-to-one replacement, required so that the encrypted
+//     identifier is a stable embedding anchor) and tampering is detected
+//     on decryption. Determinism over unique identifiers (SSNs) leaks
+//     nothing beyond equality, and identifiers are unique by definition.
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by Decrypt.
+var (
+	ErrCiphertextFormat = errors.New("crypt: malformed ciphertext")
+	ErrAuthentication   = errors.New("crypt: authentication failed")
+)
+
+// PRF is the keyed hash H of the paper. It is safe for concurrent use.
+type PRF struct {
+	key []byte
+}
+
+// NewPRF returns a PRF keyed with key. The key may be any length; it is
+// used as an HMAC-SHA256 key.
+func NewPRF(key []byte) *PRF {
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &PRF{key: k}
+}
+
+// Sum returns HMAC-SHA256(key, parts[0] || 0x00 || parts[1] || 0x00 ...).
+// Parts are length-prefixed to avoid ambiguity between concatenations.
+func (p *PRF) Sum(parts ...[]byte) []byte {
+	mac := hmac.New(sha256.New, p.key)
+	var lenBuf [8]byte
+	for _, part := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(part)))
+		mac.Write(lenBuf[:])
+		mac.Write(part)
+	}
+	return mac.Sum(nil)
+}
+
+// Uint64 interprets the first 8 bytes of Sum(parts...) as a big-endian
+// unsigned integer. This is the H(·) value used modulo η or |S| in the
+// watermarking algorithms.
+func (p *PRF) Uint64(parts ...[]byte) uint64 {
+	return binary.BigEndian.Uint64(p.Sum(parts...))
+}
+
+// Mod returns Uint64(parts...) mod m. m must be positive.
+func (p *PRF) Mod(m uint64, parts ...[]byte) uint64 {
+	if m == 0 {
+		panic("crypt: modulus must be positive")
+	}
+	return p.Uint64(parts...) % m
+}
+
+// Selects implements the paper's Equation (5): it reports whether the
+// tuple identified by ident is selected for embedding under parameter η.
+// η == 1 selects every tuple; larger η selects roughly a 1/η fraction.
+func (p *PRF) Selects(ident []byte, eta uint64) bool {
+	if eta == 0 {
+		return false
+	}
+	return p.Mod(eta, ident) == 0
+}
+
+// Cipher is the deterministic authenticated encryption E() applied to
+// identifying columns. It is safe for concurrent use.
+type Cipher struct {
+	block  cipher.Block
+	ivPRF  *PRF
+	tagPRF *PRF
+}
+
+// NewCipher derives a Cipher from a master key of any length. Independent
+// subkeys for encryption, IV synthesis and authentication are derived by
+// domain-separated HMAC.
+func NewCipher(masterKey []byte) (*Cipher, error) {
+	root := NewPRF(masterKey)
+	encKey := root.Sum([]byte("medshield/enc/v1"))
+	block, err := aes.NewCipher(encKey) // 32 bytes -> AES-256
+	if err != nil {
+		return nil, fmt.Errorf("crypt: %w", err)
+	}
+	return &Cipher{
+		block:  block,
+		ivPRF:  NewPRF(root.Sum([]byte("medshield/iv/v1"))),
+		tagPRF: NewPRF(root.Sum([]byte("medshield/tag/v1"))),
+	}, nil
+}
+
+const tagLen = 16
+
+// EncryptString encrypts a cell value, returning a compact base64 token.
+// Equal plaintexts yield equal tokens (deterministic one-to-one
+// replacement, as the binning algorithm requires).
+func (c *Cipher) EncryptString(plaintext string) string {
+	return base64.RawURLEncoding.EncodeToString(c.Encrypt([]byte(plaintext)))
+}
+
+// DecryptString reverses EncryptString.
+func (c *Cipher) DecryptString(token string) (string, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrCiphertextFormat, err)
+	}
+	pt, err := c.Decrypt(raw)
+	if err != nil {
+		return "", err
+	}
+	return string(pt), nil
+}
+
+// Encrypt produces iv || ctr(plaintext) || tag. The IV is a PRF of the
+// plaintext (synthetic IV), making encryption deterministic; the tag
+// authenticates iv||ciphertext.
+func (c *Cipher) Encrypt(plaintext []byte) []byte {
+	iv := c.ivPRF.Sum(plaintext)[:aes.BlockSize]
+	out := make([]byte, aes.BlockSize+len(plaintext)+tagLen)
+	copy(out, iv)
+	cipher.NewCTR(c.block, iv).XORKeyStream(out[aes.BlockSize:aes.BlockSize+len(plaintext)], plaintext)
+	tag := c.tagPRF.Sum(out[:aes.BlockSize+len(plaintext)])[:tagLen]
+	copy(out[aes.BlockSize+len(plaintext):], tag)
+	return out
+}
+
+// Decrypt verifies and reverses Encrypt.
+func (c *Cipher) Decrypt(raw []byte) ([]byte, error) {
+	if len(raw) < aes.BlockSize+tagLen {
+		return nil, ErrCiphertextFormat
+	}
+	body := raw[:len(raw)-tagLen]
+	tag := raw[len(raw)-tagLen:]
+	want := c.tagPRF.Sum(body)[:tagLen]
+	if subtle.ConstantTimeCompare(tag, want) != 1 {
+		return nil, ErrAuthentication
+	}
+	iv := body[:aes.BlockSize]
+	ct := body[aes.BlockSize:]
+	pt := make([]byte, len(ct))
+	cipher.NewCTR(c.block, iv).XORKeyStream(pt, ct)
+	// SIV check: the IV must match the plaintext-derived IV, otherwise the
+	// ciphertext was spliced from another message.
+	wantIV := c.ivPRF.Sum(pt)[:aes.BlockSize]
+	if subtle.ConstantTimeCompare(iv, wantIV) != 1 {
+		return nil, ErrAuthentication
+	}
+	return pt, nil
+}
+
+// WatermarkKey bundles the secret elements of the watermarking key
+// (Table 1 of the paper: k1, k2, η) together with the master encryption
+// key used by the binning agent for identifying columns. "Without having
+// possession of the secret watermarking key, no one can erase the inserted
+// mark from the data."
+type WatermarkKey struct {
+	// K1 drives tuple selection (Equation 5).
+	K1 []byte
+	// K2 drives index derivation and mark-position addressing inside
+	// Permutate. The paper stresses that distinct keys remove correlation
+	// between the two calculations.
+	K2 []byte
+	// Eta is the selection parameter η: roughly one tuple in Eta carries
+	// mark bits. Smaller η = more bandwidth = more resilience and more
+	// distortion (the trade-off of Figure 12).
+	Eta uint64
+	// Enc is the master key for the identifying-column cipher E().
+	Enc []byte
+}
+
+// NewWatermarkKeyFromSecret derives a full, independent key set from one
+// secret passphrase. Deterministic: the same secret always yields the same
+// keys, so a data owner can re-derive them for detection.
+func NewWatermarkKeyFromSecret(secret string, eta uint64) WatermarkKey {
+	root := NewPRF([]byte(secret))
+	return WatermarkKey{
+		K1:  root.Sum([]byte("k1")),
+		K2:  root.Sum([]byte("k2")),
+		Eta: eta,
+		Enc: root.Sum([]byte("enc")),
+	}
+}
+
+// Validate reports whether the key material is usable.
+func (k WatermarkKey) Validate() error {
+	if len(k.K1) == 0 {
+		return errors.New("crypt: empty K1")
+	}
+	if len(k.K2) == 0 {
+		return errors.New("crypt: empty K2")
+	}
+	if string(k.K1) == string(k.K2) {
+		return errors.New("crypt: K1 and K2 must differ (the paper requires uncorrelated calculations)")
+	}
+	if k.Eta == 0 {
+		return errors.New("crypt: Eta must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package datagen generates the synthetic clinical data set used by the
+// experiments. The paper evaluates on a real-world table of about 20,000
+// tuples with schema R(ssn, age, zip code, doctor, symptom, prescription);
+// that data set is not published, so this package substitutes a
+// deterministic, seeded generator (see DESIGN.md §2): same schema, same
+// size, skewed marginals and clinically plausible correlations
+// (age ↔ symptom chapter ↔ prescription class), so the binning and
+// watermarking code paths see realistic multiplicity histograms over the
+// DHT leaves.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dht"
+	"repro/internal/ontology"
+	"repro/internal/relation"
+)
+
+// Config controls generation.
+type Config struct {
+	// Rows is the number of tuples; the paper's data set has ~20,000.
+	Rows int
+	// Seed drives all randomness; equal seeds give equal tables.
+	Seed int64
+	// Correlate enables age→symptom and symptom→prescription skew
+	// (default true via New; disable for uniform stress tests).
+	Correlate bool
+	// ZipfS shapes the within-chapter leaf popularity (values near 1.1
+	// give a realistic head-heavy distribution). Must be > 1.
+	ZipfS float64
+}
+
+// DefaultConfig mirrors the paper's evaluation data set size.
+func DefaultConfig() Config {
+	return Config{Rows: 20000, Seed: 1, Correlate: true, ZipfS: 1.2}
+}
+
+// Generator produces synthetic clinical tables.
+type Generator struct {
+	cfg   Config
+	trees map[string]*dht.Tree
+}
+
+// New returns a generator over the builtin ontologies.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Rows <= 0 {
+		return nil, fmt.Errorf("datagen: Rows must be positive, got %d", cfg.Rows)
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("datagen: ZipfS must exceed 1, got %v", cfg.ZipfS)
+	}
+	return &Generator{cfg: cfg, trees: ontology.Trees()}, nil
+}
+
+// ageBands defines a mixture distribution over ages: pediatric, adult and
+// elderly peaks, mimicking hospital admission curves.
+// Ages stay below 100 so that high-age DHT nodes are empty rather than
+// sparsely populated: a maximal generalization node with a handful of
+// tuples would make the data unbinnable at large k (see binning.MonoBin).
+var ageBands = []struct {
+	lo, hi int
+	weight int
+}{
+	{0, 15, 12},  // pediatric
+	{15, 40, 22}, // young adult
+	{40, 65, 34}, // middle age
+	{65, 90, 28}, // elderly
+	{90, 100, 4}, // very old
+}
+
+// chapterWeightsByBand skews symptom chapters by age band index
+// (0=pediatric .. 4=very old). Chapters are indexed in the order of
+// ontology.Symptom's children.
+func chapterWeight(band, chapter int) int {
+	// base popularity
+	base := []int{10, 6, 8, 7, 7, 12, 12, 9, 7, 5, 8, 9}
+	w := base[chapter%len(base)]
+	switch band {
+	case 0: // pediatric: infections, respiratory, injuries up; circulatory down
+		switch chapter {
+		case 0, 6:
+			w *= 3
+		case 11:
+			w *= 2
+		case 5:
+			w = 1
+		}
+	case 3, 4: // elderly: circulatory, neoplasms, musculoskeletal up
+		switch chapter {
+		case 5:
+			w *= 3
+		case 1, 10:
+			w *= 2
+		}
+	}
+	return w
+}
+
+// Generate produces the table. It is deterministic in Config.
+func (g *Generator) Generate() (*relation.Table, error) {
+	rng := rand.New(rand.NewSource(g.cfg.Seed))
+	tbl := relation.NewTable(ontology.Schema())
+
+	symptomTree := g.trees[ontology.ColSymptom]
+	prescriptionTree := g.trees[ontology.ColPrescription]
+	zipTree := g.trees[ontology.ColZip]
+	doctorTree := g.trees[ontology.ColDoctor]
+
+	chapters := symptomTree.Children(symptomTree.Root())
+	classes := prescriptionTree.Children(prescriptionTree.Root())
+	classByValue := make(map[string]dht.NodeID, len(classes))
+	for _, c := range classes {
+		classByValue[prescriptionTree.Value(c)] = c
+	}
+	zipLeaves := zipTree.Leaves()
+	doctorLeaves := doctorTree.Leaves()
+
+	zipPick := newZipfPicker(rng, g.cfg.ZipfS, len(zipLeaves))
+	doctorPick := newZipfPicker(rng, g.cfg.ZipfS, len(doctorLeaves))
+
+	for i := 0; i < g.cfg.Rows; i++ {
+		ssn := formatSSN(i, rng)
+
+		band := pickBand(rng)
+		age := ageBands[band].lo + rng.Intn(ageBands[band].hi-ageBands[band].lo)
+
+		zip := zipTree.Value(zipLeaves[zipPick()])
+		doctor := doctorTree.Value(doctorLeaves[doctorPick()])
+
+		var chIdx int
+		if g.cfg.Correlate {
+			chIdx = pickWeighted(rng, len(chapters), func(c int) int { return chapterWeight(band, c) })
+		} else {
+			chIdx = rng.Intn(len(chapters))
+		}
+		chapter := chapters[chIdx]
+		symLeaves := symptomTree.LeavesUnder(chapter)
+		symptom := symptomTree.Value(symLeaves[zipfIndex(rng, g.cfg.ZipfS, len(symLeaves))])
+
+		var classNode dht.NodeID
+		chapterVal := symptomTree.Value(chapter)
+		if mapped, ok := ontology.SymptomChapterToPrescriptionClass[chapterVal]; g.cfg.Correlate && ok && rng.Float64() < 0.7 {
+			classNode = classByValue[mapped]
+		} else {
+			classNode = classes[rng.Intn(len(classes))]
+		}
+		drugLeaves := prescriptionTree.LeavesUnder(classNode)
+		prescription := prescriptionTree.Value(drugLeaves[zipfIndex(rng, g.cfg.ZipfS, len(drugLeaves))])
+
+		row := []string{
+			ssn,
+			fmt.Sprintf("%d", age),
+			zip,
+			doctor,
+			symptom,
+			prescription,
+		}
+		if err := tbl.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// Generate is a convenience wrapper: build a generator with cfg and run it.
+func Generate(cfg Config) (*relation.Table, error) {
+	g, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate()
+}
+
+// formatSSN renders a unique, realistic-looking SSN for row i. Uniqueness
+// comes from i; the area/group digits are randomized for realism.
+func formatSSN(i int, rng *rand.Rand) string {
+	return fmt.Sprintf("%03d-%02d-%04d", rng.Intn(899)+1, i/10000+10, i%10000)
+}
+
+func pickBand(rng *rand.Rand) int {
+	total := 0
+	for _, b := range ageBands {
+		total += b.weight
+	}
+	x := rng.Intn(total)
+	for i, b := range ageBands {
+		if x < b.weight {
+			return i
+		}
+		x -= b.weight
+	}
+	return len(ageBands) - 1
+}
+
+func pickWeighted(rng *rand.Rand, n int, weight func(int) int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += weight(i)
+	}
+	x := rng.Intn(total)
+	for i := 0; i < n; i++ {
+		w := weight(i)
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return n - 1
+}
+
+// newZipfPicker returns a function drawing Zipf-distributed indices in
+// [0,n) with a per-picker random permutation, so different attributes get
+// different popular leaves.
+func newZipfPicker(rng *rand.Rand, s float64, n int) func() int {
+	perm := rng.Perm(n)
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return func() int { return perm[int(z.Uint64())] }
+}
+
+// zipfIndex draws one Zipf-distributed index in [0,n).
+func zipfIndex(rng *rand.Rand, s float64, n int) int {
+	if n == 1 {
+		return 0
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return int(z.Uint64())
+}

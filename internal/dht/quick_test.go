@@ -1,0 +1,218 @@
+package dht
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTree builds a random categorical tree with the given RNG:
+// bounded depth and fanout, unique values.
+func randomTree(rng *rand.Rand) *Tree {
+	counter := 0
+	var build func(depth int) Spec
+	build = func(depth int) Spec {
+		counter++
+		s := Spec{Value: nodeName(counter)}
+		if depth >= 4 {
+			return s
+		}
+		fanout := rng.Intn(4) // 0..3 children
+		if depth == 0 && fanout < 2 {
+			fanout = 2 // roots get at least two children
+		}
+		if fanout == 1 {
+			fanout = 2 // avoid single-child nodes like the builders do
+		}
+		for i := 0; i < fanout; i++ {
+			s.Children = append(s.Children, build(depth+1))
+		}
+		return s
+	}
+	tree, err := NewCategorical("rand", build(0))
+	if err != nil {
+		panic(err)
+	}
+	return tree
+}
+
+func nodeName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	name := []byte{}
+	for i > 0 {
+		name = append(name, letters[i%26])
+		i /= 26
+	}
+	return "n" + string(name)
+}
+
+// randomFrontier walks up from the leaf frontier with random merges.
+func randomFrontier(tree *Tree, rng *rand.Rand) GenSet {
+	g := LeafGenSet(tree)
+	steps := rng.Intn(tree.Size())
+	for i := 0; i < steps; i++ {
+		cands := g.MergeCandidates()
+		if len(cands) == 0 {
+			break
+		}
+		next, err := g.MergeAt(cands[rng.Intn(len(cands))])
+		if err != nil {
+			panic(err)
+		}
+		g = next
+	}
+	return g
+}
+
+// Property: random frontiers are valid, totally cover leaves, and sit
+// within the lattice bounds.
+func TestQuickRandomFrontierInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomTree(rng)
+		g := randomFrontier(tree, rng)
+		// revalidation via the constructor
+		if _, err := NewGenSet(tree, g.Nodes()); err != nil {
+			return false
+		}
+		for _, leaf := range tree.Leaves() {
+			if _, ok := g.CoverOf(leaf); !ok {
+				return false
+			}
+		}
+		return LeafGenSet(tree).AtOrBelow(g) && g.AtOrBelow(RootGenSet(tree))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GeneralizeValue is idempotent — generalizing a generalized
+// value yields itself.
+func TestQuickGeneralizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomTree(rng)
+		g := randomFrontier(tree, rng)
+		for _, leaf := range tree.Leaves() {
+			v1, err := g.GeneralizeValue(tree.Value(leaf))
+			if err != nil {
+				return false
+			}
+			v2, err := g.GeneralizeValue(v1)
+			if err != nil || v1 != v2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every frontier enumerated between a random lower bound and
+// the root is within bounds and unique; the lower bound itself and the
+// upper bound are always among the results.
+func TestQuickEnumerateBetweenBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomTree(rng)
+		lower := randomFrontier(tree, rng)
+		upper := RootGenSet(tree)
+		seen := make(map[string]bool)
+		sawLower, sawUpper := false, false
+		count := 0
+		err := EnumerateBetween(lower, upper, func(g GenSet) bool {
+			count++
+			if count > 3000 {
+				return false // cap explosion; partial check is fine
+			}
+			if !lower.AtOrBelow(g) || !g.AtOrBelow(upper) {
+				return false
+			}
+			key := g.String()
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+			if g.Equal(lower) {
+				sawLower = true
+			}
+			if g.Equal(upper) {
+				sawUpper = true
+			}
+			return true
+		})
+		if err != nil {
+			return false
+		}
+		if count > 3000 {
+			return true // truncated run: uniqueness+bounds verified so far
+		}
+		return sawLower && sawUpper && len(seen) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SplitAt and MergeAt are inverses wherever both apply.
+func TestQuickSplitMergeInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomTree(rng)
+		g := randomFrontier(tree, rng)
+		for _, nd := range g.Nodes() {
+			if tree.Node(nd).IsLeaf() {
+				continue
+			}
+			split, err := g.SplitAt(nd)
+			if err != nil {
+				return false
+			}
+			back, err := split.MergeAt(nd)
+			if err != nil || !back.Equal(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SpecificityLoss is antitone along merges (generalizing more
+// loses more specificity) and bounded by [0, 1).
+func TestQuickSpecificityLossMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomTree(rng)
+		g := LeafGenSet(tree)
+		prev := g.SpecificityLoss()
+		if prev != 0 {
+			return false
+		}
+		for {
+			cands := g.MergeCandidates()
+			if len(cands) == 0 {
+				break
+			}
+			next, err := g.MergeAt(cands[rng.Intn(len(cands))])
+			if err != nil {
+				return false
+			}
+			loss := next.SpecificityLoss()
+			if loss < prev || loss >= 1 {
+				return false
+			}
+			prev = loss
+			g = next
+		}
+		return g.Equal(RootGenSet(tree))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,308 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7), plus the experimentally checkable in-text
+// claims. Each runner returns a printable Table whose rows mirror what
+// the paper reports; cmd/experiments renders them and bench_test.go wraps
+// each in a testing.B benchmark. See DESIGN.md §3 for the experiment
+// index (E1..E9) and EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/binning"
+	"repro/internal/bitstr"
+	"repro/internal/crypt"
+	"repro/internal/datagen"
+	"repro/internal/dht"
+	"repro/internal/infoloss"
+	"repro/internal/ontology"
+	"repro/internal/ownership"
+	"repro/internal/relation"
+	"repro/internal/watermark"
+)
+
+// Config parameterizes an experiment run. Zero values default to the
+// paper's setting: 20,000 tuples, a 20-bit mark.
+type Config struct {
+	// Rows is the synthetic data set size (paper: ~20,000).
+	Rows int
+	// Seed drives the synthetic data and the attack randomness.
+	Seed int64
+	// MarkBits is |wm| (paper: 20).
+	MarkBits int
+	// Duplication is the mark replication factor l.
+	Duplication int
+	// Secret derives the watermarking key set.
+	Secret string
+}
+
+// Defaults fills in the paper's parameters.
+func (c Config) Defaults() Config {
+	if c.Rows == 0 {
+		c.Rows = 20000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MarkBits == 0 {
+		c.MarkBits = 20
+	}
+	if c.Duplication == 0 {
+		c.Duplication = 4
+	}
+	if c.Secret == "" {
+		c.Secret = "experiments-owner-secret"
+	}
+	return c
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E2 / Figure 12(a)").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data rows, already formatted.
+	Rows [][]string
+	// Notes carry caveats (e.g. voting-strength differences vs the paper).
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// pct formats a fraction as a percentage with one decimal.
+func pct(f float64) string { return fmt.Sprintf("%.1f", f*100) }
+
+// generate builds the synthetic evaluation data set.
+func generate(cfg Config) (*relation.Table, error) {
+	return datagen.Generate(datagen.Config{
+		Rows: cfg.Rows, Seed: cfg.Seed, Correlate: true, ZipfS: 1.2,
+	})
+}
+
+// FrontierAtDepth returns the valid generalization whose members are the
+// nodes at the given depth (or shallower leaves). It is how the
+// experiments state usage metrics "directly given as maximal
+// generalization nodes" (the paper's §7 simplification).
+func FrontierAtDepth(tree *dht.Tree, depth int) (dht.GenSet, error) {
+	var members []dht.NodeID
+	var walk func(nd dht.NodeID)
+	walk = func(nd dht.NodeID) {
+		n := tree.Node(nd)
+		if n.Depth == depth || n.IsLeaf() {
+			members = append(members, nd)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree.Root())
+	return dht.NewGenSet(tree, members)
+}
+
+// defaultMaxGens states the experiments' usage metrics: regions for zip,
+// chapters for symptom, classes for prescription, staff categories for
+// doctor, quarter-domain intervals for age.
+func defaultMaxGens(trees map[string]*dht.Tree) (map[string]dht.GenSet, error) {
+	depths := map[string]int{
+		ontology.ColAge:          2,
+		ontology.ColZip:          1,
+		ontology.ColDoctor:       2,
+		ontology.ColSymptom:      1,
+		ontology.ColPrescription: 1,
+	}
+	out := make(map[string]dht.GenSet, len(trees))
+	for col, tree := range trees {
+		d, ok := depths[col]
+		if !ok {
+			d = 1
+		}
+		g, err := FrontierAtDepth(tree, d)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", col, err)
+		}
+		out[col] = g
+	}
+	return out, nil
+}
+
+// wmSetup is the shared fixture of the watermarking experiments: the
+// original table, its per-column mono-binned version (identifiers
+// encrypted), and the watermark column specs.
+type wmSetup struct {
+	cfg      Config
+	original *relation.Table
+	binned   *relation.Table
+	columns  map[string]watermark.ColumnSpec
+	trees    map[string]*dht.Tree
+	identCol string
+	mark     bitstr.Bits
+}
+
+// key derives the experiment key set for a given η.
+func (s *wmSetup) key(eta uint64) crypt.WatermarkKey {
+	return crypt.NewWatermarkKeyFromSecret(s.cfg.Secret, eta)
+}
+
+// params builds watermark parameters for a given η.
+func (s *wmSetup) params(eta uint64) watermark.Params {
+	return watermark.Params{
+		Key:                    s.key(eta),
+		Mark:                   s.mark,
+		Duplication:            s.cfg.Duplication,
+		SaltPositionWithColumn: true,
+	}
+}
+
+// newWatermarkSetup generates data, states the usage metrics as maximal
+// generalization nodes (§7's simplification), mono-bins every quasi
+// column downward at k, encrypts identifiers, and derives the ownership
+// mark — the common preparation of the Figure 12/13/14 experiments.
+func newWatermarkSetup(cfg Config, k int) (*wmSetup, error) {
+	cfg = cfg.Defaults()
+	original, err := generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	trees := ontology.Trees()
+	maxGens, err := defaultMaxGens(trees)
+	if err != nil {
+		return nil, err
+	}
+	identCol := original.Schema().IdentColumns()[0]
+
+	key := crypt.NewWatermarkKeyFromSecret(cfg.Secret, 75)
+	cipher, err := crypt.NewCipher(key.Enc)
+	if err != nil {
+		return nil, err
+	}
+	mark, _, err := ownership.OwnerMark(original, identCol, 1e6, cfg.MarkBits)
+	if err != nil {
+		return nil, err
+	}
+
+	binned := original.Clone()
+	columns := make(map[string]watermark.ColumnSpec, len(trees))
+	for _, col := range original.Schema().QuasiColumns() {
+		values, err := binned.Column(col)
+		if err != nil {
+			return nil, err
+		}
+		ulti, _, err := binning.MonoBin(trees[col], maxGens[col], values, k, false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mono-binning %s at k=%d: %w", col, k, err)
+		}
+		ci, _ := binned.Schema().Index(col)
+		for i := 0; i < binned.NumRows(); i++ {
+			v, err := ulti.GeneralizeValue(binned.CellAt(i, ci))
+			if err != nil {
+				return nil, err
+			}
+			binned.SetCellAt(i, ci, v)
+		}
+		columns[col] = watermark.ColumnSpec{Tree: trees[col], MaxGen: maxGens[col], UltiGen: ulti}
+	}
+	identIdx, _ := binned.Schema().Index(identCol)
+	for i := 0; i < binned.NumRows(); i++ {
+		binned.SetCellAt(i, identIdx, cipher.EncryptString(binned.CellAt(i, identIdx)))
+	}
+
+	return &wmSetup{
+		cfg:      cfg,
+		original: original,
+		binned:   binned,
+		columns:  columns,
+		trees:    trees,
+		identCol: identCol,
+		mark:     mark,
+	}, nil
+}
+
+// frontierValues lists the legal (frontier) values of a column — the
+// value pool attackers draw plausible replacements from.
+func (s *wmSetup) frontierValues() map[string][]string {
+	out := make(map[string][]string, len(s.columns))
+	for col, spec := range s.columns {
+		out[col] = spec.UltiGen.Values()
+	}
+	return out
+}
+
+// columnLossAvg computes the Equation (3) average loss of a frontier
+// assignment against the original histograms.
+func columnLossAvg(s *wmSetup, gens map[string]dht.GenSet) (float64, error) {
+	var losses []float64
+	for col, gen := range gens {
+		values, err := s.original.Column(col)
+		if err != nil {
+			return 0, err
+		}
+		hist, err := infoloss.LeafHistogram(s.trees[col], values)
+		if err != nil {
+			return 0, err
+		}
+		l, err := infoloss.ColumnLoss(gen, hist)
+		if err != nil {
+			return 0, err
+		}
+		losses = append(losses, l)
+	}
+	return infoloss.NormalizedLoss(losses), nil
+}

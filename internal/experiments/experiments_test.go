@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+)
+
+// small keeps experiment tests fast while exercising the full code paths.
+func small() Config {
+	return Config{Rows: 4000, Seed: 3, MarkBits: 20, Duplication: 4, Secret: "test-secret"}
+}
+
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFigure11Shape(t *testing.T) {
+	tbl, err := Figure11(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Multi-attribute loss must dominate mono-attribute loss at every k
+	// (the paper's headline observation).
+	for i := range tbl.Rows {
+		mono := cell(t, tbl, i, 1)
+		multi := cell(t, tbl, i, 2)
+		if multi < mono {
+			t.Errorf("k=%s: multi %v < mono %v", tbl.Rows[i][0], multi, mono)
+		}
+	}
+	// Both curves are monotonically non-decreasing in k (within a small
+	// tolerance for the greedy search).
+	for i := 1; i < len(tbl.Rows); i++ {
+		if cell(t, tbl, i, 1)+1e-9 < cell(t, tbl, i-1, 1)-2 {
+			t.Errorf("mono loss dropped sharply at k=%s", tbl.Rows[i][0])
+		}
+	}
+	// Saturation: the last two multi values are close.
+	last := cell(t, tbl, len(tbl.Rows)-1, 2)
+	prev := cell(t, tbl, len(tbl.Rows)-2, 2)
+	if last-prev > 10 {
+		t.Errorf("multi loss still rising steeply at the end: %v -> %v", prev, last)
+	}
+}
+
+func TestFigure12aShape(t *testing.T) {
+	tbl, err := Figure12a(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(figure12Fracs) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Zero attack -> zero loss for every eta.
+	for col := 1; col <= 3; col++ {
+		if loss := cell(t, tbl, 0, col); loss != 0 {
+			t.Errorf("0%% alteration, col %d: loss %v", col, loss)
+		}
+	}
+	// Survival: at 70% alteration the mark loss stays at or below the
+	// paper's ~30%.
+	for col := 1; col <= 3; col++ {
+		if loss := cell(t, tbl, 7, col); loss > 35 {
+			t.Errorf("70%% alteration, col %d: loss %v > 35", col, loss)
+		}
+	}
+}
+
+func TestFigure12bShape(t *testing.T) {
+	tbl, err := Figure12b(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col <= 3; col++ {
+		if loss := cell(t, tbl, 0, col); loss != 0 {
+			t.Errorf("0%% addition, col %d: loss %v", col, loss)
+		}
+		if loss := cell(t, tbl, len(tbl.Rows)-1, col); loss > 30 {
+			t.Errorf("90%% addition, col %d: loss %v > 30 (bogus bits must not dominate)", col, loss)
+		}
+	}
+}
+
+func TestFigure12cShape(t *testing.T) {
+	tbl, err := Figure12c(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col <= 3; col++ {
+		if loss := cell(t, tbl, 0, col); loss != 0 {
+			t.Errorf("0%% deletion, col %d: loss %v", col, loss)
+		}
+		if loss := cell(t, tbl, 7, col); loss > 35 {
+			t.Errorf("70%% deletion, col %d: loss %v > 35", col, loss)
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	tbl, err := Figure13(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Loss is minor (paper: single digits) and non-increasing in η.
+	prev := 1e9
+	for i := range tbl.Rows {
+		loss := cell(t, tbl, i, 3)
+		if loss > 10 {
+			t.Errorf("η=%s: watermark info loss %v%% not minor", tbl.Rows[i][0], loss)
+		}
+		if loss > prev+0.5 {
+			t.Errorf("loss grew with η at row %d: %v after %v", i, loss, prev)
+		}
+		prev = loss
+	}
+	// More marked tuples at smaller η.
+	if cell(t, tbl, 0, 1) <= cell(t, tbl, len(tbl.Rows)-1, 1) {
+		t.Error("η=50 should select more tuples than η=200")
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	tbl, err := Figure14(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if len(tbl.Header) != 6 { // k + 5 attributes
+		t.Fatalf("header = %v", tbl.Header)
+	}
+	for _, row := range tbl.Rows {
+		for col := 1; col < len(row); col++ {
+			parts := strings.Fields(row[col])
+			if len(parts) != 3 {
+				t.Fatalf("cell %q malformed", row[col])
+			}
+			total, _ := strconv.Atoi(parts[0])
+			changed, _ := strconv.Atoi(parts[1])
+			belowK, _ := strconv.Atoi(parts[2])
+			if total <= 0 {
+				t.Errorf("k=%s %s: no bins", row[0], tbl.Header[col])
+			}
+			if changed > total {
+				t.Errorf("k=%s %s: changed %d > total %d", row[0], tbl.Header[col], changed, total)
+			}
+			// The paper's key claim: zero bins below k.
+			if belowK != 0 {
+				t.Errorf("k=%s %s: %d bins below k", row[0], tbl.Header[col], belowK)
+			}
+		}
+	}
+}
+
+func TestSeamlessnessShape(t *testing.T) {
+	tbl, err := Seamlessness(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		out, _ := strconv.Atoi(row[2])
+		in, _ := strconv.Atoi(row[3])
+		if out != in {
+			t.Errorf("%s: total out %d != total in %d (flow must conserve)", row[0], out, in)
+		}
+		rel, _ := strconv.ParseFloat(row[6], 64)
+		// Lemmas 1-2 under the paper's relaxed reading: per-run net bin
+		// drift is a small fraction of bin size (no bin "drastically
+		// affected"). 10% is far above the observed noise.
+		if out > 0 && rel > 10 {
+			t.Errorf("%s: per-run net drift %v%% of bin size; Pr− ≈ Pr+ violated", row[0], rel)
+		}
+	}
+}
+
+func TestGeneralizationAttackShape(t *testing.T) {
+	tbl, err := GeneralizationAttack(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// level 0: both schemes clean.
+	if cell(t, tbl, 0, 1) != 0 || cell(t, tbl, 0, 2) != 0 {
+		t.Errorf("clean losses: %v %v", tbl.Rows[0][1], tbl.Rows[0][2])
+	}
+	// level 1: single-level destroyed (≈ fraction of 1-bits ≥ 30%),
+	// hierarchical survives (small loss).
+	single := cell(t, tbl, 1, 1)
+	hier := cell(t, tbl, 1, 2)
+	if single < 25 {
+		t.Errorf("single-level loss %v after 1-level attack; paper says destroyed", single)
+	}
+	if hier > 10 {
+		t.Errorf("hierarchical loss %v after 1-level attack; paper says resilient", hier)
+	}
+	if hier >= single {
+		t.Errorf("hierarchical (%v) must beat single-level (%v)", hier, single)
+	}
+}
+
+func TestDownUpAblationShape(t *testing.T) {
+	tbl, err := DownUpAblation(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// At the largest k the downward search must visit fewer nodes: the
+	// minimal frontier sits near the maximal nodes where it starts.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	down, _ := strconv.Atoi(last[1])
+	up, _ := strconv.Atoi(last[2])
+	if down >= up {
+		t.Errorf("k=%s: downward visited %d >= upward %d", last[0], down, up)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"T — demo", "long-column", "333333", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFrontierAtDepth(t *testing.T) {
+	tree := ontology.Zip()
+	g, err := FrontierAtDepth(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 4 {
+		t.Errorf("regions = %d, want 4", g.Len())
+	}
+	g, err = FrontierAtDepth(tree, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != tree.NumLeaves() {
+		t.Errorf("deep frontier should be all leaves")
+	}
+	g, err = FrontierAtDepth(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Errorf("depth 0 should be the root")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Rows != 20000 || c.MarkBits != 20 || c.Duplication != 4 || c.Secret == "" || c.Seed == 0 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestWeightedVotingAblationShape(t *testing.T) {
+	tbl, err := WeightedVotingAblation(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		unweighted := cell(t, tbl, i, 1)
+		weighted := cell(t, tbl, i, 2)
+		if weighted > unweighted {
+			t.Errorf("attacked %s%%: weighted %v beats unweighted %v the wrong way",
+				tbl.Rows[i][0], weighted, unweighted)
+		}
+	}
+	// At full attack strength weighted voting must keep the mark intact
+	// (the §5.3 policy's purpose) while unweighted suffers.
+	last := len(tbl.Rows) - 1
+	if w := cell(t, tbl, last, 2); w > 10 {
+		t.Errorf("weighted loss %v at full attack; top level should recover the mark", w)
+	}
+}
+
+func TestSwappingAblationShape(t *testing.T) {
+	tbl, err := SwappingAblation(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		plain, _ := strconv.ParseFloat(row[1], 64)
+		swapped, _ := strconv.ParseFloat(row[2], 64)
+		// Swapping must not blow the drift up; both stay small.
+		if plain > 10 || swapped > 10 {
+			t.Errorf("%s: drift plain=%v swapped=%v too large", row[0], plain, swapped)
+		}
+		moved, _ := strconv.Atoi(row[3])
+		if moved == 0 {
+			t.Errorf("%s: no tuples swapped", row[0])
+		}
+	}
+}
+
+func TestReIdentificationShape(t *testing.T) {
+	tbl, err := ReIdentification(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The naive release re-identifies most tuples...
+	if rate := cell(t, tbl, 0, 2); rate < 50 {
+		t.Errorf("naive re-identification rate %v%%, expected most tuples unique", rate)
+	}
+	// ...every binned release re-identifies none, with candidate sets >= k.
+	ks := []float64{5, 10, 25, 50}
+	for i := 1; i < len(tbl.Rows); i++ {
+		if n := cell(t, tbl, i, 1); n != 0 {
+			t.Errorf("%s: %v tuples re-identified", tbl.Rows[i][0], n)
+		}
+		if min := cell(t, tbl, i, 3); min > 0 && min < ks[i-1] {
+			t.Errorf("%s: min candidates %v < k", tbl.Rows[i][0], min)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/anonymity"
+	"repro/internal/watermark"
+)
+
+// Seamlessness empirically validates Lemmas 1 and 2 of Section 6 (E7):
+// for any bin, the probability that one bit-embedding removes a tuple
+// (Pr−) equals the probability that it adds one (Pr+), so watermarking
+// neither shrinks nor grows bins on average. The experiment embeds under
+// many independent keys and reports, per column, the per-bin outflow and
+// inflow rates and their mean absolute difference — which should be
+// within sampling error of zero.
+func Seamlessness(cfg Config) (*Table, error) {
+	cfg = cfg.Defaults()
+	setup, err := newWatermarkSetup(cfg, 20)
+	if err != nil {
+		return nil, err
+	}
+	const eta = 50
+	const trials = 10
+
+	quasi := setup.binned.Schema().QuasiColumns()
+	type agg struct {
+		out, in int
+		size    int
+	}
+	perCol := make(map[string]map[string]*agg, len(quasi))
+	for _, col := range quasi {
+		perCol[col] = make(map[string]*agg)
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		params := setup.params(eta)
+		params.Key.K1 = append([]byte{byte(trial)}, params.Key.K1...)
+		params.Key.K2 = append([]byte{byte(trial)}, params.Key.K2...)
+		marked := setup.binned.Clone()
+		if _, err := watermark.Embed(marked, setup.identCol, setup.columns, params); err != nil {
+			return nil, err
+		}
+		for _, col := range quasi {
+			flows, err := anonymity.Flow(setup.binned, marked, []string{col})
+			if err != nil {
+				return nil, err
+			}
+			for key, f := range flows {
+				a := perCol[col][key]
+				if a == nil {
+					a = &agg{size: f.Before}
+					perCol[col][key] = a
+				}
+				a.out += f.Out
+				a.in += f.In
+			}
+		}
+	}
+
+	out := &Table{
+		ID:    "E7 / §6 Lemmas 1-2",
+		Title: "seamlessness: per-bin outflow (Pr−) vs inflow (Pr+) under repeated embeddings",
+		Header: []string{
+			"column", "bins", "total out", "total in",
+			"net drift/bin/run", "mean bin size", "drift/size %",
+		},
+		Notes: []string{
+			fmt.Sprintf("%d independent keys, η=%d; Lemmas 1-2 predict out ≈ in, so per-run net drift should be a tiny fraction of bin size", trials, eta),
+		},
+	}
+	for _, col := range quasi {
+		bins := perCol[col]
+		totalOut, totalIn := 0, 0
+		sumDiff, sumSize := 0.0, 0.0
+		n := 0
+		for _, a := range bins {
+			totalOut += a.out
+			totalIn += a.in
+			sumDiff += math.Abs(float64(a.out-a.in)) / trials
+			sumSize += float64(a.size)
+			n++
+		}
+		meanDrift, meanSize, rel := 0.0, 0.0, 0.0
+		if n > 0 {
+			meanDrift = sumDiff / float64(n)
+			meanSize = sumSize / float64(n)
+			if meanSize > 0 {
+				rel = meanDrift / meanSize
+			}
+		}
+		out.Rows = append(out.Rows, []string{
+			col,
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", totalOut),
+			fmt.Sprintf("%d", totalIn),
+			fmt.Sprintf("%.2f", meanDrift),
+			fmt.Sprintf("%.0f", meanSize),
+			pct(rel),
+		})
+	}
+	return out, nil
+}

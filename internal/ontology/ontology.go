@@ -1,0 +1,490 @@
+// Package ontology provides the builtin domain hierarchy trees used by the
+// experiments, mirroring the preprocessing step of the paper's Section 7:
+// "we created a DHT for each quasi-identifying column: the DHT for symptom
+// is based on the International Classification of Diseases (ICD-9), and
+// other attributes are on self-defined ontology, e.g., that for age is
+// similar to Figure 3 but of narrower intervals."
+//
+// The trees model the schema R(ssn, age, zip_code, doctor, symptom,
+// prescription):
+//
+//   - age:          binary interval DHT over [0, 150) with 5-year leaves
+//   - zip_code:     geographic prefix hierarchy (region → state → ZIP3 → ZIP5)
+//   - doctor:       role hierarchy shaped like Figure 1 of the paper
+//   - symptom:      ICD-9-like chapter → subchapter → condition hierarchy
+//   - prescription: ATC-like class → subclass → drug hierarchy
+//
+// All builders are deterministic; tree construction panics only on
+// programmer error in the builtin data (covered by tests).
+package ontology
+
+import (
+	"fmt"
+
+	"repro/internal/dht"
+	"repro/internal/relation"
+)
+
+// Column names of the builtin schema (the paper's evaluation schema).
+const (
+	ColSSN          = "ssn"
+	ColAge          = "age"
+	ColZip          = "zip_code"
+	ColDoctor       = "doctor"
+	ColSymptom      = "symptom"
+	ColPrescription = "prescription"
+)
+
+// Schema returns the evaluation schema R(ssn, age, zip_code, doctor,
+// symptom, prescription) with one identifying and five quasi-identifying
+// columns, exactly as in Section 7 of the paper.
+func Schema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: ColSSN, Kind: relation.Identifying},
+		relation.Column{Name: ColAge, Kind: relation.QuasiNumeric},
+		relation.Column{Name: ColZip, Kind: relation.QuasiCategorical},
+		relation.Column{Name: ColDoctor, Kind: relation.QuasiCategorical},
+		relation.Column{Name: ColSymptom, Kind: relation.QuasiCategorical},
+		relation.Column{Name: ColPrescription, Kind: relation.QuasiCategorical},
+	)
+}
+
+// Trees returns the builtin DHT for every quasi-identifying column of
+// Schema, keyed by column name.
+func Trees() map[string]*dht.Tree {
+	return map[string]*dht.Tree{
+		ColAge:          Age(),
+		ColZip:          Zip(),
+		ColDoctor:       Doctor(),
+		ColSymptom:      Symptom(),
+		ColPrescription: Prescription(),
+	}
+}
+
+// Age returns the binary interval DHT for ages, domain [0,150) with
+// 5-year leaf intervals ("similar to Figure 3 but of narrower intervals").
+func Age() *dht.Tree {
+	t, err := dht.NewNumericUniform(ColAge, 0, 150, 5)
+	if err != nil {
+		panic(fmt.Sprintf("ontology: age tree: %v", err))
+	}
+	return t
+}
+
+// zipData maps region → state → list of ZIP3 prefixes. Each prefix
+// expands into three ZIP5 leaves (prefix + "01".."03").
+var zipData = []struct {
+	region string
+	states []struct {
+		state    string
+		prefixes []string
+	}
+}{
+	{"Northeast", []struct {
+		state    string
+		prefixes []string
+	}{
+		{"NY", []string{"100", "112", "130"}},
+		{"MA", []string{"015", "021", "027"}},
+		{"PA", []string{"152", "175", "191"}},
+	}},
+	{"South", []struct {
+		state    string
+		prefixes []string
+	}{
+		{"TX", []string{"750", "770", "787"}},
+		{"FL", []string{"322", "328", "331"}},
+		{"GA", []string{"303", "314", "319"}},
+	}},
+	{"Midwest", []struct {
+		state    string
+		prefixes []string
+	}{
+		{"IL", []string{"606", "617", "625"}},
+		{"OH", []string{"432", "441", "452"}},
+		{"MI", []string{"482", "489", "495"}},
+	}},
+	{"West", []struct {
+		state    string
+		prefixes []string
+	}{
+		{"CA", []string{"900", "921", "941"}},
+		{"WA", []string{"981", "983", "992"}},
+		{"AZ", []string{"850", "857", "863"}},
+	}},
+}
+
+// Zip returns the geographic prefix DHT: USA → region → state → "ddd**"
+// ZIP3 prefix → five-digit ZIP leaves. 4 regions, 12 states, 36 prefixes,
+// 108 ZIP5 leaves.
+func Zip() *dht.Tree {
+	root := dht.Spec{Value: "USA"}
+	for _, reg := range zipData {
+		regSpec := dht.Spec{Value: reg.region}
+		for _, st := range reg.states {
+			stSpec := dht.Spec{Value: st.state}
+			for _, pfx := range st.prefixes {
+				pfxSpec := dht.Spec{Value: pfx + "**"}
+				for i := 1; i <= 3; i++ {
+					pfxSpec.Children = append(pfxSpec.Children,
+						dht.Spec{Value: fmt.Sprintf("%s%02d", pfx, i)})
+				}
+				stSpec.Children = append(stSpec.Children, pfxSpec)
+			}
+			regSpec.Children = append(regSpec.Children, stSpec)
+		}
+		root.Children = append(root.Children, regSpec)
+	}
+	t, err := dht.NewCategorical(ColZip, root)
+	if err != nil {
+		panic(fmt.Sprintf("ontology: zip tree: %v", err))
+	}
+	return t
+}
+
+// Doctor returns the person-role DHT shaped like Figure 1 of the paper:
+// the root distinguishes no specificity; leaves are particular roles.
+func Doctor() *dht.Tree {
+	t, err := dht.NewCategorical(ColDoctor, dht.Spec{
+		Value: "Person",
+		Children: []dht.Spec{
+			{Value: "Medical Staff", Children: []dht.Spec{
+				{Value: "Doctor", Children: []dht.Spec{
+					{Value: "Specialist", Children: []dht.Spec{
+						{Value: "Cardiologist"},
+						{Value: "Oncologist"},
+						{Value: "Neurologist"},
+						{Value: "Radiologist"},
+						{Value: "Psychiatrist"},
+						{Value: "Dermatologist"},
+					}},
+					{Value: "General Practice", Children: []dht.Spec{
+						{Value: "Family Physician"},
+						{Value: "Internist"},
+						{Value: "Pediatrician"},
+						{Value: "Geriatrician"},
+					}},
+					{Value: "Surgical", Children: []dht.Spec{
+						{Value: "General Surgeon"},
+						{Value: "Orthopedic Surgeon"},
+						{Value: "Neurosurgeon"},
+					}},
+				}},
+				{Value: "Paramedic", Children: []dht.Spec{
+					{Value: "Pharmacist"},
+					{Value: "Nurse"},
+					{Value: "Consultant"},
+					{Value: "Midwife"},
+					{Value: "Physiotherapist"},
+				}},
+			}},
+			{Value: "Support Staff", Children: []dht.Spec{
+				{Value: "Administrative", Children: []dht.Spec{
+					{Value: "Clerk"},
+					{Value: "Registrar"},
+					{Value: "Billing Officer"},
+				}},
+				{Value: "Technical", Children: []dht.Spec{
+					{Value: "Lab Technician"},
+					{Value: "Imaging Technician"},
+					{Value: "Orderly"},
+				}},
+			}},
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("ontology: doctor tree: %v", err))
+	}
+	return t
+}
+
+// symptomData maps ICD-9-like chapter → subchapter → leaf conditions.
+// Leaf values carry their code range prefix so all values are unique.
+var symptomData = []struct {
+	chapter string
+	subs    []struct {
+		sub    string
+		leaves []string
+	}
+}{
+	{"001-139 Infectious And Parasitic Diseases", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"001-009 Intestinal Infectious Diseases", []string{
+			"003 Salmonella infection", "004 Shigellosis", "008 Viral enteritis", "009 Infectious colitis"}},
+		{"010-018 Tuberculosis", []string{
+			"011 Pulmonary tuberculosis", "013 CNS tuberculosis", "015 Bone tuberculosis"}},
+		{"042-054 HIV And Viral Infections", []string{
+			"042 HIV disease", "052 Chickenpox", "053 Herpes zoster", "054 Herpes simplex"}},
+		{"070-079 Other Viral Diseases", []string{
+			"070 Viral hepatitis", "075 Mononucleosis", "078 Viral warts", "079 Viral infection NOS"}},
+	}},
+	{"140-239 Neoplasms", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"140-149 Oral Cavity Neoplasms", []string{
+			"141 Tongue neoplasm", "145 Mouth neoplasm", "146 Oropharynx neoplasm"}},
+		{"150-159 Digestive Organ Neoplasms", []string{
+			"151 Stomach neoplasm", "153 Colon neoplasm", "155 Liver neoplasm", "157 Pancreas neoplasm"}},
+		{"160-165 Respiratory Neoplasms", []string{
+			"162 Lung neoplasm", "161 Larynx neoplasm", "163 Pleura neoplasm"}},
+		{"174-175 Breast Neoplasms", []string{
+			"174 Female breast neoplasm", "175 Male breast neoplasm"}},
+		{"200-208 Lymphatic Neoplasms", []string{
+			"201 Hodgkin disease", "202 Lymphoma", "204 Lymphoid leukemia", "205 Myeloid leukemia"}},
+	}},
+	{"240-279 Endocrine And Metabolic Diseases", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"240-246 Thyroid Disorders", []string{
+			"241 Nontoxic goiter", "242 Thyrotoxicosis", "244 Hypothyroidism", "245 Thyroiditis"}},
+		{"249-259 Other Endocrine Disorders", []string{
+			"250 Diabetes mellitus", "251 Hypoglycemia", "253 Pituitary disorder", "255 Adrenal disorder"}},
+		{"260-279 Nutritional And Metabolic", []string{
+			"272 Hyperlipidemia", "274 Gout", "276 Electrolyte disorder", "278 Obesity"}},
+	}},
+	{"290-319 Mental Disorders", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"290-299 Psychoses", []string{
+			"290 Dementia", "295 Schizophrenia", "296 Bipolar disorder", "298 Psychosis NOS"}},
+		{"300-309 Neurotic Disorders", []string{
+			"300 Anxiety disorder", "303 Alcohol dependence", "304 Drug dependence", "307 Eating disorder", "309 Adjustment reaction"}},
+		{"310-319 Other Mental Disorders", []string{
+			"311 Depressive disorder", "314 Attention deficit", "317 Mild retardation"}},
+	}},
+	{"320-389 Nervous System And Sense Organs", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"320-349 CNS Disorders", []string{
+			"331 Alzheimer disease", "332 Parkinson disease", "340 Multiple sclerosis", "345 Epilepsy", "346 Migraine"}},
+		{"350-359 Peripheral Nervous System", []string{
+			"351 Facial nerve disorder", "354 Carpal tunnel syndrome", "356 Peripheral neuropathy"}},
+		{"360-379 Eye Disorders", []string{
+			"365 Glaucoma", "366 Cataract", "372 Conjunctivitis"}},
+		{"380-389 Ear Disorders", []string{
+			"381 Otitis media", "386 Vertigo", "389 Hearing loss"}},
+	}},
+	{"390-459 Circulatory System", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"401-405 Hypertensive Disease", []string{
+			"401 Essential hypertension", "402 Hypertensive heart disease", "403 Hypertensive kidney disease"}},
+		{"410-414 Ischemic Heart Disease", []string{
+			"410 Myocardial infarction", "411 Acute coronary syndrome", "413 Angina pectoris", "414 Chronic ischemic heart disease"}},
+		{"420-429 Other Heart Disease", []string{
+			"427 Cardiac dysrhythmia", "428 Heart failure", "424 Valve disorder"}},
+		{"430-438 Cerebrovascular Disease", []string{
+			"431 Intracerebral hemorrhage", "434 Cerebral occlusion", "435 Transient ischemia", "438 Late effects of stroke"}},
+		{"440-459 Vascular Disease", []string{
+			"440 Atherosclerosis", "443 Peripheral vascular disease", "451 Thrombophlebitis", "454 Varicose veins"}},
+	}},
+	{"460-519 Respiratory System", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"460-466 Acute Respiratory Infections", []string{
+			"460 Common cold", "462 Acute pharyngitis", "463 Tonsillitis", "465 Upper respiratory infection", "466 Acute bronchitis"}},
+		{"480-488 Pneumonia And Influenza", []string{
+			"481 Pneumococcal pneumonia", "482 Bacterial pneumonia", "486 Pneumonia NOS", "487 Influenza"}},
+		{"490-496 Chronic Obstructive Disease", []string{
+			"491 Chronic bronchitis", "492 Emphysema", "493 Asthma", "496 COPD"}},
+		{"500-519 Other Respiratory", []string{
+			"511 Pleurisy", "518 Respiratory failure", "519 Respiratory disease NOS"}},
+	}},
+	{"520-579 Digestive System", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"530-539 Upper GI Disorders", []string{
+			"530 Esophagitis", "531 Gastric ulcer", "532 Duodenal ulcer", "535 Gastritis"}},
+		{"540-543 Appendicitis", []string{
+			"540 Acute appendicitis", "541 Appendicitis NOS"}},
+		{"550-579 Other Digestive", []string{
+			"550 Inguinal hernia", "558 Gastroenteritis", "562 Diverticulosis", "571 Chronic liver disease", "574 Cholelithiasis"}},
+	}},
+	{"580-629 Genitourinary System", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"580-589 Kidney Disease", []string{
+			"584 Acute kidney failure", "585 Chronic kidney disease", "582 Chronic nephritis"}},
+		{"590-599 Urinary Tract", []string{
+			"590 Kidney infection", "592 Kidney stone", "599 Urinary tract infection"}},
+		{"600-629 Genital Disorders", []string{
+			"600 Prostatic hyperplasia", "614 Pelvic inflammatory disease", "626 Menstrual disorder"}},
+	}},
+	{"680-709 Skin And Subcutaneous Tissue", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"680-686 Skin Infections", []string{
+			"681 Cellulitis of digit", "682 Cellulitis", "684 Impetigo"}},
+		{"690-698 Inflammatory Skin Conditions", []string{
+			"691 Atopic dermatitis", "692 Contact dermatitis", "696 Psoriasis", "698 Pruritus"}},
+	}},
+	{"710-739 Musculoskeletal System", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"710-719 Arthropathies", []string{
+			"714 Rheumatoid arthritis", "715 Osteoarthrosis", "719 Joint disorder NOS"}},
+		{"720-724 Dorsopathies", []string{
+			"721 Spondylosis", "722 Disc disorder", "724 Back disorder NOS"}},
+		{"730-739 Osteopathies", []string{
+			"730 Osteomyelitis", "733 Osteoporosis", "736 Limb deformity"}},
+	}},
+	{"800-999 Injury And Poisoning", []struct {
+		sub    string
+		leaves []string
+	}{
+		{"800-829 Fractures", []string{
+			"805 Vertebral fracture", "807 Rib fracture", "813 Forearm fracture", "820 Femur neck fracture", "824 Ankle fracture"}},
+		{"840-848 Sprains And Strains", []string{
+			"840 Shoulder sprain", "844 Knee sprain", "845 Ankle sprain", "847 Back sprain"}},
+		{"850-854 Intracranial Injury", []string{
+			"850 Concussion", "852 Subarachnoid hemorrhage", "854 Brain injury NOS"}},
+		{"960-979 Poisoning By Drugs", []string{
+			"965 Analgesic poisoning", "967 Sedative poisoning", "969 Psychotropic poisoning"}},
+	}},
+}
+
+// Symptom returns the ICD-9-like diagnosis DHT: chapters → subchapters →
+// conditions. Leaf values carry ICD-9-style code prefixes.
+func Symptom() *dht.Tree {
+	root := dht.Spec{Value: "All Diseases"}
+	for _, ch := range symptomData {
+		chSpec := dht.Spec{Value: ch.chapter}
+		for _, sub := range ch.subs {
+			subSpec := dht.Spec{Value: sub.sub}
+			for _, leaf := range sub.leaves {
+				subSpec.Children = append(subSpec.Children, dht.Spec{Value: leaf})
+			}
+			chSpec.Children = append(chSpec.Children, subSpec)
+		}
+		root.Children = append(root.Children, chSpec)
+	}
+	t, err := dht.NewCategorical(ColSymptom, root)
+	if err != nil {
+		panic(fmt.Sprintf("ontology: symptom tree: %v", err))
+	}
+	return t
+}
+
+// prescriptionData maps ATC-like class → subclass → drugs.
+var prescriptionData = []struct {
+	class string
+	subs  []struct {
+		sub   string
+		drugs []string
+	}
+}{
+	{"Anti-infectives", []struct {
+		sub   string
+		drugs []string
+	}{
+		{"Penicillins", []string{"Amoxicillin", "Ampicillin", "Penicillin V"}},
+		{"Cephalosporins", []string{"Cephalexin", "Ceftriaxone", "Cefuroxime"}},
+		{"Macrolides", []string{"Azithromycin", "Erythromycin", "Clarithromycin"}},
+		{"Fluoroquinolones", []string{"Ciprofloxacin", "Levofloxacin"}},
+		{"Antivirals", []string{"Acyclovir", "Oseltamivir", "Zidovudine"}},
+	}},
+	{"Cardiovascular Agents", []struct {
+		sub   string
+		drugs []string
+	}{
+		{"Beta Blockers", []string{"Atenolol", "Metoprolol", "Propranolol"}},
+		{"ACE Inhibitors", []string{"Lisinopril", "Enalapril", "Ramipril"}},
+		{"Statins", []string{"Atorvastatin", "Simvastatin", "Pravastatin"}},
+		{"Diuretics", []string{"Furosemide", "Hydrochlorothiazide", "Spironolactone"}},
+		{"Anticoagulants", []string{"Warfarin", "Heparin", "Aspirin 81mg"}},
+	}},
+	{"Central Nervous System Agents", []struct {
+		sub   string
+		drugs []string
+	}{
+		{"Analgesics", []string{"Paracetamol", "Ibuprofen", "Naproxen", "Morphine", "Codeine"}},
+		{"Antidepressants", []string{"Sertraline", "Fluoxetine", "Amitriptyline"}},
+		{"Anticonvulsants", []string{"Carbamazepine", "Valproate", "Phenytoin"}},
+		{"Anxiolytics", []string{"Diazepam", "Lorazepam", "Buspirone"}},
+		{"Antipsychotics", []string{"Haloperidol", "Risperidone", "Olanzapine"}},
+	}},
+	{"Respiratory Agents", []struct {
+		sub   string
+		drugs []string
+	}{
+		{"Bronchodilators", []string{"Salbutamol", "Ipratropium", "Theophylline"}},
+		{"Inhaled Corticosteroids", []string{"Beclomethasone", "Budesonide", "Fluticasone"}},
+		{"Antihistamines", []string{"Loratadine", "Cetirizine", "Diphenhydramine"}},
+	}},
+	{"Endocrine Agents", []struct {
+		sub   string
+		drugs []string
+	}{
+		{"Antidiabetics", []string{"Metformin", "Glipizide", "Insulin Glargine"}},
+		{"Thyroid Agents", []string{"Levothyroxine", "Methimazole"}},
+		{"Corticosteroids", []string{"Prednisone", "Hydrocortisone", "Dexamethasone"}},
+	}},
+	{"Gastrointestinal Agents", []struct {
+		sub   string
+		drugs []string
+	}{
+		{"Acid Suppressants", []string{"Omeprazole", "Ranitidine", "Pantoprazole"}},
+		{"Antiemetics", []string{"Ondansetron", "Metoclopramide"}},
+		{"Laxatives", []string{"Lactulose", "Senna", "Polyethylene Glycol"}},
+	}},
+	{"Musculoskeletal Agents", []struct {
+		sub   string
+		drugs []string
+	}{
+		{"Antirheumatics", []string{"Methotrexate", "Sulfasalazine", "Hydroxychloroquine"}},
+		{"Bone Agents", []string{"Alendronate", "Calcitonin", "Calcium Carbonate"}},
+		{"Muscle Relaxants", []string{"Cyclobenzaprine", "Baclofen"}},
+	}},
+}
+
+// Prescription returns the ATC-like drug DHT: therapeutic classes →
+// subclasses → drugs.
+func Prescription() *dht.Tree {
+	root := dht.Spec{Value: "All Drugs"}
+	for _, cl := range prescriptionData {
+		clSpec := dht.Spec{Value: cl.class}
+		for _, sub := range cl.subs {
+			subSpec := dht.Spec{Value: sub.sub}
+			for _, d := range sub.drugs {
+				subSpec.Children = append(subSpec.Children, dht.Spec{Value: d})
+			}
+			clSpec.Children = append(clSpec.Children, subSpec)
+		}
+		root.Children = append(root.Children, clSpec)
+	}
+	t, err := dht.NewCategorical(ColPrescription, root)
+	if err != nil {
+		panic(fmt.Sprintf("ontology: prescription tree: %v", err))
+	}
+	return t
+}
+
+// SymptomChapterForPrescriptionClass maps a symptom chapter value to its
+// clinically plausible prescription class value; the data generator uses
+// it to correlate diagnoses with prescriptions.
+var SymptomChapterToPrescriptionClass = map[string]string{
+	"001-139 Infectious And Parasitic Diseases": "Anti-infectives",
+	"140-239 Neoplasms":                         "Central Nervous System Agents", // palliative analgesia
+	"240-279 Endocrine And Metabolic Diseases":  "Endocrine Agents",
+	"290-319 Mental Disorders":                  "Central Nervous System Agents",
+	"320-389 Nervous System And Sense Organs":   "Central Nervous System Agents",
+	"390-459 Circulatory System":                "Cardiovascular Agents",
+	"460-519 Respiratory System":                "Respiratory Agents",
+	"520-579 Digestive System":                  "Gastrointestinal Agents",
+	"580-629 Genitourinary System":              "Anti-infectives",
+	"680-709 Skin And Subcutaneous Tissue":      "Anti-infectives",
+	"710-739 Musculoskeletal System":            "Musculoskeletal Agents",
+	"800-999 Injury And Poisoning":              "Central Nervous System Agents",
+}

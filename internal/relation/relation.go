@@ -1,0 +1,395 @@
+// Package relation is the relational-table substrate of the framework.
+// It models the paper's table tbl: a schema whose columns are classified
+// by the identifying information they contain (Section 2 of the paper —
+// identifying, quasi-identifying, or other), and a row store with the
+// mutation operations the attack models need (random alteration, tuple
+// addition, random and range deletion).
+//
+// Cell values are strings; domain semantics (numeric intervals,
+// categorical hierarchies) live in the dht package. This mirrors the
+// paper's observation that after binning the data become essentially
+// categorical.
+package relation
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a column by the identifying information it contains
+// (Section 2 of the paper).
+type Kind int
+
+const (
+	// Identifying columns explicitly identify individuals (e.g. SSN).
+	// The binning algorithm replaces them by encrypted values.
+	Identifying Kind = iota
+	// QuasiCategorical columns contain potentially identifying categorical
+	// information (e.g. doctor, symptom) generalized over a categorical DHT.
+	QuasiCategorical
+	// QuasiNumeric columns contain potentially identifying numeric
+	// information (e.g. age, zip) generalized over a numeric binary DHT.
+	QuasiNumeric
+	// Other columns carry no identifying information and are left intact.
+	Other
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Identifying:
+		return "identifying"
+	case QuasiCategorical:
+		return "quasi-categorical"
+	case QuasiNumeric:
+		return "quasi-numeric"
+	case Other:
+		return "other"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsQuasi reports whether the column is quasi-identifying.
+func (k Kind) IsQuasi() bool { return k == QuasiCategorical || k == QuasiNumeric }
+
+// Column describes one attribute of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered set of columns with unique names.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema validates and builds a schema.
+func NewSchema(cols []Column) (*Schema, error) {
+	if len(cols) == 0 {
+		return nil, errors.New("relation: empty schema")
+	}
+	s := &Schema{cols: make([]Column, len(cols)), byName: make(map[string]int, len(cols))}
+	copy(s.cols, cols)
+	for i, c := range cols {
+		if strings.TrimSpace(c.Name) == "" {
+			return nil, fmt.Errorf("relation: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for literals in tests and
+// builtin schemas.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumColumns returns the number of columns.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of all columns.
+func (s *Schema) Columns() []Column {
+	out := make([]Column, len(s.cols))
+	copy(out, s.cols)
+	return out
+}
+
+// Index returns the position of the named column.
+func (s *Schema) Index(name string) (int, error) {
+	i, ok := s.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("relation: no column %q", name)
+	}
+	return i, nil
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// ColumnsOfKind returns the names of all columns with the given kind, in
+// schema order.
+func (s *Schema) ColumnsOfKind(k Kind) []string {
+	var out []string
+	for _, c := range s.cols {
+		if c.Kind == k {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// QuasiColumns returns the names of all quasi-identifying columns.
+func (s *Schema) QuasiColumns() []string {
+	var out []string
+	for _, c := range s.cols {
+		if c.Kind.IsQuasi() {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// IdentColumns returns the names of all identifying columns.
+func (s *Schema) IdentColumns() []string { return s.ColumnsOfKind(Identifying) }
+
+// Table is an in-memory relation: a schema plus a row store.
+type Table struct {
+	schema *Schema
+	rows   [][]string
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{schema: schema}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// AppendRow adds a tuple. The row length must match the schema. The slice
+// is copied.
+func (t *Table) AppendRow(row []string) error {
+	if len(row) != t.schema.NumColumns() {
+		return fmt.Errorf("relation: row has %d cells, schema has %d columns", len(row), t.schema.NumColumns())
+	}
+	cp := make([]string, len(row))
+	copy(cp, row)
+	t.rows = append(t.rows, cp)
+	return nil
+}
+
+// Row returns a copy of tuple i.
+func (t *Table) Row(i int) []string {
+	cp := make([]string, len(t.rows[i]))
+	copy(cp, t.rows[i])
+	return cp
+}
+
+// Cell returns the value at row i, named column.
+func (t *Table) Cell(i int, col string) (string, error) {
+	ci, err := t.schema.Index(col)
+	if err != nil {
+		return "", err
+	}
+	if i < 0 || i >= len(t.rows) {
+		return "", fmt.Errorf("relation: row %d out of range [0,%d)", i, len(t.rows))
+	}
+	return t.rows[i][ci], nil
+}
+
+// SetCell overwrites the value at row i, named column.
+func (t *Table) SetCell(i int, col, value string) error {
+	ci, err := t.schema.Index(col)
+	if err != nil {
+		return err
+	}
+	if i < 0 || i >= len(t.rows) {
+		return fmt.Errorf("relation: row %d out of range [0,%d)", i, len(t.rows))
+	}
+	t.rows[i][ci] = value
+	return nil
+}
+
+// CellAt is Cell by column index, without bounds checking on the column;
+// for hot loops that already resolved the index.
+func (t *Table) CellAt(i, col int) string { return t.rows[i][col] }
+
+// SetCellAt is SetCell by column index.
+func (t *Table) SetCellAt(i, col int, value string) { t.rows[i][col] = value }
+
+// Column returns a copy of the named column's values.
+func (t *Table) Column(name string) ([]string, error) {
+	ci, err := t.schema.Index(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r[ci]
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy sharing the (immutable) schema.
+func (t *Table) Clone() *Table {
+	c := &Table{schema: t.schema, rows: make([][]string, len(t.rows))}
+	for i, r := range t.rows {
+		row := make([]string, len(r))
+		copy(row, r)
+		c.rows[i] = row
+	}
+	return c
+}
+
+// DeleteRows removes the tuples at the given indices (any order,
+// duplicates tolerated). Remaining rows preserve their relative order.
+func (t *Table) DeleteRows(indices []int) error {
+	if len(indices) == 0 {
+		return nil
+	}
+	drop := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= len(t.rows) {
+			return fmt.Errorf("relation: row %d out of range [0,%d)", i, len(t.rows))
+		}
+		drop[i] = true
+	}
+	kept := t.rows[:0]
+	for i, r := range t.rows {
+		if !drop[i] {
+			kept = append(kept, r)
+		}
+	}
+	// zero the tail so deleted rows can be collected
+	for i := len(kept); i < len(t.rows); i++ {
+		t.rows[i] = nil
+	}
+	t.rows = kept
+	return nil
+}
+
+// DeleteWhere removes all tuples for which pred returns true and reports
+// how many were removed. This implements the paper's range deletion
+// (DELETE FROM R WHERE SSN > lval AND SSN < uval) generically.
+func (t *Table) DeleteWhere(pred func(row []string) bool) int {
+	kept := t.rows[:0]
+	removed := 0
+	for _, r := range t.rows {
+		if pred(r) {
+			removed++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(t.rows); i++ {
+		t.rows[i] = nil
+	}
+	t.rows = kept
+	return removed
+}
+
+// AppendTable appends all rows of other, which must share the schema
+// column count.
+func (t *Table) AppendTable(other *Table) error {
+	if other.schema.NumColumns() != t.schema.NumColumns() {
+		return errors.New("relation: column count mismatch")
+	}
+	for i := range other.rows {
+		if err := t.AppendRow(other.rows[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shuffle permutes row order using rng. Attacks use this to destroy any
+// accidental reliance on physical order.
+func (t *Table) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(len(t.rows), func(i, j int) {
+		t.rows[i], t.rows[j] = t.rows[j], t.rows[i]
+	})
+}
+
+// SortByColumn sorts rows by the named column's string value (stable).
+func (t *Table) SortByColumn(name string) error {
+	ci, err := t.schema.Index(name)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		return t.rows[i][ci] < t.rows[j][ci]
+	})
+	return nil
+}
+
+// ForEachRow calls fn with (index, row view) for each tuple. The row slice
+// must not be mutated or retained.
+func (t *Table) ForEachRow(fn func(i int, row []string)) {
+	for i, r := range t.rows {
+		fn(i, r)
+	}
+}
+
+// WriteCSV writes the table (header + rows) to w.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.schema.Names()); err != nil {
+		return fmt.Errorf("relation: writing header: %w", err)
+	}
+	for _, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("relation: writing row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table from r. The CSV header must contain exactly the
+// schema's column names (in any order); cells are mapped by name.
+func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading header: %w", err)
+	}
+	if len(header) != schema.NumColumns() {
+		return nil, fmt.Errorf("relation: header has %d columns, schema has %d", len(header), schema.NumColumns())
+	}
+	perm := make([]int, len(header)) // perm[csvCol] = schemaCol
+	seen := make(map[string]bool)
+	for i, name := range header {
+		si, err := schema.Index(name)
+		if err != nil {
+			return nil, fmt.Errorf("relation: unexpected CSV column %q", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("relation: duplicate CSV column %q", name)
+		}
+		seen[name] = true
+		perm[i] = si
+	}
+	t := NewTable(schema)
+	for lineNo := 2; ; lineNo++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: line %d: %w", lineNo, err)
+		}
+		row := make([]string, schema.NumColumns())
+		for i, v := range rec {
+			row[perm[i]] = v
+		}
+		t.rows = append(t.rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,320 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema([]Column{
+		{Name: "ssn", Kind: Identifying},
+		{Name: "age", Kind: QuasiNumeric},
+		{Name: "doctor", Kind: QuasiCategorical},
+		{Name: "note", Kind: Other},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable(testSchema(t))
+	rows := [][]string{
+		{"s1", "34", "Nurse", "a"},
+		{"s2", "67", "Surgeon", "b"},
+		{"s3", "12", "Clerk", "c"},
+		{"s4", "45", "Nurse", "d"},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(nil); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSchema([]Column{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewSchema([]Column{{Name: "  "}}); err == nil {
+		t.Error("blank name accepted")
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := testSchema(t)
+	if s.NumColumns() != 4 {
+		t.Errorf("NumColumns = %d", s.NumColumns())
+	}
+	i, err := s.Index("doctor")
+	if err != nil || i != 2 {
+		t.Errorf("Index(doctor) = %d, %v", i, err)
+	}
+	if _, err := s.Index("missing"); err == nil {
+		t.Error("missing column resolved")
+	}
+	if got := strings.Join(s.Names(), ","); got != "ssn,age,doctor,note" {
+		t.Errorf("Names = %s", got)
+	}
+	if got := s.QuasiColumns(); len(got) != 2 || got[0] != "age" || got[1] != "doctor" {
+		t.Errorf("QuasiColumns = %v", got)
+	}
+	if got := s.IdentColumns(); len(got) != 1 || got[0] != "ssn" {
+		t.Errorf("IdentColumns = %v", got)
+	}
+	if got := s.ColumnsOfKind(Other); len(got) != 1 || got[0] != "note" {
+		t.Errorf("ColumnsOfKind(Other) = %v", got)
+	}
+	if s.Column(1).Kind != QuasiNumeric {
+		t.Error("Column(1) kind wrong")
+	}
+	cols := s.Columns()
+	cols[0].Name = "mutated"
+	if s.Column(0).Name != "ssn" {
+		t.Error("Columns() exposed internal state")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Identifying:      "identifying",
+		QuasiCategorical: "quasi-categorical",
+		QuasiNumeric:     "quasi-numeric",
+		Other:            "other",
+		Kind(42):         "Kind(42)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !QuasiNumeric.IsQuasi() || !QuasiCategorical.IsQuasi() || Identifying.IsQuasi() || Other.IsQuasi() {
+		t.Error("IsQuasi wrong")
+	}
+}
+
+func TestAppendRowValidation(t *testing.T) {
+	tbl := NewTable(testSchema(t))
+	if err := tbl.AppendRow([]string{"too", "short"}); err == nil {
+		t.Error("short row accepted")
+	}
+	row := []string{"s1", "30", "Nurse", "x"}
+	if err := tbl.AppendRow(row); err != nil {
+		t.Fatal(err)
+	}
+	row[0] = "mutated"
+	if got, _ := tbl.Cell(0, "ssn"); got != "s1" {
+		t.Error("AppendRow did not copy the row")
+	}
+}
+
+func TestCellAccess(t *testing.T) {
+	tbl := testTable(t)
+	v, err := tbl.Cell(1, "doctor")
+	if err != nil || v != "Surgeon" {
+		t.Errorf("Cell = %q, %v", v, err)
+	}
+	if _, err := tbl.Cell(0, "missing"); err == nil {
+		t.Error("missing column read")
+	}
+	if _, err := tbl.Cell(99, "ssn"); err == nil {
+		t.Error("out-of-range row read")
+	}
+	if err := tbl.SetCell(1, "doctor", "Nurse"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tbl.Cell(1, "doctor"); v != "Nurse" {
+		t.Error("SetCell did not stick")
+	}
+	if err := tbl.SetCell(99, "doctor", "x"); err == nil {
+		t.Error("out-of-range SetCell accepted")
+	}
+	if err := tbl.SetCell(0, "missing", "x"); err == nil {
+		t.Error("missing-column SetCell accepted")
+	}
+	// Fast path
+	ci, _ := tbl.Schema().Index("age")
+	if tbl.CellAt(2, ci) != "12" {
+		t.Error("CellAt wrong")
+	}
+	tbl.SetCellAt(2, ci, "13")
+	if tbl.CellAt(2, ci) != "13" {
+		t.Error("SetCellAt wrong")
+	}
+}
+
+func TestRowAndColumnCopies(t *testing.T) {
+	tbl := testTable(t)
+	r := tbl.Row(0)
+	r[0] = "mutated"
+	if v, _ := tbl.Cell(0, "ssn"); v != "s1" {
+		t.Error("Row exposed internal state")
+	}
+	col, err := tbl.Column("ssn")
+	if err != nil || len(col) != 4 || col[3] != "s4" {
+		t.Errorf("Column = %v, %v", col, err)
+	}
+	col[0] = "mutated"
+	if v, _ := tbl.Cell(0, "ssn"); v != "s1" {
+		t.Error("Column exposed internal state")
+	}
+	if _, err := tbl.Column("missing"); err == nil {
+		t.Error("missing column read")
+	}
+}
+
+func TestClone(t *testing.T) {
+	tbl := testTable(t)
+	cp := tbl.Clone()
+	if err := cp.SetCell(0, "ssn", "mutated"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tbl.Cell(0, "ssn"); v != "s1" {
+		t.Error("Clone shares row storage")
+	}
+	if cp.NumRows() != tbl.NumRows() {
+		t.Error("Clone row count wrong")
+	}
+}
+
+func TestDeleteRows(t *testing.T) {
+	tbl := testTable(t)
+	if err := tbl.DeleteRows([]int{1, 3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tbl.NumRows())
+	}
+	a, _ := tbl.Cell(0, "ssn")
+	b, _ := tbl.Cell(1, "ssn")
+	if a != "s1" || b != "s3" {
+		t.Errorf("remaining rows = %s,%s; want s1,s3", a, b)
+	}
+	if err := tbl.DeleteRows([]int{5}); err == nil {
+		t.Error("out-of-range delete accepted")
+	}
+	if err := tbl.DeleteRows(nil); err != nil {
+		t.Error("empty delete should be a no-op")
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	tbl := testTable(t)
+	ci, _ := tbl.Schema().Index("doctor")
+	n := tbl.DeleteWhere(func(row []string) bool { return row[ci] == "Nurse" })
+	if n != 2 || tbl.NumRows() != 2 {
+		t.Errorf("DeleteWhere removed %d, left %d", n, tbl.NumRows())
+	}
+}
+
+func TestAppendTable(t *testing.T) {
+	a := testTable(t)
+	b := testTable(t)
+	if err := a.AppendTable(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != 8 {
+		t.Errorf("NumRows = %d, want 8", a.NumRows())
+	}
+	narrow := NewTable(MustSchema(Column{Name: "x"}))
+	if err := a.AppendTable(narrow); err == nil {
+		t.Error("mismatched append accepted")
+	}
+}
+
+func TestShuffleAndSort(t *testing.T) {
+	tbl := testTable(t)
+	tbl.Shuffle(rand.New(rand.NewSource(3)))
+	if tbl.NumRows() != 4 {
+		t.Fatal("shuffle changed row count")
+	}
+	if err := tbl.SortByColumn("ssn"); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"s1", "s2", "s3", "s4"} {
+		if v, _ := tbl.Cell(i, "ssn"); v != want {
+			t.Errorf("row %d ssn = %s, want %s", i, v, want)
+		}
+	}
+	if err := tbl.SortByColumn("missing"); err == nil {
+		t.Error("missing-column sort accepted")
+	}
+}
+
+func TestForEachRow(t *testing.T) {
+	tbl := testTable(t)
+	count := 0
+	tbl.ForEachRow(func(i int, row []string) {
+		if len(row) != 4 {
+			t.Errorf("row %d has %d cells", i, len(row))
+		}
+		count++
+	})
+	if count != 4 {
+		t.Errorf("visited %d rows", count)
+	}
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	tbl := testTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, tbl.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tbl.NumRows() {
+		t.Fatalf("rows = %d, want %d", back.NumRows(), tbl.NumRows())
+	}
+	for i := 0; i < tbl.NumRows(); i++ {
+		for _, c := range tbl.Schema().Names() {
+			a, _ := tbl.Cell(i, c)
+			b, _ := back.Cell(i, c)
+			if a != b {
+				t.Errorf("row %d col %s: %q != %q", i, c, a, b)
+			}
+		}
+	}
+}
+
+func TestCSVColumnPermutation(t *testing.T) {
+	// A CSV with permuted column order must map cells by name.
+	csvText := "doctor,ssn,note,age\nNurse,s1,a,34\n"
+	back, err := ReadCSV(strings.NewReader(csvText), testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.Cell(0, "ssn"); v != "s1" {
+		t.Errorf("ssn = %q", v)
+	}
+	if v, _ := back.Cell(0, "age"); v != "34" {
+		t.Errorf("age = %q", v)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	s := testSchema(t)
+	cases := []string{
+		"",                                // no header
+		"a,b\n",                           // wrong column count
+		"ssn,age,doctor,bogus\n",          // unknown column
+		"ssn,ssn,doctor,note\n",           // duplicate column
+		"ssn,age,doctor,note\nonly,two\n", // short record
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), s); err == nil {
+			t.Errorf("CSV %q accepted", c)
+		}
+	}
+}

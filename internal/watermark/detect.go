@@ -1,0 +1,142 @@
+package watermark
+
+import (
+	"repro/internal/bitstr"
+	"repro/internal/crypt"
+	"repro/internal/relation"
+)
+
+// Detect implements the Detection algorithm of Figure 9. It selects
+// tuples with Equation (5), resolves each watermarked cell to its tree
+// node, harvests one bit per level from the node up to (but excluding)
+// its maximal generalization node — the parity of the node's index among
+// its sorted siblings — majority-votes the levels into a per-cell bit
+// (weighted by level when Params.WeightedVoting is set), accumulates
+// votes per wmd position across tuples, and finally folds the replicas
+// into the mark by majority voting.
+//
+// Detection is deliberately generalization-aware: a cell that an attacker
+// generalized to a higher node still contributes the surviving upper
+// levels; a cell altered out of the domain, or generalized above the
+// usage metrics, is skipped. This single code path therefore serves clean
+// tables, the §5.2 generalization attack and the §7.2 alteration attacks.
+func Detect(tbl *relation.Table, identCol string, columns map[string]ColumnSpec, p Params) (DetectResult, error) {
+	var res DetectResult
+	if err := p.validate(); err != nil {
+		return res, err
+	}
+	identIdx := -1
+	if !p.UseVirtualIdent {
+		var err error
+		if identIdx, err = tbl.Schema().Index(identCol); err != nil {
+			return res, err
+		}
+	}
+	colIdx := make(map[string]int, len(columns))
+	for col, spec := range columns {
+		if err := spec.validate(col); err != nil {
+			return res, err
+		}
+		ci, err := tbl.Schema().Index(col)
+		if err != nil {
+			return res, err
+		}
+		colIdx[col] = ci
+	}
+
+	prf1 := crypt.NewPRF(p.Key.K1)
+	prf2 := crypt.NewPRF(p.Key.K2)
+	board := bitstr.NewVoteBoard(p.wmdLen())
+	cols := sortColumns(columns)
+
+	for row := 0; row < tbl.NumRows(); row++ {
+		var ident []byte
+		if p.UseVirtualIdent {
+			ident = virtualIdent(tbl, row, cols, colIdx, columns)
+		} else {
+			ident = []byte(tbl.CellAt(row, identIdx))
+		}
+		if !prf1.Selects(ident, p.Key.Eta) {
+			continue
+		}
+		res.Stats.TuplesSelected++
+		for _, col := range cols {
+			spec := columns[col]
+			value := tbl.CellAt(row, colIdx[col])
+			bit, read, ok := detectCell(spec, value, p)
+			res.Stats.BitsRead += read
+			if !ok {
+				res.Stats.SkippedCells++
+				continue
+			}
+			pos := p.positionOf(prf2, ident, col)
+			board.Vote(pos, bit, 1)
+			res.Stats.VotesCast++
+		}
+	}
+
+	folded, err := board.FoldInto(p.Mark.Len())
+	if err != nil {
+		return res, err
+	}
+	res.Mark = folded.Resolve()
+	res.Confidence = folded.Confidence()
+	return res, nil
+}
+
+// detectCell recovers the per-cell bit by weighted majority over the
+// surviving levels. It returns ok=false when the cell contributes nothing
+// (unresolvable value, above the usage metrics, or no branching levels).
+func detectCell(spec ColumnSpec, value string, p Params) (bit bool, bitsRead int, ok bool) {
+	tree := spec.Tree
+	id, err := tree.ResolveValue(value)
+	if err != nil {
+		return false, 0, false
+	}
+	maxNode, covered := spec.MaxGen.CoverOf(id)
+	if !covered {
+		return false, 0, false
+	}
+
+	var zero, one float64
+	if id == maxNode {
+		// Boundary case: a bit may sit in the sibling permutation when
+		// BoundaryPermutation was used at embedding.
+		if !p.BoundaryPermutation {
+			return false, 0, false
+		}
+		set := boundarySet(spec, id)
+		idx := indexIn(id, set)
+		if len(set) < 2 || idx < 0 {
+			return false, 0, false
+		}
+		return idx&1 == 1, 1, true
+	}
+
+	levelFromBottom := 0
+	for cur := id; cur != maxNode; cur = tree.Parent(cur) {
+		siblings := tree.SortedSiblings(cur)
+		if len(siblings) >= 2 {
+			idx := indexIn(cur, siblings)
+			w := 1.0
+			if p.WeightedVoting {
+				// Higher levels (closer to the maximal node) are harder
+				// for an attacker to disturb; §5.3 suggests weighting
+				// their copies more.
+				w = float64(levelFromBottom + 1)
+			}
+			if idx&1 == 1 {
+				one += w
+			} else {
+				zero += w
+			}
+			bitsRead++
+		}
+		levelFromBottom++
+	}
+	if zero == one {
+		// no levels, or a perfect tie: no information
+		return false, bitsRead, false
+	}
+	return one > zero, bitsRead, true
+}

@@ -1,0 +1,140 @@
+package watermark
+
+import (
+	"fmt"
+
+	"repro/internal/crypt"
+	"repro/internal/relation"
+)
+
+// Embed implements the hierarchical Embedding algorithm of Figure 9 over
+// the binned table tbl, in place. identCol names the (encrypted)
+// identifying column used as the stable embedding anchor; columns maps
+// each watermarkable column to its spec.
+//
+// For every tuple selected by Equation (5), and for every column, the
+// walk starts at the maximal generalization node covering the tuple's
+// current value and permutes downward: at each level the target child is
+// chosen pseudorandomly with its index parity forced to the mark bit
+// (Permutate), until an ultimate generalization node is reached. Levels
+// with fewer than two children are traversed without carrying a bit
+// (DESIGN.md deviation 2).
+func Embed(tbl *relation.Table, identCol string, columns map[string]ColumnSpec, p Params) (EmbedStats, error) {
+	var stats EmbedStats
+	if err := p.validate(); err != nil {
+		return stats, err
+	}
+	if len(columns) == 0 {
+		return stats, fmt.Errorf("watermark: no columns to embed into")
+	}
+	identIdx := -1
+	if !p.UseVirtualIdent {
+		var err error
+		if identIdx, err = tbl.Schema().Index(identCol); err != nil {
+			return stats, err
+		}
+	}
+	colIdx := make(map[string]int, len(columns))
+	for col, spec := range columns {
+		if err := spec.validate(col); err != nil {
+			return stats, err
+		}
+		ci, err := tbl.Schema().Index(col)
+		if err != nil {
+			return stats, err
+		}
+		colIdx[col] = ci
+	}
+
+	prf1 := crypt.NewPRF(p.Key.K1)
+	prf2 := crypt.NewPRF(p.Key.K2)
+	wmd := p.Mark.Duplicate(p.Duplication)
+	cols := sortColumns(columns)
+
+	for row := 0; row < tbl.NumRows(); row++ {
+		var ident []byte
+		if p.UseVirtualIdent {
+			ident = virtualIdent(tbl, row, cols, colIdx, columns)
+		} else {
+			ident = []byte(tbl.CellAt(row, identIdx))
+		}
+		if !prf1.Selects(ident, p.Key.Eta) {
+			continue
+		}
+		stats.TuplesSelected++
+		for _, col := range cols {
+			spec := columns[col]
+			bit := wmd.Get(p.positionOf(prf2, ident, col))
+			ci := colIdx[col]
+			oldVal := tbl.CellAt(row, ci)
+			newVal, embedded, err := embedCell(spec, prf2, ident, col, oldVal, bit, p.BoundaryPermutation)
+			if err != nil {
+				return stats, fmt.Errorf("watermark: row %d column %s: %w", row, col, err)
+			}
+			stats.BitsEmbedded += embedded
+			if embedded == 0 {
+				stats.ZeroBandwidth++
+			}
+			if newVal != oldVal {
+				tbl.SetCellAt(row, ci, newVal)
+				stats.CellsChanged++
+			}
+		}
+	}
+	return stats, nil
+}
+
+// embedCell runs the Permutate walk for one cell, returning the new value
+// and the number of bits embedded (levels with branching >= 2).
+func embedCell(spec ColumnSpec, prf2 *crypt.PRF, ident []byte, col, value string, bit, boundary bool) (string, int, error) {
+	tree := spec.Tree
+	id, err := tree.ResolveValue(value)
+	if err != nil {
+		return "", 0, err
+	}
+	if !spec.UltiGen.Contains(id) {
+		return "", 0, fmt.Errorf("value %q is not at the ultimate generalization frontier; was the table binned with these frontiers?", value)
+	}
+	maxNode, ok := spec.MaxGen.CoverOf(id)
+	if !ok {
+		return "", 0, fmt.Errorf("value %q has no covering maximal generalization node", value)
+	}
+
+	if maxNode == id {
+		// §5.1 boundary case: the ultimate node is itself maximal.
+		if !boundary {
+			return value, 0, nil
+		}
+		set := boundarySet(spec, id)
+		if len(set) < 2 {
+			return value, 0, nil
+		}
+		idx := int(prf2.Mod(uint64(len(set)), ident, []byte("perm"), []byte(col), []byte("boundary")))
+		idx = setMuBit(idx, bit, len(set))
+		return tree.Value(set[idx]), 1, nil
+	}
+
+	// Hierarchical walk: descend from the maximal node, choosing at each
+	// level a child whose sorted index carries the mark bit in its parity.
+	// The pseudorandom part of the index is salted with the depth so the
+	// even/odd slot varies per level; detection only reads the parity, so
+	// this changes nothing observable (see DESIGN.md §2).
+	cur := maxNode
+	embedded := 0
+	for !spec.UltiGen.Contains(cur) {
+		children := tree.SortedChildren(cur)
+		if len(children) == 0 {
+			return "", 0, fmt.Errorf("internal: walk from %q reached leaf %q without crossing the ultimate frontier",
+				tree.Value(maxNode), tree.Value(cur))
+		}
+		idx := 0
+		if len(children) >= 2 {
+			depth := tree.Node(cur).Depth
+			idx = int(prf2.Mod(uint64(len(children)), ident, []byte("perm"), []byte(col), []byte{byte(depth)}))
+			idx = setMuBit(idx, bit, len(children))
+			embedded++
+		}
+		cur = children[idx]
+	}
+	return tree.Value(cur), embedded, nil
+}

@@ -1,0 +1,48 @@
+package watermark
+
+import (
+	"strings"
+)
+
+// Virtual primary keys (§5.3, footnote 1): "In case the identifying
+// columns cannot be relied on, we can establish virtual key attributes as
+// in [Li, Swarup, Jajodia] by turning to other columns." The anchor must
+// be invariant under the marking itself; in this scheme the maximal
+// generalization node covering a value never changes during embedding
+// (permutation stays inside one maximal subtree — the §5.1 bandwidth
+// argument), so the concatenation of the per-column maximal-cover values
+// is a sound virtual key.
+//
+// Granularity caveat: tuples sharing all maximal covers share the virtual
+// key, so they are selected together and carry the same mark position —
+// redundancy rather than spread. Robustness against identifier-column
+// tampering is traded for lower position diversity; the tests quantify
+// the roundtrip still being exact.
+
+// virtualIdent derives the virtual key bytes for one row from the current
+// cell values of the watermarkable columns (cols must be sorted; specs
+// provide the trees and frontiers). Values that do not resolve, or that
+// sit above the usage metrics, contribute their literal value — both the
+// embedder and the detector apply the same rule, so the key stays stable
+// wherever the data are intact.
+func virtualIdent(tbl cellReader, row int, cols []string, colIdx map[string]int, columns map[string]ColumnSpec) []byte {
+	var sb strings.Builder
+	for _, col := range cols {
+		spec := columns[col]
+		value := tbl.CellAt(row, colIdx[col])
+		part := value
+		if id, err := spec.Tree.ResolveValue(value); err == nil {
+			if maxNode, ok := spec.MaxGen.CoverOf(id); ok {
+				part = spec.Tree.Value(maxNode)
+			}
+		}
+		sb.WriteString(part)
+		sb.WriteByte(0x1f)
+	}
+	return []byte(sb.String())
+}
+
+// cellReader is the slice of relation.Table the virtual key needs.
+type cellReader interface {
+	CellAt(row, col int) string
+}

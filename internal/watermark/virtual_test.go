@@ -1,0 +1,266 @@
+package watermark
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/bitstr"
+	"repro/internal/crypt"
+	"repro/internal/dht"
+	"repro/internal/relation"
+)
+
+// virtualFixture builds a table where the virtual key has enough
+// cardinality to address the replicated mark: zip binned at leaf level
+// under state-level metrics (9 covers) and role at leaf level under
+// depth-2 metrics (4 covers) — 36 distinct keys. Virtual keys are
+// bin-granular (see virtual.go), so the fixture uses η=1 (select every
+// key) and duplication 1.
+func virtualFixture(t *testing.T, rows int) *fixture {
+	t.Helper()
+	zipTree := zipLikeTree(t)
+	roleTr := roleTree(t)
+
+	var states, zips []string
+	for r := 0; r < 3; r++ {
+		for s := 0; s < 3; s++ {
+			states = append(states, fmt.Sprintf("R%dS%d", r, s))
+			for z := 0; z < 3; z++ {
+				zips = append(zips, fmt.Sprintf("R%dS%dZ%d", r, s, z))
+			}
+		}
+	}
+	zipUlti, err := dht.NewGenSetFromValues(zipTree, zips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipMax, err := dht.NewGenSetFromValues(zipTree, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roleUlti, err := dht.NewGenSetFromValues(roleTr, []string{
+		"Physician", "Surgeon", "Nurse", "Pharmacist", "Clerk", "Manager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roleMax, err := dht.NewGenSetFromValues(roleTr, []string{
+		"Doctor", "Paramedic", "Clerk", "Manager"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	schema := relation.MustSchema(
+		relation.Column{Name: "ssn", Kind: relation.Identifying},
+		relation.Column{Name: "zip", Kind: relation.QuasiCategorical},
+		relation.Column{Name: "role", Kind: relation.QuasiCategorical},
+	)
+	tbl := relation.NewTable(schema)
+	rng := rand.New(rand.NewSource(31))
+	roleVals := roleUlti.Values()
+	for i := 0; i < rows; i++ {
+		if err := tbl.AppendRow([]string{
+			fmt.Sprintf("enc-%06d", i),
+			zips[rng.Intn(len(zips))],
+			roleVals[rng.Intn(len(roleVals))],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &fixture{
+		tbl: tbl,
+		columns: map[string]ColumnSpec{
+			"zip":  {Tree: zipTree, MaxGen: zipMax, UltiGen: zipUlti},
+			"role": {Tree: roleTr, MaxGen: roleMax, UltiGen: roleUlti},
+		},
+		params: Params{
+			Key:                    crypt.NewWatermarkKeyFromSecret("virtual-owner", 1),
+			Mark:                   bitstr.MustFromString("10110010011011010010"),
+			Duplication:            1,
+			SaltPositionWithColumn: true,
+			UseVirtualIdent:        true,
+		},
+	}
+}
+
+func TestVirtualIdentRoundtrip(t *testing.T) {
+	f := virtualFixture(t, 4000)
+	marked := f.tbl.Clone()
+	stats, err := Embed(marked, "", f.columns, f.params) // identCol ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BitsEmbedded == 0 {
+		t.Fatal("virtual-key embedding carried no bits")
+	}
+	res, err := Detect(marked, "", f.columns, f.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, _ := MarkLoss(f.params.Mark, res)
+	// Bin-granular keys cover most-but-not-necessarily-all positions;
+	// threshold detection must still clear easily.
+	if loss > 0.1 {
+		t.Fatalf("virtual-key roundtrip loss %v (mark %s vs %s)", loss, res.Mark.String(), f.params.Mark.String())
+	}
+}
+
+func TestVirtualIdentSurvivesIdentifierTampering(t *testing.T) {
+	// The whole point of virtual keys (§5.3 footnote): the attacker
+	// rewrites the identifying column entirely; anchoring on the
+	// maximal-cover values keeps detection working.
+	f := virtualFixture(t, 4000)
+	marked := f.tbl.Clone()
+	if _, err := Embed(marked, "", f.columns, f.params); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Detect(marked, "", f.columns, f.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scrub every identifier
+	ci, _ := marked.Schema().Index("ssn")
+	for i := 0; i < marked.NumRows(); i++ {
+		marked.SetCellAt(i, ci, "SCRUBBED")
+	}
+	res, err := Detect(marked, "", f.columns, f.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mark.Equal(baseline.Mark) {
+		t.Errorf("identifier scrubbing changed virtual-key detection: %s vs %s",
+			res.Mark.String(), baseline.Mark.String())
+	}
+
+	// The column-anchored scheme, by contrast, is destroyed by the same
+	// tampering (all idents equal -> one selection bucket).
+	f2 := newFixture(t, 4000, 8)
+	marked2 := f2.tbl.Clone()
+	if _, err := Embed(marked2, "ssn", f2.columns, f2.params); err != nil {
+		t.Fatal(err)
+	}
+	ci2, _ := marked2.Schema().Index("ssn")
+	for i := 0; i < marked2.NumRows(); i++ {
+		marked2.SetCellAt(i, ci2, "SCRUBBED")
+	}
+	res2, err := Detect(marked2, "ssn", f2.columns, f2.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss2, _ := MarkLoss(f2.params.Mark, res2)
+	if loss2 < 0.2 {
+		t.Errorf("column-anchored scheme survived scrubbing (loss %v)?", loss2)
+	}
+}
+
+func TestVirtualIdentInvariantUnderEmbedding(t *testing.T) {
+	// The virtual key must be identical before and after embedding for
+	// every row (maximal covers never change).
+	f := virtualFixture(t, 1500)
+	cols := sortColumns(f.columns)
+	colIdx := map[string]int{}
+	for col := range f.columns {
+		ci, _ := f.tbl.Schema().Index(col)
+		colIdx[col] = ci
+	}
+	before := make([]string, f.tbl.NumRows())
+	for i := range before {
+		before[i] = string(virtualIdent(f.tbl, i, cols, colIdx, f.columns))
+	}
+	marked := f.tbl.Clone()
+	if _, err := Embed(marked, "", f.columns, f.params); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		after := string(virtualIdent(marked, i, cols, colIdx, f.columns))
+		if after != before[i] {
+			t.Fatalf("row %d: virtual key changed by embedding: %q -> %q", i, before[i], after)
+		}
+	}
+}
+
+func TestVirtualIdentPartialAlteration(t *testing.T) {
+	f := virtualFixture(t, 6000)
+	marked := f.tbl.Clone()
+	if _, err := Embed(marked, "", f.columns, f.params); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	pools := map[string][]string{
+		"zip":  f.columns["zip"].UltiGen.Values(),
+		"role": f.columns["role"].UltiGen.Values(),
+	}
+	if _, err := attack.AlterSubset(marked, pools, 0.25, rng); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(marked, "", f.columns, f.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, _ := MarkLoss(f.params.Mark, res)
+	if loss > 0.2 {
+		t.Errorf("virtual-key mark loss %v after 25%% alteration", loss)
+	}
+}
+
+func TestRespecializationWeightedVoting(t *testing.T) {
+	// §5.3 weighted voting under a one-level re-specialization: the leaf
+	// level is randomized, the state level keeps the mark. Weighted
+	// voting must not do worse than unweighted, and must recover the mark.
+	f := newFixture(t, 8000, 10)
+	zipSpec := f.columns["zip"]
+	var leaves []string
+	for _, l := range zipSpec.Tree.Leaves() {
+		leaves = append(leaves, zipSpec.Tree.Value(l))
+	}
+	leafUlti, err := dht.NewGenSetFromValues(zipSpec.Tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ColumnSpec{Tree: zipSpec.Tree, MaxGen: zipSpec.MaxGen, UltiGen: leafUlti}
+	cols := map[string]ColumnSpec{"zip": spec}
+
+	// push the fixture's state-level zips down to deterministic leaves
+	base := f.tbl.Clone()
+	ci, _ := base.Schema().Index("zip")
+	for i := 0; i < base.NumRows(); i++ {
+		id, err := spec.Tree.ResolveValue(base.CellAt(i, ci))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !spec.UltiGen.Contains(id) {
+			id = spec.Tree.Children(id)[i%3]
+		}
+		base.SetCellAt(i, ci, spec.Tree.Value(id))
+	}
+
+	marked := base.Clone()
+	if _, err := Embed(marked, "ssn", cols, f.params); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	if _, err := attack.Respecialize(marked, "zip", spec.Tree, spec.MaxGen, spec.UltiGen, 1, rng); err != nil {
+		t.Fatal(err)
+	}
+
+	plain := f.params
+	weighted := f.params
+	weighted.WeightedVoting = true
+	resPlain, err := Detect(marked, "ssn", cols, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resWeighted, err := Detect(marked, "ssn", cols, weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossPlain, _ := MarkLoss(f.params.Mark, resPlain)
+	lossWeighted, _ := MarkLoss(f.params.Mark, resWeighted)
+	if lossWeighted > lossPlain {
+		t.Errorf("weighted voting (%v) worse than unweighted (%v) under re-specialization", lossWeighted, lossPlain)
+	}
+	if lossWeighted > 0.1 {
+		t.Errorf("weighted voting loss %v; the intact state level should recover the mark", lossWeighted)
+	}
+}

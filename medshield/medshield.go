@@ -1,0 +1,157 @@
+// Package medshield is the public API of this repository: a Go
+// implementation of the unified privacy + ownership protection framework
+// for outsourced medical data of Bertino, Ooi, Yang and Deng (ICDE 2005).
+//
+// The pipeline (Figure 2 of the paper) takes a clinical table and
+//
+//  1. bins it — generalizes quasi-identifying columns over domain
+//     hierarchy trees until every combination of quasi-identifying values
+//     is shared by at least k tuples (k-anonymity), staying within usage
+//     metrics that cap information loss, and encrypts identifying columns
+//     one-to-one; then
+//  2. watermarks it — embeds a key-protected ownership mark by permuting
+//     binned values hierarchically between the usage-metric frontier and
+//     the binning frontier, resilient to subset alteration/addition/
+//     deletion and to the generalization attack.
+//
+// A typical protection run:
+//
+//	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{
+//		K:           20,
+//		AutoEpsilon: true,
+//	})
+//	key := medshield.NewKey("hospital secret passphrase", 75)
+//	protected, err := fw.Protect(table, key)
+//	// publish protected.Table; retain protected.Provenance + the secret
+//
+// and later, on a suspected copy:
+//
+//	det, err := fw.Detect(suspect, protected.Provenance, key)
+//	if det.Match { /* our mark is present */ }
+//
+// Ownership disputes (§5.4 of the paper) are arbitrated with fw.Dispute.
+package medshield
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/binning"
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/datagen"
+	"repro/internal/dht"
+	"repro/internal/ontology"
+	"repro/internal/relation"
+)
+
+// Core pipeline types.
+type (
+	// Framework runs the binning + watermarking pipeline.
+	Framework = core.Framework
+	// Config parameterizes a Framework; see core.Config for field docs.
+	Config = core.Config
+	// Protected is Protect's result: the outsourcing-ready table plus the
+	// owner's provenance record and per-agent statistics.
+	Protected = core.Protected
+	// Provenance is the (non-secret) record needed for later detection.
+	Provenance = core.Provenance
+	// Detection reports mark recovery from a suspected table.
+	Detection = core.Detection
+	// Key is the secret watermarking key set (k1, k2, η, encryption key).
+	Key = crypt.WatermarkKey
+)
+
+// Relational substrate types.
+type (
+	// Table is an in-memory relation with a kind-annotated schema.
+	Table = relation.Table
+	// Schema describes a table's columns.
+	Schema = relation.Schema
+	// Column is one schema attribute.
+	Column = relation.Column
+	// Tree is a domain hierarchy tree.
+	Tree = dht.Tree
+	// GenSet is a valid generalization frontier over a Tree.
+	GenSet = dht.GenSet
+	// Strategy selects the multi-attribute binning search.
+	Strategy = binning.Strategy
+)
+
+// Column kinds (see the paper's Section 2 classification).
+const (
+	Identifying      = relation.Identifying
+	QuasiCategorical = relation.QuasiCategorical
+	QuasiNumeric     = relation.QuasiNumeric
+	Other            = relation.Other
+)
+
+// Multi-attribute binning strategies.
+const (
+	StrategyAuto       = binning.StrategyAuto
+	StrategyExhaustive = binning.StrategyExhaustive
+	StrategyGreedy     = binning.StrategyGreedy
+)
+
+// New builds a Framework over per-column domain hierarchy trees.
+func New(trees map[string]*Tree, cfg Config) (*Framework, error) {
+	return core.New(trees, cfg)
+}
+
+// NewKey derives the full secret key set from one passphrase, with
+// selection parameter η (roughly one tuple in eta carries mark bits).
+func NewKey(secret string, eta uint64) Key {
+	return crypt.NewWatermarkKeyFromSecret(secret, eta)
+}
+
+// BuiltinSchema returns the paper's evaluation schema
+// R(ssn, age, zip_code, doctor, symptom, prescription).
+func BuiltinSchema() *Schema { return ontology.Schema() }
+
+// BuiltinTrees returns the builtin medical ontologies (ICD-9-like
+// symptoms, ATC-like prescriptions, role and geography hierarchies, and a
+// binary interval tree for age), keyed by column name.
+func BuiltinTrees() map[string]*Tree { return ontology.Trees() }
+
+// GenerateSyntheticData produces a deterministic synthetic clinical table
+// with the builtin schema — the stand-in for the paper's (unpublished)
+// 20,000-tuple evaluation data set.
+func GenerateSyntheticData(rows int, seed int64) (*Table, error) {
+	return datagen.Generate(datagen.Config{Rows: rows, Seed: seed, Correlate: true, ZipfS: 1.2})
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(schema *Schema) *Table { return relation.NewTable(schema) }
+
+// NewSchema validates and builds a schema from columns.
+func NewSchema(cols []Column) (*Schema, error) { return relation.NewSchema(cols) }
+
+// ReadCSV loads a table whose CSV header matches the schema's columns.
+func ReadCSV(r io.Reader, schema *Schema) (*Table, error) { return relation.ReadCSV(r, schema) }
+
+// LoadCSVFile is ReadCSV over a file path.
+func LoadCSVFile(path string, schema *Schema) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relation.ReadCSV(f, schema)
+}
+
+// SaveCSVFile writes a table (header + rows) to a file.
+func SaveCSVFile(path string, tbl *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tbl.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseTree decodes a JSON-serialized domain hierarchy tree (the format
+// produced by Tree.MarshalJSON), revalidating its structure.
+func ParseTree(data []byte) (*Tree, error) { return dht.ParseTree(data) }

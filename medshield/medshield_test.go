@@ -1,0 +1,91 @@
+package medshield_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/medshield"
+)
+
+func TestPublicPipeline(t *testing.T) {
+	tbl, err := medshield.GenerateSyntheticData(2500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 12, AutoEpsilon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := medshield.NewKey("public api secret", 25)
+	p, err := fw.Protect(tbl, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := fw.Detect(p.Table, p.Provenance, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Match {
+		t.Errorf("detection failed: loss %v", det.MarkLoss)
+	}
+}
+
+func TestPublicCSVAndSchema(t *testing.T) {
+	tbl, err := medshield.GenerateSyntheticData(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	if err := medshield.SaveCSVFile(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := medshield.LoadCSVFile(path, medshield.BuiltinSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tbl.NumRows() {
+		t.Errorf("rows = %d, want %d", back.NumRows(), tbl.NumRows())
+	}
+	if _, err := medshield.LoadCSVFile(filepath.Join(dir, "missing.csv"), medshield.BuiltinSchema()); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := medshield.SaveCSVFile(filepath.Join(dir, "no-such-dir", "x.csv"), tbl); err == nil {
+		t.Error("bad path accepted")
+	}
+	// corrupt file should not load
+	if err := os.WriteFile(path, []byte("bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := medshield.LoadCSVFile(path, medshield.BuiltinSchema()); err == nil {
+		t.Error("corrupt CSV accepted")
+	}
+}
+
+func TestPublicCustomSchemaAndTrees(t *testing.T) {
+	schema, err := medshield.NewSchema([]medshield.Column{
+		{Name: "id", Kind: medshield.Identifying},
+		{Name: "city", Kind: medshield.QuasiCategorical},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := medshield.NewTable(schema)
+	if tbl.NumRows() != 0 {
+		t.Error("fresh table not empty")
+	}
+	// tree JSON roundtrip through the public API
+	trees := medshield.BuiltinTrees()
+	data, err := trees["doctor"].MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := medshield.ParseTree(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Attr() != "doctor" {
+		t.Errorf("Attr = %q", tree.Attr())
+	}
+}
