@@ -6,6 +6,8 @@ package repro_test
 
 import (
 	"math/rand"
+	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/attack"
@@ -162,7 +164,7 @@ func BenchmarkMultiBinGreedy(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := binning.MultiBin(tbl, quasi, ming, maxg, 25, binning.StrategyGreedy, 0); err != nil {
+		if _, _, err := binning.MultiBin(tbl, quasi, ming, maxg, 25, binning.StrategyGreedy, 0, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -181,6 +183,146 @@ func BenchmarkProtect20k(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- sequential vs parallel (Config.Workers) ---------------------------
+//
+// The pipeline guarantees byte-identical output for every worker count,
+// so these sub-benchmarks measure pure scheduling gain. Run with e.g.
+//
+//	go test -bench 'Workers' -benchmem .
+//
+// On a multi-core runner Workers=GOMAXPROCS should beat Workers=1
+// substantially (the fan-out covers binning scans, identifier
+// encryption, generalization, embedding and detection); on a single-core
+// runner the two converge, bounding the pool's overhead.
+
+func benchmarkProtectWorkers(b *testing.B, workers int) {
+	tbl := benchTable(b, 20000)
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := medshield.NewKey("bench", 75)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Protect(tbl, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtect20kWorkers1(b *testing.B)   { benchmarkProtectWorkers(b, 1) }
+func BenchmarkProtect20kWorkersMax(b *testing.B) { benchmarkProtectWorkers(b, runtime.GOMAXPROCS(0)) }
+
+// TestProtect20kWorkersIdentical guards the determinism claim the
+// Workers benchmarks rely on, at benchmark scale: one sequential and one
+// fully parallel run must publish byte-identical tables.
+func TestProtect20kWorkersIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-row Protect x2 in -short mode")
+	}
+	tbl, err := datagen.Generate(datagen.Config{Rows: 20000, Seed: 1, Correlate: true, ZipfS: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := medshield.NewKey("bench", 75)
+	var baseline string
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := fw.Protect(tbl, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := p.Table.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if baseline == "" {
+			baseline = sb.String()
+		} else if sb.String() != baseline {
+			t.Fatal("parallel Protect output differs from sequential")
+		}
+	}
+}
+
+func benchmarkEmbedWorkers(b *testing.B, workers int) {
+	fw, p, key := protectedFixture(b)
+	specs, err := fw.SpecsFromProvenance(p.Provenance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params, errP := benchParams(p, key)
+	if errP != nil {
+		b.Fatal(errP)
+	}
+	params.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clone := p.Table.Clone()
+		b.StartTimer()
+		if _, err := watermark.Embed(clone, p.Provenance.IdentCol, specs, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmbed20kWorkers1(b *testing.B)   { benchmarkEmbedWorkers(b, 1) }
+func BenchmarkEmbed20kWorkersMax(b *testing.B) { benchmarkEmbedWorkers(b, runtime.GOMAXPROCS(0)) }
+
+func benchmarkDetectWorkers(b *testing.B, workers int) {
+	tbl := benchTable(b, 20000)
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := medshield.NewKey("bench", 75)
+	p, err := fw.Protect(tbl, key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Detect(p.Table, p.Provenance, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetect20kWorkers1(b *testing.B)   { benchmarkDetectWorkers(b, 1) }
+func BenchmarkDetect20kWorkersMax(b *testing.B) { benchmarkDetectWorkers(b, runtime.GOMAXPROCS(0)) }
+
+func benchmarkMultiBinGreedyWorkers(b *testing.B, workers int) {
+	tbl := benchTable(b, 20000)
+	trees := ontology.Trees()
+	quasi := tbl.Schema().QuasiColumns()
+	ming := map[string]dht.GenSet{}
+	maxg := map[string]dht.GenSet{}
+	for _, col := range quasi {
+		values, _ := tbl.Column(col)
+		mg := dht.RootGenSet(trees[col])
+		g, _, err := binning.MonoBin(trees[col], mg, values, 25, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ming[col] = g
+		maxg[col] = mg
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := binning.MultiBin(tbl, quasi, ming, maxg, 25, binning.StrategyGreedy, 0, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiBinGreedyWorkers1(b *testing.B) { benchmarkMultiBinGreedyWorkers(b, 1) }
+func BenchmarkMultiBinGreedyWorkersMax(b *testing.B) {
+	benchmarkMultiBinGreedyWorkers(b, runtime.GOMAXPROCS(0))
 }
 
 func protectedFixture(b *testing.B) (*medshield.Framework, *medshield.Protected, medshield.Key) {

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	experiments [-rows N] [-seed S] [-run fig11,fig12a,...|all]
+//	experiments [-rows N] [-seed S] [-workers W] [-run fig11,fig12a,...|all]
 //
-// Each experiment prints a paper-style table to stdout.
+// Each experiment prints a paper-style table to stdout. Sweep points run
+// concurrently on W workers (0 = all cores) with deterministic output.
 package main
 
 import (
@@ -40,13 +41,14 @@ func main() {
 	rows := flag.Int("rows", 20000, "synthetic data set size (the paper uses ~20000)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	run := flag.String("run", "all", "comma-separated experiment names, or 'all': "+names())
+	workers := flag.Int("workers", 0, "worker goroutines per experiment (0 = all cores, 1 = sequential); results are identical either way")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	for _, n := range strings.Split(*run, ",") {
 		selected[strings.TrimSpace(n)] = true
 	}
-	cfg := experiments.Config{Rows: *rows, Seed: *seed}
+	cfg := experiments.Config{Rows: *rows, Seed: *seed, Workers: *workers}
 
 	ran := 0
 	for _, r := range runners {

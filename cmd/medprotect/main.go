@@ -7,8 +7,8 @@
 // Subcommands:
 //
 //	medprotect gen      -rows N -seed S -out data.csv
-//	medprotect protect  -in data.csv -k K -eta E -secret S -out protected.csv -prov prov.json
-//	medprotect detect   -in suspect.csv -prov prov.json -secret S
+//	medprotect protect  -in data.csv -k K -eta E -secret S -out protected.csv -prov prov.json [-workers W]
+//	medprotect detect   -in suspect.csv -prov prov.json -secret S [-workers W]
 //	medprotect attack   -in protected.csv -out attacked.csv -prov prov.json -kind alter|add|delete|rangedelete|generalize -frac F [-col C] [-levels L] -seed S
 //	medprotect dispute  -in disputed.csv -prov prov.json -secret S
 //	medprotect trees    -dir DIR
@@ -103,6 +103,7 @@ func cmdProtect(args []string) error {
 	out := fs.String("out", "protected.csv", "output CSV path")
 	provPath := fs.String("prov", "prov.json", "provenance output path")
 	autoEps := fs.Bool("auto-epsilon", true, "apply the §6 conservative ε")
+	workers := fs.Int("workers", 0, "worker goroutines for the pipeline (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
 	if *secret == "" {
 		return fmt.Errorf("protect: -secret is required")
@@ -112,7 +113,7 @@ func cmdProtect(args []string) error {
 	if err != nil {
 		return err
 	}
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: *k, AutoEpsilon: *autoEps})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -144,6 +145,7 @@ func cmdDetect(args []string) error {
 	provPath := fs.String("prov", "prov.json", "provenance path")
 	secret := fs.String("secret", "", "owner secret passphrase (required)")
 	eta := fs.Uint64("eta", 75, "η used at protection time")
+	workers := fs.Int("workers", 0, "worker goroutines for detection (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
 	if *secret == "" {
 		return fmt.Errorf("detect: -secret is required")
@@ -157,7 +159,7 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: prov.K})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: prov.K, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -255,6 +257,7 @@ func cmdDispute(args []string) error {
 	provPath := fs.String("prov", "prov.json", "owner provenance path")
 	secret := fs.String("secret", "", "owner secret passphrase (required)")
 	eta := fs.Uint64("eta", 75, "η used at protection time")
+	workers := fs.Int("workers", 0, "worker goroutines for detection (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
 	if *secret == "" {
 		return fmt.Errorf("dispute: -secret is required")
@@ -268,7 +271,7 @@ func cmdDispute(args []string) error {
 	if err != nil {
 		return err
 	}
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: max(prov.K, 1)})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: max(prov.K, 1), Workers: *workers})
 	if err != nil {
 		return err
 	}

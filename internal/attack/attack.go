@@ -25,9 +25,17 @@ func AlterSubset(tbl *relation.Table, cols map[string][]string, frac float64, rn
 	if frac < 0 || frac > 1 {
 		return 0, fmt.Errorf("attack: fraction %v out of [0,1]", frac)
 	}
+	// Fixed column order: ranging over the map here would consume rng
+	// draws in Go's randomized map order, making the attack (and every
+	// figure derived from it) irreproducible across runs.
+	names := make([]string, 0, len(cols))
+	for col := range cols {
+		names = append(names, col)
+	}
+	sort.Strings(names)
 	colIdx := make(map[string]int, len(cols))
-	for col, values := range cols {
-		if len(values) == 0 {
+	for _, col := range names {
+		if len(cols[col]) == 0 {
 			return 0, fmt.Errorf("attack: no replacement values for column %s", col)
 		}
 		ci, err := tbl.Schema().Index(col)
@@ -41,7 +49,8 @@ func AlterSubset(tbl *relation.Table, cols map[string][]string, frac float64, rn
 	perm := rng.Perm(n)
 	for i := 0; i < target; i++ {
 		row := perm[i]
-		for col, values := range cols {
+		for _, col := range names {
+			values := cols[col]
 			tbl.SetCellAt(row, colIdx[col], values[rng.Intn(len(values))])
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/crypt"
 	"repro/internal/dht"
 	"repro/internal/infoloss"
+	"repro/internal/pool"
 	"repro/internal/relation"
 )
 
@@ -37,6 +38,10 @@ type Config struct {
 	// aggressive minimality rule (may yield deficient bins, which Run
 	// suppresses).
 	Aggressive bool
+	// Workers bounds the goroutines used by the exhaustive
+	// multi-attribute search (0 = GOMAXPROCS, 1 = sequential). The output
+	// is identical for every worker count.
+	Workers int
 }
 
 // Result is the outcome of the binning agent.
@@ -106,40 +111,49 @@ func Run(tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error)
 	}
 	effectiveK := cfg.K + cfg.Epsilon
 
-	// 1. Usage metrics in maximal-generalization-node form.
+	// 1. Usage metrics in maximal-generalization-node form. Each column
+	// resolves its histogram and maximal nodes independently.
 	maxGens := make(map[string]dht.GenSet, len(quasi))
 	histograms := make(map[string][]int, len(quasi))
-	for _, col := range quasi {
+	type colSetup struct {
+		hist []int
+		maxg dht.GenSet
+	}
+	setups, err := pool.Map(cfg.Workers, len(quasi), func(i int) (colSetup, error) {
+		col := quasi[i]
 		tree, ok := cfg.Trees[col]
 		if !ok || tree == nil {
-			return nil, fmt.Errorf("binning: no DHT for quasi column %s", col)
+			return colSetup{}, fmt.Errorf("binning: no DHT for quasi column %s", col)
 		}
 		values, err := tbl.Column(col)
 		if err != nil {
-			return nil, err
+			return colSetup{}, err
 		}
 		hist, err := infoloss.LeafHistogram(tree, values)
 		if err != nil {
-			return nil, fmt.Errorf("binning: column %s: %w", col, err)
+			return colSetup{}, fmt.Errorf("binning: column %s: %w", col, err)
 		}
-		histograms[col] = hist
-
 		if g, ok := cfg.MaxGens[col]; ok {
 			if g.Tree() != tree {
-				return nil, fmt.Errorf("binning: maximal nodes for %s belong to a different tree", col)
+				return colSetup{}, fmt.Errorf("binning: maximal nodes for %s belong to a different tree", col)
 			}
-			maxGens[col] = g
-			continue
+			return colSetup{hist: hist, maxg: g}, nil
 		}
 		if cfg.Metrics != nil {
 			g, err := infoloss.DeriveMaxGen(tree, hist, cfg.Metrics.Bound(col))
 			if err != nil {
-				return nil, err
+				return colSetup{}, err
 			}
-			maxGens[col] = g
-			continue
+			return colSetup{hist: hist, maxg: g}, nil
 		}
-		maxGens[col] = dht.RootGenSet(tree)
+		return colSetup{hist: hist, maxg: dht.RootGenSet(tree)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, col := range quasi {
+		histograms[col] = setups[i].hist
+		maxGens[col] = setups[i].maxg
 	}
 
 	// 2. Mono-attribute binning (downward from the maximal nodes).
@@ -147,61 +161,106 @@ func Run(tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error)
 	monoStats := make(map[string]MonoStats, len(quasi))
 	suppressed := 0
 	work := tbl.Clone()
-	for _, col := range quasi {
-		values, err := work.Column(col)
+
+	// Under the conservative rule no bin is ever deficient, so no rows
+	// are suppressed and the columns bin independently — fan them out.
+	// The aggressive rule suppresses rows between columns (column i's
+	// deletions change column i+1's histogram), so it stays sequential.
+	if !cfg.Aggressive {
+		type monoOut struct {
+			gen   dht.GenSet
+			stats MonoStats
+		}
+		outs, err := pool.Map(cfg.Workers, len(quasi), func(i int) (monoOut, error) {
+			col := quasi[i]
+			values, err := work.Column(col)
+			if err != nil {
+				return monoOut{}, err
+			}
+			g, st, err := MonoBin(cfg.Trees[col], maxGens[col], values, effectiveK, false)
+			if err != nil {
+				return monoOut{}, err
+			}
+			return monoOut{gen: g, stats: st}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		g, st, err := MonoBin(cfg.Trees[col], maxGens[col], values, effectiveK, cfg.Aggressive)
-		if err != nil {
-			return nil, err
+		for i, col := range quasi {
+			minGens[col] = outs[i].gen
+			monoStats[col] = outs[i].stats
 		}
-		if len(st.Deficient) > 0 {
-			// Aggressive rule produced under-k bins: suppress their rows
-			// (the "suppression" half of generalization and suppression).
-			tree := cfg.Trees[col]
-			colIdx, _ := work.Schema().Index(col)
-			n := work.DeleteWhere(func(row []string) bool {
-				leaf, err := tree.ResolveLeaf(row[colIdx])
-				if err != nil {
-					return false
-				}
-				for _, d := range st.Deficient {
-					if tree.IsAncestorOrSelf(d, leaf) {
-						return true
+	} else {
+		for _, col := range quasi {
+			values, err := work.Column(col)
+			if err != nil {
+				return nil, err
+			}
+			g, st, err := MonoBin(cfg.Trees[col], maxGens[col], values, effectiveK, true)
+			if err != nil {
+				return nil, err
+			}
+			if len(st.Deficient) > 0 {
+				// Aggressive rule produced under-k bins: suppress their rows
+				// (the "suppression" half of generalization and suppression).
+				tree := cfg.Trees[col]
+				colIdx, _ := work.Schema().Index(col)
+				n := work.DeleteWhere(func(row []string) bool {
+					leaf, err := tree.ResolveLeaf(row[colIdx])
+					if err != nil {
+						return false
 					}
-				}
-				return false
-			})
-			suppressed += n
+					for _, d := range st.Deficient {
+						if tree.IsAncestorOrSelf(d, leaf) {
+							return true
+						}
+					}
+					return false
+				})
+				suppressed += n
+			}
+			minGens[col] = g
+			monoStats[col] = st
 		}
-		minGens[col] = g
-		monoStats[col] = st
 	}
 
 	// 3. Multi-attribute binning.
-	ultiGens, multiStats, err := MultiBin(work, quasi, minGens, maxGens, effectiveK, cfg.Strategy, cfg.EnumLimit)
+	ultiGens, multiStats, err := MultiBin(work, quasi, minGens, maxGens, effectiveK, cfg.Strategy, cfg.EnumLimit, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 
-	// 4+5. Encrypt identifying columns, generalize quasi columns.
+	// 4+5. Encrypt identifying columns, generalize quasi columns. Both
+	// are pure per-row transforms (the cipher is safe for concurrent
+	// use), so each column fans its rows out over contiguous shards; the
+	// shards write disjoint cells and the first-error rule matches the
+	// sequential scan.
 	out := work
 	for _, col := range idents {
 		colIdx, _ := out.Schema().Index(col)
-		for i := 0; i < out.NumRows(); i++ {
-			out.SetCellAt(i, colIdx, cipher.EncryptString(out.CellAt(i, colIdx)))
+		if err := pool.ForEachChunk(cfg.Workers, out.NumRows(), func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				out.SetCellAt(i, colIdx, cipher.EncryptString(out.CellAt(i, colIdx)))
+			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 	for _, col := range quasi {
 		gen := ultiGens[col]
 		colIdx, _ := out.Schema().Index(col)
-		for i := 0; i < out.NumRows(); i++ {
-			v, err := gen.GeneralizeValue(out.CellAt(i, colIdx))
-			if err != nil {
-				return nil, fmt.Errorf("binning: column %s row %d: %w", col, i, err)
+		if err := pool.ForEachChunk(cfg.Workers, out.NumRows(), func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				v, err := gen.GeneralizeValue(out.CellAt(i, colIdx))
+				if err != nil {
+					return fmt.Errorf("binning: column %s row %d: %w", col, i, err)
+				}
+				out.SetCellAt(i, colIdx, v)
 			}
-			out.SetCellAt(i, colIdx, v)
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 

@@ -282,7 +282,7 @@ func TestMultiBinExhaustiveAndGreedy(t *testing.T) {
 	}
 
 	for _, strat := range []Strategy{StrategyExhaustive, StrategyGreedy, StrategyAuto} {
-		ulti, stats, err := MultiBin(tbl, cols, mingends, maxgends, k, strat, 0)
+		ulti, stats, err := MultiBin(tbl, cols, mingends, maxgends, k, strat, 0, 1)
 		if err != nil {
 			t.Fatalf("%v: %v", strat, err)
 		}
@@ -332,11 +332,11 @@ func TestMultiBinExhaustiveMatchesGreedyValidity(t *testing.T) {
 		mingends[col] = g
 		maxgends[col] = maxg
 	}
-	ex, _, err := MultiBin(tbl, cols, mingends, maxgends, k, StrategyExhaustive, 0)
+	ex, _, err := MultiBin(tbl, cols, mingends, maxgends, k, StrategyExhaustive, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gr, _, err := MultiBin(tbl, cols, mingends, maxgends, k, StrategyGreedy, 0)
+	gr, _, err := MultiBin(tbl, cols, mingends, maxgends, k, StrategyGreedy, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,25 +353,25 @@ func TestMultiBinValidation(t *testing.T) {
 	ming := map[string]dht.GenSet{"age": dht.LeafGenSet(trees["age"]), "role": dht.LeafGenSet(trees["role"])}
 	maxg := map[string]dht.GenSet{"age": dht.RootGenSet(trees["age"]), "role": dht.RootGenSet(trees["role"])}
 
-	if _, _, err := MultiBin(tbl, cols, ming, maxg, 0, StrategyAuto, 0); err == nil {
+	if _, _, err := MultiBin(tbl, cols, ming, maxg, 0, StrategyAuto, 0, 1); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, _, err := MultiBin(tbl, nil, ming, maxg, 2, StrategyAuto, 0); err == nil {
+	if _, _, err := MultiBin(tbl, nil, ming, maxg, 2, StrategyAuto, 0, 1); err == nil {
 		t.Error("no columns accepted")
 	}
-	if _, _, err := MultiBin(tbl, cols, map[string]dht.GenSet{}, maxg, 2, StrategyAuto, 0); err == nil {
+	if _, _, err := MultiBin(tbl, cols, map[string]dht.GenSet{}, maxg, 2, StrategyAuto, 0, 1); err == nil {
 		t.Error("missing mingends accepted")
 	}
-	if _, _, err := MultiBin(tbl, cols, ming, map[string]dht.GenSet{}, 2, StrategyAuto, 0); err == nil {
+	if _, _, err := MultiBin(tbl, cols, ming, map[string]dht.GenSet{}, 2, StrategyAuto, 0, 1); err == nil {
 		t.Error("missing maxgends accepted")
 	}
 	// reversed bounds
 	rev := map[string]dht.GenSet{"age": dht.RootGenSet(trees["age"]), "role": dht.LeafGenSet(trees["role"])}
 	revMax := map[string]dht.GenSet{"age": dht.LeafGenSet(trees["age"]), "role": dht.RootGenSet(trees["role"])}
-	if _, _, err := MultiBin(tbl, cols, rev, revMax, 2, StrategyAuto, 0); err == nil {
+	if _, _, err := MultiBin(tbl, cols, rev, revMax, 2, StrategyAuto, 0, 1); err == nil {
 		t.Error("reversed bounds accepted")
 	}
-	if _, _, err := MultiBin(tbl, cols, ming, maxg, 2, Strategy(99), 0); err == nil {
+	if _, _, err := MultiBin(tbl, cols, ming, maxg, 2, Strategy(99), 0, 1); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }
@@ -382,7 +382,7 @@ func TestMultiBinEmptyTable(t *testing.T) {
 	cols := []string{"age", "role"}
 	ming := map[string]dht.GenSet{"age": dht.LeafGenSet(trees["age"]), "role": dht.LeafGenSet(trees["role"])}
 	maxg := map[string]dht.GenSet{"age": dht.RootGenSet(trees["age"]), "role": dht.RootGenSet(trees["role"])}
-	ulti, _, err := MultiBin(empty, cols, ming, maxg, 5, StrategyAuto, 0)
+	ulti, _, err := MultiBin(empty, cols, ming, maxg, 5, StrategyAuto, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

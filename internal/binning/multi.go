@@ -2,10 +2,12 @@ package binning
 
 import (
 	"fmt"
+	"math"
 	"sort"
-	"strings"
+	"strconv"
 
 	"repro/internal/dht"
+	"repro/internal/pool"
 	"repro/internal/relation"
 )
 
@@ -63,6 +65,12 @@ const DefaultEnumLimit = 4096
 //
 // cols fixes the column order; every col must appear in trees, mingends
 // and maxgends. Rows of tbl provide the joint distribution.
+//
+// workers bounds the goroutines used by the exhaustive search (each
+// candidate frontier needs a full k-anonymity check over the table, so
+// the search is embarrassingly parallel); <= 0 means GOMAXPROCS, 1 runs
+// sequentially. The result is byte-identical for every worker count:
+// candidates are ranked by (specificity loss, enumeration index).
 func MultiBin(
 	tbl *relation.Table,
 	cols []string,
@@ -70,6 +78,7 @@ func MultiBin(
 	k int,
 	strategy Strategy,
 	enumLimit int,
+	workers int,
 ) (map[string]dht.GenSet, MultiStats, error) {
 	var stats MultiStats
 	if k < 1 {
@@ -137,9 +146,9 @@ func MultiBin(
 
 	switch resolved {
 	case StrategyExhaustive:
-		return multiExhaustive(tbl, cols, mingends, maxgends, k, enumLimit, rowLeaves, &stats)
+		return multiExhaustive(tbl, cols, mingends, maxgends, k, enumLimit, workers, rowLeaves, &stats)
 	case StrategyGreedy:
-		return multiGreedy(tbl, cols, mingends, maxgends, k, rowLeaves, &stats)
+		return multiGreedy(tbl, cols, mingends, maxgends, k, workers, rowLeaves, &stats)
 	default:
 		return nil, stats, fmt.Errorf("binning: unknown strategy %v", strategy)
 	}
@@ -193,29 +202,169 @@ func coverTable(gen dht.GenSet) []int32 {
 	return table
 }
 
+// binKeyBases returns, per column, the radix base for composing a joint
+// bin key from cover indices (shifted by one so an uncovered leaf's -1
+// encodes as 0), and whether the full product fits in uint64 — it does
+// for any realistic tree set; the string fallback exists for safety.
+func binKeyBases(covers [][]int32) ([]uint64, bool) {
+	bases := make([]uint64, len(covers))
+	prod := uint64(1)
+	fits := true
+	for ci, table := range covers {
+		var maxIdx int32 = -1
+		for _, mi := range table {
+			if mi > maxIdx {
+				maxIdx = mi
+			}
+		}
+		base := uint64(maxIdx) + 2
+		bases[ci] = base
+		if prod > math.MaxUint64/base {
+			fits = false
+		} else {
+			prod *= base
+		}
+	}
+	return bases, fits
+}
+
+// radixKeyAt composes the uint64 joint-bin key of one row.
+func radixKeyAt(rowLeaves [][]dht.NodeID, covers [][]int32, bases []uint64, row int) uint64 {
+	var key uint64
+	for ci := range covers {
+		key = key*bases[ci] + uint64(covers[ci][rowLeaves[ci][row]]+1)
+	}
+	return key
+}
+
+// stringKeyAt composes the string joint-bin key of one row (fallback for
+// degenerate trees whose radix product overflows).
+func stringKeyAt(rowLeaves [][]dht.NodeID, covers [][]int32, row int) string {
+	buf := make([]byte, 0, 4*len(covers))
+	for ci := range covers {
+		buf = strconv.AppendInt(buf, int64(covers[ci][rowLeaves[ci][row]]), 10)
+		buf = append(buf, '|')
+	}
+	return string(buf)
+}
+
+// fnv64a is the partitioning hash for string bin keys.
+func fnv64a(s string) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
 // jointMinBin computes the minimum non-empty joint bin size of the table
 // under the per-column frontiers.
 func jointMinBin(rowLeaves [][]dht.NodeID, covers [][]int32) int {
 	if len(rowLeaves) == 0 || len(rowLeaves[0]) == 0 {
 		return 0
 	}
-	counts := make(map[string]int, len(rowLeaves[0])/4+1)
-	var sb strings.Builder
-	for row := 0; row < len(rowLeaves[0]); row++ {
-		sb.Reset()
-		for ci := range rowLeaves {
-			mi := covers[ci][rowLeaves[ci][row]]
-			fmt.Fprintf(&sb, "%d|", mi)
-		}
-		counts[sb.String()]++
-	}
+	rows := len(rowLeaves[0])
 	min := -1
+	if bases, fits := binKeyBases(covers); fits {
+		counts := make(map[uint64]int, rows/4+1)
+		for row := 0; row < rows; row++ {
+			counts[radixKeyAt(rowLeaves, covers, bases, row)]++
+		}
+		for _, n := range counts {
+			if min < 0 || n < min {
+				min = n
+			}
+		}
+		return min
+	}
+	counts := make(map[string]int, rows/4+1)
+	for row := 0; row < rows; row++ {
+		counts[stringKeyAt(rowLeaves, covers, row)]++
+	}
 	for _, n := range counts {
 		if min < 0 || n < min {
 			min = n
 		}
 	}
 	return min
+}
+
+// scanViolating computes, under the current covers, the per-column sets
+// of frontier members (dense, indexed like gen.Nodes()) participating in
+// bins below k. The table scan is sharded over workers and the bin
+// counts are partitioned by key hash so the merge parallelizes too; bin
+// counting is a sum and member collection a set union — both
+// order-independent — so every worker count yields the same sets.
+func scanViolating[K comparable](workers, k int, rowLeaves [][]dht.NodeID, covers [][]int32, sizes []int, keyAt func(row int) K, hashOf func(K) uint64) [][]bool {
+	rows := len(rowLeaves[0])
+	chunks := pool.Chunks(workers, rows)
+	nParts := len(chunks)
+	keys := make([]K, rows)
+
+	// Pass 1: every shard counts its rows into per-partition maps.
+	shardParts := make([][]map[K]int, nParts)
+	pool.ForEachChunk(workers, rows, func(si, lo, hi int) error {
+		parts := make([]map[K]int, nParts)
+		for p := range parts {
+			parts[p] = make(map[K]int, (hi-lo)/(4*nParts)+1)
+		}
+		for row := lo; row < hi; row++ {
+			key := keyAt(row)
+			keys[row] = key
+			parts[hashOf(key)%uint64(nParts)][key]++
+		}
+		shardParts[si] = parts
+		return nil
+	})
+
+	// Pass 2: merge each partition across shards — partitions are
+	// disjoint key sets, so they merge concurrently.
+	counts := make([]map[K]int, nParts)
+	pool.ForEach(workers, nParts, func(p int) error {
+		merged := shardParts[0][p]
+		for si := 1; si < nParts; si++ {
+			for key, n := range shardParts[si][p] {
+				merged[key] += n
+			}
+		}
+		counts[p] = merged
+		return nil
+	})
+
+	// Pass 3: collect, per column, the frontier members of violating
+	// rows into dense shard-local bitmaps, then OR them together.
+	shardViol := make([][][]bool, nParts)
+	pool.ForEachChunk(workers, rows, func(si, lo, hi int) error {
+		viol := make([][]bool, len(covers))
+		for ci := range viol {
+			viol[ci] = make([]bool, sizes[ci])
+		}
+		for row := lo; row < hi; row++ {
+			key := keys[row]
+			if counts[hashOf(key)%uint64(nParts)][key] < k {
+				for ci := range covers {
+					if mi := covers[ci][rowLeaves[ci][row]]; mi >= 0 {
+						viol[ci][mi] = true
+					}
+				}
+			}
+		}
+		shardViol[si] = viol
+		return nil
+	})
+	violating := shardViol[0]
+	for _, shard := range shardViol[1:] {
+		for ci := range violating {
+			for mi, v := range shard[ci] {
+				if v {
+					violating[ci][mi] = true
+				}
+			}
+		}
+	}
+	return violating
 }
 
 // avgSpecificityLoss averages (N−Ng)/N across the chosen frontiers.
@@ -234,7 +383,7 @@ func multiExhaustive(
 	tbl *relation.Table,
 	cols []string,
 	mingends, maxgends map[string]dht.GenSet,
-	k, enumLimit int,
+	k, enumLimit, workers int,
 	rowLeaves [][]dht.NodeID,
 	stats *MultiStats,
 ) (map[string]dht.GenSet, MultiStats, error) {
@@ -262,44 +411,71 @@ func multiExhaustive(
 		}
 	}
 
-	var (
-		best     []dht.GenSet
-		bestLoss float64
-		choice   = make([]dht.GenSet, len(cols))
-	)
-	var walk func(ci int)
-	walk = func(ci int) {
-		if ci == len(cols) {
-			stats.Candidates++
-			covers := make([][]int32, len(cols))
-			for i, g := range choice {
-				covers[i] = coverTable(g)
-			}
-			if jointMinBin(rowLeaves, covers) < k {
-				return
-			}
-			stats.Valid++
-			loss := avgSpecificityLoss(choice)
-			if best == nil || loss < bestLoss {
-				best = append([]dht.GenSet(nil), choice...)
-				bestLoss = loss
-			}
-			return
-		}
-		for _, g := range perCol[ci] {
-			choice[ci] = g
-			walk(ci + 1)
+	// Cover tables are a function of the frontier alone, so build each
+	// once up front instead of per candidate (the sequential walk used to
+	// rebuild them for every combination).
+	perColCovers := make([][][]int32, len(cols))
+	for ci, list := range perCol {
+		perColCovers[ci] = make([][]int32, len(list))
+		for gi, g := range list {
+			perColCovers[ci][gi] = coverTable(g)
 		}
 	}
-	walk(0)
 
-	if best == nil {
+	// Candidates form a mixed-radix index space with column 0 as the most
+	// significant digit — the exact order the recursive walk visited them
+	// in. Each candidate's k-anonymity check is independent, so they are
+	// evaluated in parallel; the reduction below runs in index order,
+	// keeping the min-loss/first-wins tie-break byte-identical to the
+	// sequential search.
+	decode := func(c int, idx []int) {
+		for ci := len(cols) - 1; ci >= 0; ci-- {
+			idx[ci] = c % len(perCol[ci])
+			c /= len(perCol[ci])
+		}
+	}
+	type verdict struct {
+		valid bool
+		loss  float64
+	}
+	verdicts := make([]verdict, product)
+	pool.ForEach(workers, product, func(c int) error {
+		idx := make([]int, len(cols))
+		decode(c, idx)
+		covers := make([][]int32, len(cols))
+		choice := make([]dht.GenSet, len(cols))
+		for ci, gi := range idx {
+			covers[ci] = perColCovers[ci][gi]
+			choice[ci] = perCol[ci][gi]
+		}
+		if jointMinBin(rowLeaves, covers) < k {
+			return nil
+		}
+		verdicts[c] = verdict{valid: true, loss: avgSpecificityLoss(choice)}
+		return nil
+	})
+
+	stats.Candidates = product
+	bestIdx := -1
+	bestLoss := 0.0
+	for c, v := range verdicts {
+		if !v.valid {
+			continue
+		}
+		stats.Valid++
+		if bestIdx < 0 || v.loss < bestLoss {
+			bestIdx, bestLoss = c, v.loss
+		}
+	}
+	if bestIdx < 0 {
 		return nil, *stats, fmt.Errorf(
 			"binning: no allowable generalization satisfies k=%d; data not binnable under the usage metrics", k)
 	}
+	idx := make([]int, len(cols))
+	decode(bestIdx, idx)
 	out := make(map[string]dht.GenSet, len(cols))
-	for i, col := range cols {
-		out[col] = best[i]
+	for ci, col := range cols {
+		out[col] = perCol[ci][idx[ci]]
 	}
 	return out, *stats, nil
 }
@@ -308,7 +484,7 @@ func multiGreedy(
 	tbl *relation.Table,
 	cols []string,
 	mingends, maxgends map[string]dht.GenSet,
-	k int,
+	k, workers int,
 	rowLeaves [][]dht.NodeID,
 	stats *MultiStats,
 ) (map[string]dht.GenSet, MultiStats, error) {
@@ -322,29 +498,30 @@ func multiGreedy(
 	}
 
 	for {
-		// Identify violating rows (bins under k).
-		counts := make(map[string]int)
-		keys := make([]string, len(rowLeaves[0]))
-		var sb strings.Builder
-		for row := range keys {
-			sb.Reset()
-			for ci := range cur {
-				fmt.Fprintf(&sb, "%d|", covers[ci][rowLeaves[ci][row]])
-			}
-			keys[row] = sb.String()
-			counts[keys[row]]++
+		// Identify the members (per column) participating in bins under
+		// k. The lattice ascent is inherently iterative — every merge
+		// depends on the previous one — but each iteration's full-table
+		// scan shards across workers with a deterministic merge.
+		sizes := make([]int, len(cur))
+		for ci := range cur {
+			sizes[ci] = cur[ci].Len()
 		}
-		// Members (per column) participating in violating bins.
-		violating := make([]map[int32]bool, len(cols))
-		for ci := range violating {
-			violating[ci] = make(map[int32]bool)
+		var violating [][]bool
+		if bases, fits := binKeyBases(covers); fits {
+			violating = scanViolating(workers, k, rowLeaves, covers, sizes, func(row int) uint64 {
+				return radixKeyAt(rowLeaves, covers, bases, row)
+			}, func(key uint64) uint64 { return key })
+		} else {
+			violating = scanViolating(workers, k, rowLeaves, covers, sizes, func(row int) string {
+				return stringKeyAt(rowLeaves, covers, row)
+			}, fnv64a)
 		}
 		anyViolation := false
-		for row, key := range keys {
-			if counts[key] < k {
-				anyViolation = true
-				for ci := range cur {
-					violating[ci][covers[ci][rowLeaves[ci][row]]] = true
+		for _, col := range violating {
+			for _, v := range col {
+				if v {
+					anyViolation = true
+					break
 				}
 			}
 		}

@@ -271,6 +271,24 @@ func (v *VoteBoard) Resolve() Bits {
 	return out
 }
 
+// Merge adds every tally of other into v. Boards must have equal length.
+// It is the fan-in step of sharded detection: because detection weights
+// are integer-valued, float64 addition is exact and merging per-shard
+// boards in shard order reproduces the sequential tallies bit for bit.
+func (v *VoteBoard) Merge(other *VoteBoard) error {
+	if other == nil {
+		return errors.New("bitstr: cannot merge a nil board")
+	}
+	if len(other.zero) != len(v.zero) {
+		return fmt.Errorf("bitstr: cannot merge boards of length %d and %d", v.Len(), other.Len())
+	}
+	for i := range v.zero {
+		v.zero[i] += other.zero[i]
+		v.one[i] += other.one[i]
+	}
+	return nil
+}
+
 // FoldInto collapses a replicated board (length l·markLen) into a markLen
 // board by summing tallies across replicas, implementing the outer
 // MajorVot(wmd) of the paper's Detection with weighted votes preserved.

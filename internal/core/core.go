@@ -59,12 +59,27 @@ type Config struct {
 	Tau float64
 	// LossThreshold is the maximal mark loss accepted as a match.
 	LossThreshold float64
-	// WeightedVoting, SaltPositionWithColumn and BoundaryPermutation are
-	// passed to the watermarking agent (see watermark.Params).
-	WeightedVoting         bool
+	// WeightedVoting and BoundaryPermutation are passed to the
+	// watermarking agent (see watermark.Params).
+	WeightedVoting      bool
+	BoundaryPermutation bool
+	// NoColumnSalt disables the default column salt in the wmd-position
+	// hash (DESIGN.md deviation 5), restoring the paper's literal
+	// single-column addressing. It is the single source of truth for the
+	// salt policy: New derives the effective SaltPositionWithColumn as
+	// !NoColumnSalt, and rejects configurations that set both fields.
+	NoColumnSalt bool
+	// SaltPositionWithColumn is derived by New (= !NoColumnSalt) and is
+	// only exported so the effective configuration and the provenance
+	// record can carry it. Do not set it directly: a true value combined
+	// with NoColumnSalt is a validation error, and any other explicit
+	// value is overwritten by the derivation.
 	SaltPositionWithColumn bool
-	NoColumnSalt           bool // set to disable the default column salt
-	BoundaryPermutation    bool
+	// Workers bounds the goroutines the pipeline fans out to: the
+	// exhaustive multi-attribute binning search, watermark embedding and
+	// detection all shard their work across it (0 = GOMAXPROCS,
+	// 1 = sequential). Outputs are identical for every worker count.
+	Workers int
 }
 
 // ColumnProvenance records one column's frontiers in portable form.
@@ -141,9 +156,11 @@ func New(trees map[string]*dht.Tree, cfg Config) (*Framework, error) {
 	if cfg.LossThreshold == 0 {
 		cfg.LossThreshold = 0.15
 	}
-	if !cfg.NoColumnSalt {
-		cfg.SaltPositionWithColumn = true
+	if cfg.NoColumnSalt && cfg.SaltPositionWithColumn {
+		return nil, errors.New(
+			"core: conflicting Config: NoColumnSalt and SaltPositionWithColumn are both set; NoColumnSalt is the single source of truth — leave SaltPositionWithColumn unset")
 	}
+	cfg.SaltPositionWithColumn = !cfg.NoColumnSalt
 	return &Framework{trees: trees, cfg: cfg}, nil
 }
 
@@ -201,6 +218,7 @@ func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Prote
 		Strategy:   f.cfg.Strategy,
 		EnumLimit:  f.cfg.EnumLimit,
 		Aggressive: f.cfg.Aggressive,
+		Workers:    f.cfg.Workers,
 	}
 	binRes, err := binning.Run(tbl, binCfg, cipher)
 	if err != nil {
@@ -229,6 +247,7 @@ func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Prote
 		WeightedVoting:         f.cfg.WeightedVoting,
 		SaltPositionWithColumn: f.cfg.SaltPositionWithColumn,
 		BoundaryPermutation:    f.cfg.BoundaryPermutation,
+		Workers:                f.cfg.Workers,
 	}
 	before, err := anonymity.Bins(binRes.Table, tbl.Schema().QuasiColumns())
 	if err != nil {
@@ -370,6 +389,7 @@ func (f *Framework) Detect(tbl *relation.Table, prov Provenance, key crypt.Water
 	if err != nil {
 		return nil, err
 	}
+	params.Workers = f.cfg.Workers
 	res, err := watermark.Detect(tbl, prov.IdentCol, columns, params)
 	if err != nil {
 		return nil, err
@@ -393,6 +413,7 @@ func (f *Framework) Dispute(disputed *relation.Table, prov Provenance, ownerKey 
 	if err != nil {
 		return nil, err
 	}
+	params.Workers = f.cfg.Workers
 	judge := ownership.Judge{
 		IdentCol:      prov.IdentCol,
 		Columns:       columns,

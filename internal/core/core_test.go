@@ -162,6 +162,25 @@ func TestProvenanceJSONRoundtrip(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
+	// The full recovery chain: the round-tripped record must rebuild the
+	// exact column specs before detection succeeds with them.
+	specs, err := fw.SpecsFromProvenance(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := fw.columnSpecs(p.Binning)
+	if len(specs) != len(orig) {
+		t.Fatalf("rebuilt %d specs, want %d", len(specs), len(orig))
+	}
+	for col, spec := range specs {
+		o, ok := orig[col]
+		if !ok {
+			t.Fatalf("rebuilt spec for unknown column %s", col)
+		}
+		if !spec.UltiGen.Equal(o.UltiGen) || !spec.MaxGen.Equal(o.MaxGen) {
+			t.Errorf("column %s: rebuilt frontiers differ from originals", col)
+		}
+	}
 	det, err := fw.Detect(p.Table, back, key)
 	if err != nil {
 		t.Fatal(err)

@@ -36,6 +36,11 @@ type Config struct {
 	Duplication int
 	// Secret derives the watermarking key set.
 	Secret string
+	// Workers bounds the goroutines used to run independent experiment
+	// points (figure-sweep entries, attack-battery cells) concurrently
+	// (0 = GOMAXPROCS, 1 = sequential). Results are assembled in point
+	// order, so tables are identical for every worker count.
+	Workers int
 }
 
 // Defaults fills in the paper's parameters.
@@ -201,14 +206,28 @@ func (s *wmSetup) key(eta uint64) crypt.WatermarkKey {
 	return crypt.NewWatermarkKeyFromSecret(s.cfg.Secret, eta)
 }
 
-// params builds watermark parameters for a given η.
+// params builds watermark parameters for a given η. Workers propagates
+// so that Workers=1 runs the whole experiment — sweep points and their
+// inner embed/detect — strictly sequentially, while experiments that
+// loop sequentially (seamlessness trials, drift rates) still fan their
+// embeds out.
 func (s *wmSetup) params(eta uint64) watermark.Params {
 	return watermark.Params{
 		Key:                    s.key(eta),
 		Mark:                   s.mark,
 		Duplication:            s.cfg.Duplication,
 		SaltPositionWithColumn: true,
+		Workers:                s.cfg.Workers,
 	}
+}
+
+// pointParams is params for use inside a sweep that already fans its
+// points out over cfg.Workers: the inner embed/detect stays sequential
+// so the total concurrency is bounded by the flag instead of its square.
+func (s *wmSetup) pointParams(eta uint64) watermark.Params {
+	p := s.params(eta)
+	p.Workers = 1
+	return p
 }
 
 // newWatermarkSetup generates data, states the usage metrics as maximal

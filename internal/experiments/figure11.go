@@ -7,6 +7,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/infoloss"
 	"repro/internal/ontology"
+	"repro/internal/pool"
 )
 
 // Figure11 reproduces "k vs. information loss" (E1): for each k, the
@@ -58,7 +59,10 @@ func Figure11(cfg Config) (*Table, error) {
 		},
 	}
 
-	for _, k := range ks {
+	// Every k of the sweep bins the same read-only table independently,
+	// so the points run concurrently; pool.Map returns rows in k order.
+	rows, err := pool.Map(cfg.Workers, len(ks), func(ki int) ([]string, error) {
+		k := ks[ki]
 		minGens := make(map[string]dht.GenSet, len(quasi))
 		var monoLosses []float64
 		for _, col := range quasi {
@@ -75,7 +79,7 @@ func Figure11(cfg Config) (*Table, error) {
 		}
 		monoAvg := infoloss.NormalizedLoss(monoLosses)
 
-		ulti, _, err := binning.MultiBin(tbl, quasi, minGens, maxGens, k, binning.StrategyGreedy, 0)
+		ulti, _, err := binning.MultiBin(tbl, quasi, minGens, maxGens, k, binning.StrategyGreedy, 0, 1)
 		if err != nil {
 			return nil, fmt.Errorf("k=%d multi: %w", k, err)
 		}
@@ -89,9 +93,11 @@ func Figure11(cfg Config) (*Table, error) {
 		}
 		multiAvg := infoloss.NormalizedLoss(multiLosses)
 
-		out.Rows = append(out.Rows, []string{
-			fmt.Sprintf("%d", k), pct(monoAvg), pct(multiAvg),
-		})
+		return []string{fmt.Sprintf("%d", k), pct(monoAvg), pct(multiAvg)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = append(out.Rows, rows...)
 	return out, nil
 }

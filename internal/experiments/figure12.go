@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/attack"
+	"repro/internal/pool"
 	"repro/internal/relation"
 	"repro/internal/watermark"
 )
@@ -55,14 +56,20 @@ func figure12(cfg Config, kind attackKind, figure string) (*Table, error) {
 		return nil, err
 	}
 
-	// One watermarked table per η.
-	marked := make(map[uint64]*relation.Table, len(figure12Etas))
-	for _, eta := range figure12Etas {
+	// One watermarked table per η; the three embeds are independent.
+	markedByEta, err := pool.Map(cfg.Workers, len(figure12Etas), func(i int) (*relation.Table, error) {
 		m := setup.binned.Clone()
-		if _, err := watermark.Embed(m, setup.identCol, setup.columns, setup.params(eta)); err != nil {
+		if _, err := watermark.Embed(m, setup.identCol, setup.columns, setup.pointParams(figure12Etas[i])); err != nil {
 			return nil, err
 		}
-		marked[eta] = m
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	marked := make(map[uint64]*relation.Table, len(figure12Etas))
+	for i, eta := range figure12Etas {
+		marked[eta] = markedByEta[i]
 	}
 
 	out := &Table{
@@ -77,36 +84,56 @@ func figure12(cfg Config, kind attackKind, figure string) (*Table, error) {
 		},
 	}
 
+	// The attack battery is a grid of independent (strength, η) cells:
+	// each clones its own table, attacks it with a seed derived from the
+	// cell coordinates, and detects. Flattening the grid into one point
+	// list load-balances across workers; rows are assembled in sweep
+	// order afterwards, so the table never depends on scheduling.
+	type point struct {
+		frac float64
+		eta  uint64
+	}
+	points := make([]point, 0, len(figure12Fracs)*len(figure12Etas))
 	for _, frac := range figure12Fracs {
-		row := []string{pct(frac)}
 		for _, eta := range figure12Etas {
-			attacked := marked[eta].Clone()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(frac*100) + int64(eta)))
-			switch kind {
-			case subsetAlteration:
-				if _, err := attack.AlterSubset(attacked, setup.frontierValues(), frac, rng); err != nil {
-					return nil, err
-				}
-			case subsetAddition:
-				gen := attack.BogusRowGenerator(attacked.Schema(), setup.identCol, "bogus", setup.frontierValues(), rng)
-				if _, err := attack.AddSubset(attacked, frac, gen); err != nil {
-					return nil, err
-				}
-			case subsetDeletion:
-				if _, err := attack.DeleteRanges(attacked, setup.identCol, frac, 8, rng); err != nil {
-					return nil, err
-				}
-			}
-			res, err := watermark.Detect(attacked, setup.identCol, setup.columns, setup.params(eta))
-			if err != nil {
-				return nil, err
-			}
-			loss, err := watermark.MarkLoss(setup.mark, res)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, pct(loss))
+			points = append(points, point{frac: frac, eta: eta})
 		}
+	}
+	losses, err := pool.Map(cfg.Workers, len(points), func(pi int) (string, error) {
+		frac, eta := points[pi].frac, points[pi].eta
+		attacked := marked[eta].Clone()
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(frac*100) + int64(eta)))
+		switch kind {
+		case subsetAlteration:
+			if _, err := attack.AlterSubset(attacked, setup.frontierValues(), frac, rng); err != nil {
+				return "", err
+			}
+		case subsetAddition:
+			gen := attack.BogusRowGenerator(attacked.Schema(), setup.identCol, "bogus", setup.frontierValues(), rng)
+			if _, err := attack.AddSubset(attacked, frac, gen); err != nil {
+				return "", err
+			}
+		case subsetDeletion:
+			if _, err := attack.DeleteRanges(attacked, setup.identCol, frac, 8, rng); err != nil {
+				return "", err
+			}
+		}
+		res, err := watermark.Detect(attacked, setup.identCol, setup.columns, setup.pointParams(eta))
+		if err != nil {
+			return "", err
+		}
+		loss, err := watermark.MarkLoss(setup.mark, res)
+		if err != nil {
+			return "", err
+		}
+		return pct(loss), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, frac := range figure12Fracs {
+		row := []string{pct(frac)}
+		row = append(row, losses[fi*len(figure12Etas):(fi+1)*len(figure12Etas)]...)
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil

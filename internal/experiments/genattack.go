@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/ontology"
+	"repro/internal/pool"
 	"repro/internal/watermark"
 )
 
@@ -69,7 +70,10 @@ func GeneralizationAttack(cfg Config) (*Table, error) {
 			"level 2 reaches the maximal nodes: every embedded level is erased, so both schemes read nothing",
 		},
 	}
-	for levels := 0; levels <= 2; levels++ {
+	// Each attack depth clones and judges both schemes independently;
+	// inside the fan-out the detects run sequentially (pointParams).
+	rows, err := pool.Map(cfg.Workers, 3, func(levels int) ([]string, error) {
+		params := setup.pointParams(eta)
 		hAtt := hier.Clone()
 		sAtt := single.Clone()
 		if levels > 0 {
@@ -96,9 +100,11 @@ func GeneralizationAttack(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		out.Rows = append(out.Rows, []string{
-			fmt.Sprintf("%d", levels), pct(sLoss), pct(hLoss),
-		})
+		return []string{fmt.Sprintf("%d", levels), pct(sLoss), pct(hLoss)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = append(out.Rows, rows...)
 	return out, nil
 }

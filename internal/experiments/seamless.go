@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/anonymity"
 	"repro/internal/watermark"
@@ -72,10 +73,18 @@ func Seamlessness(cfg Config) (*Table, error) {
 	}
 	for _, col := range quasi {
 		bins := perCol[col]
+		// Sum in sorted bin order: float accumulation is order-sensitive
+		// in the last digits, and map order would vary run to run.
+		keys := make([]string, 0, len(bins))
+		for key := range bins {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
 		totalOut, totalIn := 0, 0
 		sumDiff, sumSize := 0.0, 0.0
 		n := 0
-		for _, a := range bins {
+		for _, key := range keys {
+			a := bins[key]
 			totalOut += a.out
 			totalIn += a.in
 			sumDiff += math.Abs(float64(a.out-a.in)) / trials

@@ -3,10 +3,12 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/attack"
 	"repro/internal/binning"
 	"repro/internal/ontology"
+	"repro/internal/pool"
 	"repro/internal/watermark"
 )
 
@@ -65,7 +67,11 @@ func WeightedVotingAblation(cfg Config) (*Table, error) {
 			"attack: generalize 2 levels then randomly re-specialize to the frontier (lower levels random, top level intact)",
 		},
 	}
-	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+	// Each attack strength builds and judges its own attacked clone with
+	// a seed derived from the strength — independent sweep points.
+	fracs := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	rows, err := pool.Map(cfg.Workers, len(fracs), func(fi int) ([]string, error) {
+		frac := fracs[fi]
 		attacked := marked.Clone()
 		if frac > 0 {
 			// Respecialize a random subset: apply to a cloned subset view
@@ -84,7 +90,7 @@ func WeightedVotingAblation(cfg Config) (*Table, error) {
 		}
 		row := []string{pct(frac)}
 		for _, weighted := range []bool{false, true} {
-			params := embedParams
+			params := setup.pointParams(eta)
 			params.WeightedVoting = weighted
 			res, err := watermark.Detect(attacked, setup.identCol, cols, params)
 			if err != nil {
@@ -96,8 +102,12 @@ func WeightedVotingAblation(cfg Config) (*Table, error) {
 			}
 			row = append(row, pct(loss))
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Rows = append(out.Rows, rows...)
 	return out, nil
 }
 
@@ -179,8 +189,15 @@ func driftRate(setup *wmSetup, col string, eta uint64, trials int) (float64, err
 			a.in += flows.in[key]
 		}
 	}
+	// Sorted bin order keeps the float accumulation reproducible.
+	keys := make([]string, 0, len(bins))
+	for key := range bins {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	sumDiff, sumSize := 0.0, 0.0
-	for _, a := range bins {
+	for _, key := range keys {
+		a := bins[key]
 		d := a.out - a.in
 		if d < 0 {
 			d = -d

@@ -3,6 +3,7 @@ package watermark
 import (
 	"repro/internal/bitstr"
 	"repro/internal/crypt"
+	"repro/internal/pool"
 	"repro/internal/relation"
 )
 
@@ -49,30 +50,50 @@ func Detect(tbl *relation.Table, identCol string, columns map[string]ColumnSpec,
 	board := bitstr.NewVoteBoard(p.wmdLen())
 	cols := sortColumns(columns)
 
-	for row := 0; row < tbl.NumRows(); row++ {
-		var ident []byte
-		if p.UseVirtualIdent {
-			ident = virtualIdent(tbl, row, cols, colIdx, columns)
-		} else {
-			ident = []byte(tbl.CellAt(row, identIdx))
-		}
-		if !prf1.Selects(ident, p.Key.Eta) {
-			continue
-		}
-		res.Stats.TuplesSelected++
-		for _, col := range cols {
-			spec := columns[col]
-			value := tbl.CellAt(row, colIdx[col])
-			bit, read, ok := detectCell(spec, value, p)
-			res.Stats.BitsRead += read
-			if !ok {
-				res.Stats.SkippedCells++
+	// Shard the tuples into contiguous row ranges, harvest votes on a
+	// per-shard board, then merge boards and counters in shard order. All
+	// vote weights are integer-valued, so the merged tallies — and hence
+	// the recovered mark and confidences — are bit-identical to the
+	// sequential accumulation for any worker count.
+	chunks := pool.Chunks(p.Workers, tbl.NumRows())
+	shardBoards := make([]*bitstr.VoteBoard, len(chunks))
+	shardStats := make([]DetectStats, len(chunks))
+	pool.ForEachChunk(p.Workers, tbl.NumRows(), func(si, lo, hi int) error {
+		shardBoard := bitstr.NewVoteBoard(p.wmdLen())
+		shard := &shardStats[si]
+		for row := lo; row < hi; row++ {
+			var ident []byte
+			if p.UseVirtualIdent {
+				ident = virtualIdent(tbl, row, cols, colIdx, columns)
+			} else {
+				ident = []byte(tbl.CellAt(row, identIdx))
+			}
+			if !prf1.Selects(ident, p.Key.Eta) {
 				continue
 			}
-			pos := p.positionOf(prf2, ident, col)
-			board.Vote(pos, bit, 1)
-			res.Stats.VotesCast++
+			shard.TuplesSelected++
+			for _, col := range cols {
+				spec := columns[col]
+				value := tbl.CellAt(row, colIdx[col])
+				bit, read, ok := detectCell(spec, value, p)
+				shard.BitsRead += read
+				if !ok {
+					shard.SkippedCells++
+					continue
+				}
+				pos := p.positionOf(prf2, ident, col)
+				shardBoard.Vote(pos, bit, 1)
+				shard.VotesCast++
+			}
 		}
+		shardBoards[si] = shardBoard
+		return nil
+	})
+	for si := range chunks {
+		if err := board.Merge(shardBoards[si]); err != nil {
+			return res, err
+		}
+		res.Stats.add(shardStats[si])
 	}
 
 	folded, err := board.FoldInto(p.Mark.Len())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/crypt"
+	"repro/internal/pool"
 	"repro/internal/relation"
 )
 
@@ -19,6 +20,12 @@ import (
 // (Permutate), until an ultimate generalization node is reached. Levels
 // with fewer than two children are traversed without carrying a bit
 // (DESIGN.md deviation 2).
+//
+// On success the embedded table is byte-identical for every
+// Params.Workers value. On error the table is left partially mutated —
+// as with the sequential scan — but *which* rows were already marked
+// depends on the worker count; callers must discard the table when
+// Embed fails (Protect embeds into a throwaway clone for this reason).
 func Embed(tbl *relation.Table, identCol string, columns map[string]ColumnSpec, p Params) (EmbedStats, error) {
 	var stats EmbedStats
 	if err := p.validate(); err != nil {
@@ -51,35 +58,52 @@ func Embed(tbl *relation.Table, identCol string, columns map[string]ColumnSpec, 
 	wmd := p.Mark.Duplicate(p.Duplication)
 	cols := sortColumns(columns)
 
-	for row := 0; row < tbl.NumRows(); row++ {
-		var ident []byte
-		if p.UseVirtualIdent {
-			ident = virtualIdent(tbl, row, cols, colIdx, columns)
-		} else {
-			ident = []byte(tbl.CellAt(row, identIdx))
-		}
-		if !prf1.Selects(ident, p.Key.Eta) {
-			continue
-		}
-		stats.TuplesSelected++
-		for _, col := range cols {
-			spec := columns[col]
-			bit := wmd.Get(p.positionOf(prf2, ident, col))
-			ci := colIdx[col]
-			oldVal := tbl.CellAt(row, ci)
-			newVal, embedded, err := embedCell(spec, prf2, ident, col, oldVal, bit, p.BoundaryPermutation)
-			if err != nil {
-				return stats, fmt.Errorf("watermark: row %d column %s: %w", row, col, err)
+	// Shard the tuples into contiguous row ranges and embed each range on
+	// its own goroutine: every row touches only its own cells (the §5.3
+	// virtual key, too, is derived from the row itself), so the shards are
+	// disjoint. Per-shard statistics are summed in shard order, and the
+	// error of the lowest failing shard — whose scan stops at its first
+	// bad row, like the sequential loop — is the one reported.
+	shardStats := make([]EmbedStats, len(pool.Chunks(p.Workers, tbl.NumRows())))
+	err := pool.ForEachChunk(p.Workers, tbl.NumRows(), func(si, lo, hi int) error {
+		shard := &shardStats[si]
+		for row := lo; row < hi; row++ {
+			var ident []byte
+			if p.UseVirtualIdent {
+				ident = virtualIdent(tbl, row, cols, colIdx, columns)
+			} else {
+				ident = []byte(tbl.CellAt(row, identIdx))
 			}
-			stats.BitsEmbedded += embedded
-			if embedded == 0 {
-				stats.ZeroBandwidth++
+			if !prf1.Selects(ident, p.Key.Eta) {
+				continue
 			}
-			if newVal != oldVal {
-				tbl.SetCellAt(row, ci, newVal)
-				stats.CellsChanged++
+			shard.TuplesSelected++
+			for _, col := range cols {
+				spec := columns[col]
+				bit := wmd.Get(p.positionOf(prf2, ident, col))
+				ci := colIdx[col]
+				oldVal := tbl.CellAt(row, ci)
+				newVal, embedded, err := embedCell(spec, prf2, ident, col, oldVal, bit, p.BoundaryPermutation)
+				if err != nil {
+					return fmt.Errorf("watermark: row %d column %s: %w", row, col, err)
+				}
+				shard.BitsEmbedded += embedded
+				if embedded == 0 {
+					shard.ZeroBandwidth++
+				}
+				if newVal != oldVal {
+					tbl.SetCellAt(row, ci, newVal)
+					shard.CellsChanged++
+				}
 			}
 		}
+		return nil
+	})
+	for _, s := range shardStats {
+		stats.add(s)
+	}
+	if err != nil {
+		return stats, err
 	}
 	return stats, nil
 }

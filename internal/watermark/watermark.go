@@ -71,6 +71,12 @@ type Params struct {
 	// usage-metric overshoot for bandwidth. Off by default (such tuples
 	// then carry no bits).
 	BoundaryPermutation bool
+	// Workers bounds the goroutines Embed and Detect spread the per-tuple
+	// PRF/walk work over (0 = GOMAXPROCS, 1 = sequential). Tuples are
+	// sharded into contiguous row ranges and merged deterministically, so
+	// the embedded table, the recovered mark and all statistics are
+	// identical for every worker count.
+	Workers int
 	// UseVirtualIdent anchors selection and addressing on a virtual
 	// primary key derived from the columns' maximal-cover values instead
 	// of the identifying column (§5.3 footnote 1) — for tables whose
@@ -118,6 +124,14 @@ type EmbedStats struct {
 	ZeroBandwidth int
 }
 
+// add accumulates another shard's embedding counters.
+func (s *EmbedStats) add(o EmbedStats) {
+	s.TuplesSelected += o.TuplesSelected
+	s.BitsEmbedded += o.BitsEmbedded
+	s.CellsChanged += o.CellsChanged
+	s.ZeroBandwidth += o.ZeroBandwidth
+}
+
 // DetectStats reports detection work.
 type DetectStats struct {
 	// TuplesSelected is the number of tuples passing Equation (5).
@@ -129,6 +143,14 @@ type DetectStats struct {
 	// SkippedCells counts selected cells that yielded nothing (value not
 	// in the domain, above the usage metrics, or at a bitless position).
 	SkippedCells int
+}
+
+// add accumulates another shard's detection counters.
+func (s *DetectStats) add(o DetectStats) {
+	s.TuplesSelected += o.TuplesSelected
+	s.VotesCast += o.VotesCast
+	s.BitsRead += o.BitsRead
+	s.SkippedCells += o.SkippedCells
 }
 
 // DetectResult is the detector's output.

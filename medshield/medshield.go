@@ -19,6 +19,7 @@
 //	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{
 //		K:           20,
 //		AutoEpsilon: true,
+//		Workers:     0, // fan the pipeline out over all cores (1 = sequential)
 //	})
 //	key := medshield.NewKey("hospital secret passphrase", 75)
 //	protected, err := fw.Protect(table, key)
