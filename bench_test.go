@@ -172,7 +172,7 @@ func BenchmarkMultiBinGreedy(b *testing.B) {
 
 func BenchmarkProtect20k(b *testing.B) {
 	tbl := benchTable(b, 20000)
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func BenchmarkProtect20k(b *testing.B) {
 
 func benchmarkProtectWorkers(b *testing.B, workers int) {
 	tbl := benchTable(b, 20000)
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true, Workers: workers})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon(), medshield.WithWorkers(workers))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestProtect20kWorkersIdentical(t *testing.T) {
 	key := medshield.NewKey("bench", 75)
 	var baseline string
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
-		fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true, Workers: workers})
+		fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon(), medshield.WithWorkers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -276,7 +276,7 @@ func BenchmarkEmbed20kWorkersMax(b *testing.B) { benchmarkEmbedWorkers(b, runtim
 
 func benchmarkDetectWorkers(b *testing.B, workers int) {
 	tbl := benchTable(b, 20000)
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true, Workers: workers})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon(), medshield.WithWorkers(workers))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func BenchmarkMultiBinGreedyWorkersMax(b *testing.B) {
 func protectedFixture(b *testing.B) (*medshield.Framework, *medshield.Protected, medshield.Key) {
 	b.Helper()
 	tbl := benchTable(b, 20000)
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -113,7 +113,7 @@ func cmdProtect(args []string) error {
 	if err != nil {
 		return err
 	}
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers})
+	fw, err := medshield.NewFromConfig(medshield.BuiltinTrees(), medshield.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -159,7 +159,7 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: prov.K, Workers: *workers})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(prov.K), medshield.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}
@@ -197,7 +197,7 @@ func cmdAttack(args []string) error {
 	if err != nil {
 		return err
 	}
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: max(prov.K, 1)})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(max(prov.K, 1)))
 	if err != nil {
 		return err
 	}
@@ -271,7 +271,7 @@ func cmdDispute(args []string) error {
 	if err != nil {
 		return err
 	}
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: max(prov.K, 1), Workers: *workers})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(max(prov.K, 1)), medshield.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}

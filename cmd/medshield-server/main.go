@@ -1,0 +1,104 @@
+// Command medshield-server exposes the protection pipeline as an HTTP
+// service speaking the internal/api v1 wire contract:
+//
+//	POST /v1/protect  — bin + watermark a table (CSV-or-rows payload)
+//	POST /v1/detect   — recover the mark from a suspected copy
+//	POST /v1/dispute  — arbitrate ownership claims (§5.4)
+//	GET  /v1/healthz  — liveness + capacity
+//
+// Every request runs under a per-request deadline (-request-timeout) and
+// a bounded in-flight semaphore (-max-inflight, sized off -workers by
+// default); SIGINT/SIGTERM drain in-flight requests before exit.
+//
+//	medshield-server -addr :8080 -k 20 -workers 0 -request-timeout 60s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "medshield-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		k              = flag.Int("k", 20, "default k-anonymity parameter (per-request options may override)")
+		autoEps        = flag.Bool("auto-epsilon", true, "default: compute the conservative §6 slack automatically")
+		workers        = flag.Int("workers", 0, "pipeline worker count per request (0 = all cores, 1 = sequential)")
+		requestTimeout = flag.Duration("request-timeout", 60*time.Second, "per-request deadline")
+		maxInflight    = flag.Int("max-inflight", 0, "max concurrently served pipeline requests (0 = sized off workers)")
+		maxBody        = flag.Int64("max-body-bytes", 64<<20, "request body size cap in bytes")
+		quiet          = flag.Bool("quiet", false, "disable per-request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "medshield-server ", log.LstdFlags)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+	svc, err := server.New(server.Config{
+		Defaults:       core.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers},
+		RequestTimeout: *requestTimeout,
+		MaxInflight:    *maxInflight,
+		MaxBodyBytes:   *maxBody,
+		Logger:         reqLogger,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Generous read/write bounds; the real per-request budget is the
+		// service's request timeout, which also covers semaphore wait.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (k=%d workers=%d timeout=%s inflight=%d)",
+			*addr, *k, *workers, *requestTimeout, *maxInflight)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests up to
+	// one request-timeout, then give up.
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *requestTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logger.Printf("drained")
+	return nil
+}

@@ -43,11 +43,11 @@ func main() {
 		},
 		Avg: 1,
 	}
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{
-		K:           25,
-		AutoEpsilon: true,
-		Metrics:     metrics,
-	})
+	fw, err := medshield.New(medshield.BuiltinTrees(),
+		medshield.WithK(25),
+		medshield.WithAutoEpsilon(),
+		medshield.WithMetrics(metrics),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,10 +22,10 @@ func main() {
 
 	// The framework: k-anonymity at k=20 with the §6 slack applied
 	// automatically, over the builtin medical ontologies.
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{
-		K:           20,
-		AutoEpsilon: true,
-	})
+	fw, err := medshield.New(medshield.BuiltinTrees(),
+		medshield.WithK(20),
+		medshield.WithAutoEpsilon(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -40,7 +40,7 @@ func TestFullWorkflowThroughFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 20, AutoEpsilon: true})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,66 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Error is the structured error body: a machine-readable code plus a
+// human-readable message.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the envelope every non-2xx response carries.
+type ErrorResponse struct {
+	Error Error `json:"error"`
+}
+
+// Machine-readable error codes. Clients switch on these, never on
+// message text.
+const (
+	CodeBadRequest       = "bad_request"       // malformed JSON, bad table payload, bad options
+	CodeBadConfig        = "bad_config"        // configuration rejected by the pipeline
+	CodeBadKey           = "bad_key"           // unusable key material
+	CodeBadSchema        = "bad_schema"        // table/schema the pipeline cannot process
+	CodeBadProvenance    = "bad_provenance"    // provenance record does not fit
+	CodeUnsatisfiable    = "unsatisfiable"     // k-anonymity/bandwidth unattainable for this data
+	CodeKeyMismatch      = "key_mismatch"      // well-formed key does not match the data
+	CodeCanceled         = "canceled"          // request context cancelled by the client
+	CodeDeadlineExceeded = "deadline_exceeded" // per-request deadline hit
+	CodeOverloaded       = "overloaded"        // in-flight request limit reached
+	CodePayloadTooLarge  = "payload_too_large" // request body exceeds the server cap
+	CodeInternal         = "internal"          // anything unclassified
+)
+
+// Classify maps a pipeline error to its wire code and HTTP status via
+// errors.Is over the core sentinels — no string matching. Unclassified
+// errors are internal (500).
+func Classify(err error) (code string, status int) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadlineExceeded, http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// 499 is nginx's "client closed request"; net/http has no named
+		// constant, and the client is usually gone anyway.
+		return CodeCanceled, 499
+	case errors.Is(err, core.ErrBadConfig):
+		return CodeBadConfig, http.StatusBadRequest
+	case errors.Is(err, core.ErrBadKey):
+		return CodeBadKey, http.StatusBadRequest
+	case errors.Is(err, core.ErrBadSchema):
+		return CodeBadSchema, http.StatusBadRequest
+	case errors.Is(err, core.ErrBadProvenance):
+		return CodeBadProvenance, http.StatusBadRequest
+	case errors.Is(err, core.ErrUnsatisfiable):
+		return CodeUnsatisfiable, http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrKeyMismatch):
+		return CodeKeyMismatch, http.StatusForbidden
+	default:
+		return CodeInternal, http.StatusInternalServerError
+	}
+}

@@ -1,6 +1,8 @@
 package binning
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -11,6 +13,13 @@ import (
 	"repro/internal/pool"
 	"repro/internal/relation"
 )
+
+// ErrUnsatisfiable reports that no generalization within the usage
+// metrics satisfies the k-anonymity specification — the data are not
+// binnable as configured. Callers detect it with errors.Is and can react
+// by relaxing the metrics, lowering K, or rejecting the request (the
+// service layer maps it to 422 Unprocessable Entity).
+var ErrUnsatisfiable = errors.New("k-anonymity unsatisfiable under the usage metrics")
 
 // Config parameterizes the binning agent.
 type Config struct {
@@ -94,6 +103,15 @@ func EpsilonForMark(binSizes map[string]int, wmdLen int) int {
 // The input table is not modified. Cipher must not be nil when the schema
 // has identifying columns.
 func Run(tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error) {
+	return RunContext(context.Background(), tbl, cfg, cipher)
+}
+
+// RunContext is Run under a context: the column setup, the
+// multi-attribute search and the encrypt/generalize scans all stop
+// dispatching work once ctx is done, and long row scans poll ctx at
+// pool.CtxStride boundaries, so a cancelled binning run aborts promptly
+// with the context's error.
+func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("binning: K must be >= 1, got %d", cfg.K)
 	}
@@ -119,7 +137,7 @@ func Run(tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error)
 		hist []int
 		maxg dht.GenSet
 	}
-	setups, err := pool.Map(cfg.Workers, len(quasi), func(i int) (colSetup, error) {
+	setups, err := pool.MapCtx(ctx, cfg.Workers, len(quasi), func(i int) (colSetup, error) {
 		col := quasi[i]
 		tree, ok := cfg.Trees[col]
 		if !ok || tree == nil {
@@ -171,7 +189,7 @@ func Run(tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error)
 			gen   dht.GenSet
 			stats MonoStats
 		}
-		outs, err := pool.Map(cfg.Workers, len(quasi), func(i int) (monoOut, error) {
+		outs, err := pool.MapCtx(ctx, cfg.Workers, len(quasi), func(i int) (monoOut, error) {
 			col := quasi[i]
 			values, err := work.Column(col)
 			if err != nil {
@@ -225,7 +243,7 @@ func Run(tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error)
 	}
 
 	// 3. Multi-attribute binning.
-	ultiGens, multiStats, err := MultiBin(work, quasi, minGens, maxGens, effectiveK, cfg.Strategy, cfg.EnumLimit, cfg.Workers)
+	ultiGens, multiStats, err := MultiBinContext(ctx, work, quasi, minGens, maxGens, effectiveK, cfg.Strategy, cfg.EnumLimit, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -238,8 +256,11 @@ func Run(tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error)
 	out := work
 	for _, col := range idents {
 		colIdx, _ := out.Schema().Index(col)
-		if err := pool.ForEachChunk(cfg.Workers, out.NumRows(), func(_, lo, hi int) error {
+		if err := pool.ForEachChunkCtx(ctx, cfg.Workers, out.NumRows(), func(_, lo, hi int) error {
 			for i := lo; i < hi; i++ {
+				if err := pool.CtxAt(ctx, i-lo); err != nil {
+					return err
+				}
 				out.SetCellAt(i, colIdx, cipher.EncryptString(out.CellAt(i, colIdx)))
 			}
 			return nil
@@ -250,8 +271,11 @@ func Run(tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error)
 	for _, col := range quasi {
 		gen := ultiGens[col]
 		colIdx, _ := out.Schema().Index(col)
-		if err := pool.ForEachChunk(cfg.Workers, out.NumRows(), func(_, lo, hi int) error {
+		if err := pool.ForEachChunkCtx(ctx, cfg.Workers, out.NumRows(), func(_, lo, hi int) error {
 			for i := lo; i < hi; i++ {
+				if err := pool.CtxAt(ctx, i-lo); err != nil {
+					return err
+				}
 				v, err := gen.GeneralizeValue(out.CellAt(i, colIdx))
 				if err != nil {
 					return fmt.Errorf("binning: column %s row %d: %w", col, i, err)

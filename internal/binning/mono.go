@@ -113,8 +113,8 @@ func MonoBin(tree *dht.Tree, maxg dht.GenSet, values []string, k int, aggressive
 		}
 		if n < k {
 			return dht.GenSet{}, stats, fmt.Errorf(
-				"binning: column %s not binnable: maximal generalization node %q holds %d < k=%d tuples",
-				tree.Attr(), tree.Value(nd), n, k)
+				"binning: column %s not binnable: maximal generalization node %q holds %d < k=%d tuples: %w",
+				tree.Attr(), tree.Value(nd), n, k, ErrUnsatisfiable)
 		}
 		walk(nd)
 	}
@@ -163,12 +163,12 @@ func MonoBinUpward(tree *dht.Tree, maxg dht.GenSet, values []string, k int) (dht
 		}
 		parent := tree.Parent(violator)
 		if parent == dht.None {
-			return dht.GenSet{}, stats, fmt.Errorf("binning: column %s not binnable upward at k=%d", tree.Attr(), k)
+			return dht.GenSet{}, stats, fmt.Errorf("binning: column %s not binnable upward at k=%d: %w", tree.Attr(), k, ErrUnsatisfiable)
 		}
 		if _, ok := maxg.CoverOf(parent); !ok {
 			return dht.GenSet{}, stats, fmt.Errorf(
-				"binning: column %s not binnable: merging %q would climb past the usage metrics",
-				tree.Attr(), tree.Value(violator))
+				"binning: column %s not binnable: merging %q would climb past the usage metrics: %w",
+				tree.Attr(), tree.Value(violator), ErrUnsatisfiable)
 		}
 		// Merging requires all siblings on the frontier; they are, because
 		// merges only ever replace whole child sets. Some siblings may
@@ -184,8 +184,8 @@ func MonoBinUpward(tree *dht.Tree, maxg dht.GenSet, values []string, k int) (dht
 	for _, nd := range cur.Nodes() {
 		if n := sub[nd]; n > 0 && n < k {
 			return dht.GenSet{}, stats, fmt.Errorf(
-				"binning: column %s not binnable: node %q holds %d < k=%d tuples at the usage-metric boundary",
-				tree.Attr(), tree.Value(nd), n, k)
+				"binning: column %s not binnable: node %q holds %d < k=%d tuples at the usage-metric boundary: %w",
+				tree.Attr(), tree.Value(nd), n, k, ErrUnsatisfiable)
 		}
 	}
 	return cur, stats, nil

@@ -1,6 +1,7 @@
 package binning
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -80,6 +81,25 @@ func MultiBin(
 	enumLimit int,
 	workers int,
 ) (map[string]dht.GenSet, MultiStats, error) {
+	return MultiBinContext(context.Background(), tbl, cols, mingends, maxgends, k, strategy, enumLimit, workers)
+}
+
+// MultiBinContext is MultiBin under a context: candidate evaluation
+// (exhaustive) and the per-iteration table scans (greedy) stop once ctx
+// is done and the context's error is returned. An exhaustive search over
+// thousands of candidates — each a full-table k-anonymity check — aborts
+// at the next candidate boundary; greedy scans abort at the next
+// pool.CtxStride row batch.
+func MultiBinContext(
+	ctx context.Context,
+	tbl *relation.Table,
+	cols []string,
+	mingends, maxgends map[string]dht.GenSet,
+	k int,
+	strategy Strategy,
+	enumLimit int,
+	workers int,
+) (map[string]dht.GenSet, MultiStats, error) {
 	var stats MultiStats
 	if k < 1 {
 		return nil, stats, fmt.Errorf("binning: k must be >= 1, got %d", k)
@@ -117,7 +137,7 @@ func MultiBin(
 		return out, stats, nil
 	}
 
-	rowLeaves, err := resolveRowLeaves(tbl, cols, mingends)
+	rowLeaves, err := resolveRowLeaves(ctx, tbl, cols, mingends)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -146,9 +166,9 @@ func MultiBin(
 
 	switch resolved {
 	case StrategyExhaustive:
-		return multiExhaustive(tbl, cols, mingends, maxgends, k, enumLimit, workers, rowLeaves, &stats)
+		return multiExhaustive(ctx, cols, mingends, maxgends, k, enumLimit, workers, rowLeaves, &stats)
 	case StrategyGreedy:
-		return multiGreedy(tbl, cols, mingends, maxgends, k, workers, rowLeaves, &stats)
+		return multiGreedy(ctx, cols, mingends, maxgends, k, workers, rowLeaves, &stats)
 	default:
 		return nil, stats, fmt.Errorf("binning: unknown strategy %v", strategy)
 	}
@@ -156,9 +176,12 @@ func MultiBin(
 
 // resolveRowLeaves maps every row and column to its DHT leaf once, so
 // candidate evaluation is pure array work.
-func resolveRowLeaves(tbl *relation.Table, cols []string, gens map[string]dht.GenSet) ([][]dht.NodeID, error) {
+func resolveRowLeaves(ctx context.Context, tbl *relation.Table, cols []string, gens map[string]dht.GenSet) ([][]dht.NodeID, error) {
 	out := make([][]dht.NodeID, len(cols))
 	for ci, col := range cols {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tree := gens[col].Tree()
 		colIdx, err := tbl.Schema().Index(col)
 		if err != nil {
@@ -297,7 +320,7 @@ func jointMinBin(rowLeaves [][]dht.NodeID, covers [][]int32) int {
 // counts are partitioned by key hash so the merge parallelizes too; bin
 // counting is a sum and member collection a set union — both
 // order-independent — so every worker count yields the same sets.
-func scanViolating[K comparable](workers, k int, rowLeaves [][]dht.NodeID, covers [][]int32, sizes []int, keyAt func(row int) K, hashOf func(K) uint64) [][]bool {
+func scanViolating[K comparable](ctx context.Context, workers, k int, rowLeaves [][]dht.NodeID, covers [][]int32, sizes []int, keyAt func(row int) K, hashOf func(K) uint64) ([][]bool, error) {
 	rows := len(rowLeaves[0])
 	chunks := pool.Chunks(workers, rows)
 	nParts := len(chunks)
@@ -305,24 +328,29 @@ func scanViolating[K comparable](workers, k int, rowLeaves [][]dht.NodeID, cover
 
 	// Pass 1: every shard counts its rows into per-partition maps.
 	shardParts := make([][]map[K]int, nParts)
-	pool.ForEachChunk(workers, rows, func(si, lo, hi int) error {
+	if err := pool.ForEachChunkCtx(ctx, workers, rows, func(si, lo, hi int) error {
 		parts := make([]map[K]int, nParts)
 		for p := range parts {
 			parts[p] = make(map[K]int, (hi-lo)/(4*nParts)+1)
 		}
 		for row := lo; row < hi; row++ {
+			if err := pool.CtxAt(ctx, row-lo); err != nil {
+				return err
+			}
 			key := keyAt(row)
 			keys[row] = key
 			parts[hashOf(key)%uint64(nParts)][key]++
 		}
 		shardParts[si] = parts
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Pass 2: merge each partition across shards — partitions are
 	// disjoint key sets, so they merge concurrently.
 	counts := make([]map[K]int, nParts)
-	pool.ForEach(workers, nParts, func(p int) error {
+	if err := pool.ForEachCtx(ctx, workers, nParts, func(p int) error {
 		merged := shardParts[0][p]
 		for si := 1; si < nParts; si++ {
 			for key, n := range shardParts[si][p] {
@@ -331,17 +359,22 @@ func scanViolating[K comparable](workers, k int, rowLeaves [][]dht.NodeID, cover
 		}
 		counts[p] = merged
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Pass 3: collect, per column, the frontier members of violating
 	// rows into dense shard-local bitmaps, then OR them together.
 	shardViol := make([][][]bool, nParts)
-	pool.ForEachChunk(workers, rows, func(si, lo, hi int) error {
+	if err := pool.ForEachChunkCtx(ctx, workers, rows, func(si, lo, hi int) error {
 		viol := make([][]bool, len(covers))
 		for ci := range viol {
 			viol[ci] = make([]bool, sizes[ci])
 		}
 		for row := lo; row < hi; row++ {
+			if err := pool.CtxAt(ctx, row-lo); err != nil {
+				return err
+			}
 			key := keys[row]
 			if counts[hashOf(key)%uint64(nParts)][key] < k {
 				for ci := range covers {
@@ -353,7 +386,9 @@ func scanViolating[K comparable](workers, k int, rowLeaves [][]dht.NodeID, cover
 		}
 		shardViol[si] = viol
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	violating := shardViol[0]
 	for _, shard := range shardViol[1:] {
 		for ci := range violating {
@@ -364,7 +399,7 @@ func scanViolating[K comparable](workers, k int, rowLeaves [][]dht.NodeID, cover
 			}
 		}
 	}
-	return violating
+	return violating, nil
 }
 
 // avgSpecificityLoss averages (N−Ng)/N across the chosen frontiers.
@@ -380,7 +415,7 @@ func avgSpecificityLoss(gens []dht.GenSet) float64 {
 }
 
 func multiExhaustive(
-	tbl *relation.Table,
+	ctx context.Context,
 	cols []string,
 	mingends, maxgends map[string]dht.GenSet,
 	k, enumLimit, workers int,
@@ -439,7 +474,7 @@ func multiExhaustive(
 		loss  float64
 	}
 	verdicts := make([]verdict, product)
-	pool.ForEach(workers, product, func(c int) error {
+	if err := pool.ForEachCtx(ctx, workers, product, func(c int) error {
 		idx := make([]int, len(cols))
 		decode(c, idx)
 		covers := make([][]int32, len(cols))
@@ -453,7 +488,9 @@ func multiExhaustive(
 		}
 		verdicts[c] = verdict{valid: true, loss: avgSpecificityLoss(choice)}
 		return nil
-	})
+	}); err != nil {
+		return nil, *stats, err
+	}
 
 	stats.Candidates = product
 	bestIdx := -1
@@ -469,7 +506,7 @@ func multiExhaustive(
 	}
 	if bestIdx < 0 {
 		return nil, *stats, fmt.Errorf(
-			"binning: no allowable generalization satisfies k=%d; data not binnable under the usage metrics", k)
+			"binning: no allowable generalization satisfies k=%d: %w", k, ErrUnsatisfiable)
 	}
 	idx := make([]int, len(cols))
 	decode(bestIdx, idx)
@@ -481,7 +518,7 @@ func multiExhaustive(
 }
 
 func multiGreedy(
-	tbl *relation.Table,
+	ctx context.Context,
 	cols []string,
 	mingends, maxgends map[string]dht.GenSet,
 	k, workers int,
@@ -507,14 +544,18 @@ func multiGreedy(
 			sizes[ci] = cur[ci].Len()
 		}
 		var violating [][]bool
+		var err error
 		if bases, fits := binKeyBases(covers); fits {
-			violating = scanViolating(workers, k, rowLeaves, covers, sizes, func(row int) uint64 {
+			violating, err = scanViolating(ctx, workers, k, rowLeaves, covers, sizes, func(row int) uint64 {
 				return radixKeyAt(rowLeaves, covers, bases, row)
 			}, func(key uint64) uint64 { return key })
 		} else {
-			violating = scanViolating(workers, k, rowLeaves, covers, sizes, func(row int) string {
+			violating, err = scanViolating(ctx, workers, k, rowLeaves, covers, sizes, func(row int) string {
 				return stringKeyAt(rowLeaves, covers, row)
 			}, fnv64a)
+		}
+		if err != nil {
+			return nil, *stats, err
 		}
 		anyViolation := false
 		for _, col := range violating {
@@ -578,7 +619,7 @@ func multiGreedy(
 		}
 		if bestMove == nil {
 			return nil, *stats, fmt.Errorf(
-				"binning: greedy ascent exhausted at k=%d without satisfying k-anonymity; data not binnable under the usage metrics", k)
+				"binning: greedy ascent exhausted at k=%d without satisfying k-anonymity: %w", k, ErrUnsatisfiable)
 		}
 		next, err := cur[bestMove.ci].MergeAt(bestMove.parent)
 		if err != nil {

@@ -10,7 +10,7 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"repro/internal/anonymity"
@@ -20,6 +20,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/infoloss"
 	"repro/internal/ownership"
+	"repro/internal/pool"
 	"repro/internal/relation"
 	"repro/internal/watermark"
 )
@@ -130,22 +131,22 @@ type Framework struct {
 // per-column domain hierarchy trees.
 func New(trees map[string]*dht.Tree, cfg Config) (*Framework, error) {
 	if len(trees) == 0 {
-		return nil, errors.New("core: no domain hierarchy trees")
+		return nil, fmt.Errorf("core: no domain hierarchy trees: %w", ErrBadConfig)
 	}
 	if cfg.K < 1 {
-		return nil, fmt.Errorf("core: K must be >= 1, got %d", cfg.K)
+		return nil, fmt.Errorf("core: K must be >= 1, got %d: %w", cfg.K, ErrBadConfig)
 	}
 	if cfg.MarkBits == 0 {
 		cfg.MarkBits = 20
 	}
 	if cfg.MarkBits < 1 {
-		return nil, fmt.Errorf("core: MarkBits must be >= 1")
+		return nil, fmt.Errorf("core: MarkBits must be >= 1: %w", ErrBadConfig)
 	}
 	if cfg.Duplication == 0 {
 		cfg.Duplication = 4
 	}
 	if cfg.Duplication < 1 {
-		return nil, fmt.Errorf("core: Duplication must be >= 1")
+		return nil, fmt.Errorf("core: Duplication must be >= 1: %w", ErrBadConfig)
 	}
 	if cfg.Quantum == 0 {
 		cfg.Quantum = 1e6
@@ -157,8 +158,8 @@ func New(trees map[string]*dht.Tree, cfg Config) (*Framework, error) {
 		cfg.LossThreshold = 0.15
 	}
 	if cfg.NoColumnSalt && cfg.SaltPositionWithColumn {
-		return nil, errors.New(
-			"core: conflicting Config: NoColumnSalt and SaltPositionWithColumn are both set; NoColumnSalt is the single source of truth — leave SaltPositionWithColumn unset")
+		return nil, fmt.Errorf(
+			"core: conflicting Config: NoColumnSalt and SaltPositionWithColumn are both set; NoColumnSalt is the single source of truth — leave SaltPositionWithColumn unset: %w", ErrBadConfig)
 	}
 	cfg.SaltPositionWithColumn = !cfg.NoColumnSalt
 	return &Framework{trees: trees, cfg: cfg}, nil
@@ -173,13 +174,13 @@ func (f *Framework) Config() Config { return f.cfg }
 func (f *Framework) identCol(schema *relation.Schema) (string, error) {
 	if f.cfg.IdentCol != "" {
 		if _, err := schema.Index(f.cfg.IdentCol); err != nil {
-			return "", err
+			return "", fmt.Errorf("%w: %w", err, ErrBadSchema)
 		}
 		return f.cfg.IdentCol, nil
 	}
 	idents := schema.IdentColumns()
 	if len(idents) != 1 {
-		return "", fmt.Errorf("core: schema has %d identifying columns; set Config.IdentCol", len(idents))
+		return "", fmt.Errorf("core: schema has %d identifying columns; set Config.IdentCol: %w", len(idents), ErrBadSchema)
 	}
 	return idents[0], nil
 }
@@ -190,8 +191,20 @@ func (f *Framework) identCol(schema *relation.Schema) (string, error) {
 // (Section 4), and watermark the binned table hierarchically (Section 5).
 // The input table is not modified.
 func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Protected, error) {
-	if err := key.Validate(); err != nil {
+	return f.ProtectContext(context.Background(), tbl, key)
+}
+
+// ProtectContext is Protect under a context: binning (including the
+// candidate search and re-binning pass), encryption, generalization and
+// watermark embedding all abort promptly with the context's error once
+// ctx is cancelled or its deadline passes. A request-scoped caller — the
+// HTTP service, a job queue — should always use this form.
+func (f *Framework) ProtectContext(ctx context.Context, tbl *relation.Table, key crypt.WatermarkKey) (*Protected, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if err := key.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", err, ErrBadKey)
 	}
 	identCol, err := f.identCol(tbl.Schema())
 	if err != nil {
@@ -199,13 +212,13 @@ func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Prote
 	}
 	cipher, err := crypt.NewCipher(key.Enc)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", err, ErrBadKey)
 	}
 
 	// Ownership mark from the clear-text identifying column (§5.4).
 	mark, v, err := ownership.OwnerMark(tbl, identCol, f.cfg.Quantum, f.cfg.MarkBits)
 	if err != nil {
-		return nil, fmt.Errorf("core: deriving ownership mark: %w", err)
+		return nil, fmt.Errorf("core: deriving ownership mark: %w: %w", err, ErrBadSchema)
 	}
 
 	// Binning agent, optionally twice for the conservative ε.
@@ -220,7 +233,7 @@ func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Prote
 		Aggressive: f.cfg.Aggressive,
 		Workers:    f.cfg.Workers,
 	}
-	binRes, err := binning.Run(tbl, binCfg, cipher)
+	binRes, err := binning.RunContext(ctx, tbl, binCfg, cipher)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +245,7 @@ func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Prote
 		eps := binning.EpsilonForMark(bins, f.cfg.MarkBits*f.cfg.Duplication)
 		if eps > binCfg.Epsilon {
 			binCfg.Epsilon = eps
-			if binRes, err = binning.Run(tbl, binCfg, cipher); err != nil {
+			if binRes, err = binning.RunContext(ctx, tbl, binCfg, cipher); err != nil {
 				return nil, fmt.Errorf("core: re-binning at k+ε=%d: %w", f.cfg.K+eps, err)
 			}
 		}
@@ -254,7 +267,7 @@ func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Prote
 		return nil, err
 	}
 	marked := binRes.Table.Clone()
-	embedStats, err := watermark.Embed(marked, identCol, columns, params)
+	embedStats, err := watermark.EmbedContext(ctx, marked, identCol, columns, params)
 	if err != nil {
 		return nil, err
 	}
@@ -266,13 +279,13 @@ func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Prote
 		// a slight usage-metric overshoot for a small tuple fraction.
 		params.BoundaryPermutation = true
 		marked = binRes.Table.Clone()
-		if embedStats, err = watermark.Embed(marked, identCol, columns, params); err != nil {
+		if embedStats, err = watermark.EmbedContext(ctx, marked, identCol, columns, params); err != nil {
 			return nil, err
 		}
 	}
 	if embedStats.BitsEmbedded == 0 && embedStats.TuplesSelected > 0 {
-		return nil, errors.New(
-			"core: no watermark bandwidth: every frontier sits at the usage metrics with no permutable siblings; relax the metrics or lower K")
+		return nil, fmt.Errorf(
+			"core: no watermark bandwidth: every frontier sits at the usage metrics with no permutable siblings; relax the metrics or lower K: %w", ErrUnsatisfiable)
 	}
 	after, err := anonymity.Bins(marked, tbl.Schema().QuasiColumns())
 	if err != nil {
@@ -283,8 +296,8 @@ func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Prote
 	// The seamlessness guarantee: no bin below K after watermarking.
 	if binStats.BelowK > 0 && !params.BoundaryPermutation {
 		return nil, fmt.Errorf(
-			"core: watermarking pushed %d bins below k=%d; increase Epsilon or enable AutoEpsilon",
-			binStats.BelowK, f.cfg.K)
+			"core: watermarking pushed %d bins below k=%d; increase Epsilon or enable AutoEpsilon: %w",
+			binStats.BelowK, f.cfg.K, ErrUnsatisfiable)
 	}
 
 	prov := Provenance{
@@ -337,15 +350,15 @@ func (f *Framework) SpecsFromProvenance(prov Provenance) (map[string]watermark.C
 	for col, cp := range prov.Columns {
 		tree, ok := f.trees[col]
 		if !ok {
-			return nil, fmt.Errorf("core: no tree for column %s", col)
+			return nil, fmt.Errorf("core: no tree for column %s: %w", col, ErrBadProvenance)
 		}
 		ulti, err := dht.NewGenSetFromValues(tree, cp.Ulti)
 		if err != nil {
-			return nil, fmt.Errorf("core: column %s: %w", col, err)
+			return nil, fmt.Errorf("core: column %s: %w: %w", col, err, ErrBadProvenance)
 		}
 		maxg, err := dht.NewGenSetFromValues(tree, cp.Max)
 		if err != nil {
-			return nil, fmt.Errorf("core: column %s: %w", col, err)
+			return nil, fmt.Errorf("core: column %s: %w: %w", col, err, ErrBadProvenance)
 		}
 		out[col] = watermark.ColumnSpec{Tree: tree, MaxGen: maxg, UltiGen: ulti}
 	}
@@ -357,7 +370,7 @@ func (f *Framework) SpecsFromProvenance(prov Provenance) (map[string]watermark.C
 func paramsFromProvenance(prov Provenance, key crypt.WatermarkKey) (watermark.Params, error) {
 	mark, err := bitstr.FromString(prov.Mark)
 	if err != nil {
-		return watermark.Params{}, fmt.Errorf("core: provenance mark: %w", err)
+		return watermark.Params{}, fmt.Errorf("core: provenance mark: %w: %w", err, ErrBadProvenance)
 	}
 	return watermark.Params{
 		Key:                    key,
@@ -381,6 +394,18 @@ type Detection struct {
 // Detect recovers the mark from a (possibly attacked) table under the
 // secret key and compares it with the provenance record.
 func (f *Framework) Detect(tbl *relation.Table, prov Provenance, key crypt.WatermarkKey) (*Detection, error) {
+	return f.DetectContext(context.Background(), tbl, prov, key)
+}
+
+// DetectContext is Detect under a context: the sharded vote-harvesting
+// scan aborts promptly with the context's error on cancellation.
+func (f *Framework) DetectContext(ctx context.Context, tbl *relation.Table, prov Provenance, key crypt.WatermarkKey) (*Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := key.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", err, ErrBadKey)
+	}
 	columns, err := f.SpecsFromProvenance(prov)
 	if err != nil {
 		return nil, err
@@ -390,7 +415,7 @@ func (f *Framework) Detect(tbl *relation.Table, prov Provenance, key crypt.Water
 		return nil, err
 	}
 	params.Workers = f.cfg.Workers
-	res, err := watermark.Detect(tbl, prov.IdentCol, columns, params)
+	res, err := watermark.DetectContext(ctx, tbl, prov.IdentCol, columns, params)
 	if err != nil {
 		return nil, err
 	}
@@ -405,6 +430,15 @@ func (f *Framework) Detect(tbl *relation.Table, prov Provenance, key crypt.Water
 // claim is built from the provenance record plus the owner's key; rival
 // claims come as ownership.Claim values.
 func (f *Framework) Dispute(disputed *relation.Table, prov Provenance, ownerKey crypt.WatermarkKey, rivals []ownership.Claim) ([]ownership.Verdict, error) {
+	return f.DisputeContext(context.Background(), disputed, prov, ownerKey, rivals)
+}
+
+// DisputeContext is Dispute under a context: each claim's detection scan
+// aborts promptly with the context's error on cancellation.
+func (f *Framework) DisputeContext(ctx context.Context, disputed *relation.Table, prov Provenance, ownerKey crypt.WatermarkKey, rivals []ownership.Claim) ([]ownership.Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	columns, err := f.SpecsFromProvenance(prov)
 	if err != nil {
 		return nil, err
@@ -427,5 +461,52 @@ func (f *Framework) Dispute(disputed *relation.Table, prov Provenance, ownerKey 
 		Key:      ownerKey,
 		Params:   params,
 	}}, rivals...)
-	return judge.Resolve(disputed, claims)
+	return judge.ResolveContext(ctx, disputed, claims)
+}
+
+// DecryptIdentifiers returns a copy of tbl with identCol decrypted back
+// to cleartext under the owner's key — the inverse of the binning
+// agent's one-to-one encryption, available only to the key holder
+// (§5.4: "only the true owner can decrypt them"). identCol empty selects
+// the configured or sole identifying column. A well-formed key whose
+// ciphertexts fail to authenticate returns ErrKeyMismatch wrapping the
+// first failing row's error.
+func (f *Framework) DecryptIdentifiers(ctx context.Context, tbl *relation.Table, identCol string, key crypt.WatermarkKey) (*relation.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(key.Enc) == 0 {
+		return nil, fmt.Errorf("core: empty encryption key: %w", ErrBadKey)
+	}
+	if identCol == "" {
+		var err error
+		if identCol, err = f.identCol(tbl.Schema()); err != nil {
+			return nil, err
+		}
+	}
+	colIdx, err := tbl.Schema().Index(identCol)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", err, ErrBadSchema)
+	}
+	cipher, err := crypt.NewCipher(key.Enc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", err, ErrBadKey)
+	}
+	out := tbl.Clone()
+	if err := pool.ForEachChunkCtx(ctx, f.cfg.Workers, out.NumRows(), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := pool.CtxAt(ctx, i-lo); err != nil {
+				return err
+			}
+			pt, err := cipher.DecryptString(out.CellAt(i, colIdx))
+			if err != nil {
+				return fmt.Errorf("core: row %d: %w: %w", i, err, ErrKeyMismatch)
+			}
+			out.SetCellAt(i, colIdx, pt)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/binning"
+	"repro/internal/crypt"
+	"repro/internal/ontology"
+)
+
+// TestSentinelErrors pins the errors.Is contract the service layer
+// depends on: every classifiable failure wraps exactly one sentinel, so
+// HTTP status mapping needs no string matching.
+func TestSentinelErrors(t *testing.T) {
+	trees := ontology.Trees()
+	key := crypt.NewWatermarkKeyFromSecret("owner", 25)
+
+	t.Run("bad config", func(t *testing.T) {
+		if _, err := New(trees, Config{K: 0}); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("K=0: got %v, want ErrBadConfig", err)
+		}
+		if _, err := New(nil, Config{K: 5}); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("no trees: got %v, want ErrBadConfig", err)
+		}
+		if _, err := New(trees, Config{K: 5, NoColumnSalt: true, SaltPositionWithColumn: true}); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("salt conflict: got %v, want ErrBadConfig", err)
+		}
+	})
+
+	t.Run("bad key", func(t *testing.T) {
+		fw := testFramework(t)
+		tbl := testData(t, 200)
+		bad := key
+		bad.K2 = bad.K1 // the paper forbids correlated subkeys
+		if _, err := fw.Protect(tbl, bad); !errors.Is(err, ErrBadKey) {
+			t.Fatalf("K1=K2: got %v, want ErrBadKey", err)
+		}
+		if _, err := fw.Detect(tbl, Provenance{}, bad); !errors.Is(err, ErrBadKey) {
+			t.Fatalf("detect with K1=K2: got %v, want ErrBadKey", err)
+		}
+	})
+
+	t.Run("bad schema", func(t *testing.T) {
+		fw, err := New(trees, Config{K: 5, IdentCol: "no_such_column"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Protect(testData(t, 200), key); !errors.Is(err, ErrBadSchema) {
+			t.Fatalf("missing ident col: got %v, want ErrBadSchema", err)
+		}
+	})
+
+	t.Run("bad provenance", func(t *testing.T) {
+		fw := testFramework(t)
+		prov := Provenance{
+			IdentCol:    "ssn",
+			Mark:        "0101",
+			Duplication: 4,
+			Columns:     map[string]ColumnProvenance{"no_such_column": {}},
+		}
+		if _, err := fw.SpecsFromProvenance(prov); !errors.Is(err, ErrBadProvenance) {
+			t.Fatalf("unknown column: got %v, want ErrBadProvenance", err)
+		}
+		prov.Columns = nil
+		prov.Mark = "xyz"
+		if _, err := fw.Detect(testData(t, 50), prov, key); !errors.Is(err, ErrBadProvenance) {
+			t.Fatalf("malformed mark: got %v, want ErrBadProvenance", err)
+		}
+	})
+
+	t.Run("unsatisfiable", func(t *testing.T) {
+		// 3 rows can never satisfy k=10, even fully generalized to the
+		// tree roots.
+		fw, err := New(trees, Config{K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = fw.Protect(testData(t, 3), key)
+		if !errors.Is(err, ErrUnsatisfiable) {
+			t.Fatalf("3 rows at k=10: got %v, want ErrUnsatisfiable", err)
+		}
+		if !errors.Is(err, binning.ErrUnsatisfiable) {
+			t.Fatal("core.ErrUnsatisfiable must be the binning sentinel")
+		}
+	})
+
+	t.Run("key mismatch", func(t *testing.T) {
+		fw := testFramework(t)
+		prot, err := fw.Protect(testData(t, 500), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrong := crypt.NewWatermarkKeyFromSecret("not-the-owner", 25)
+		if _, err := fw.DecryptIdentifiers(context.Background(), prot.Table, "", wrong); !errors.Is(err, ErrKeyMismatch) {
+			t.Fatalf("wrong key: got %v, want ErrKeyMismatch", err)
+		}
+		// The right key round-trips the identifying column.
+		dec, err := fw.DecryptIdentifiers(context.Background(), prot.Table, "", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := testData(t, 500)
+		for i := 0; i < 500; i++ {
+			want, _ := orig.Cell(i, "ssn")
+			got, _ := dec.Cell(i, "ssn")
+			if want != got {
+				t.Fatalf("row %d: decrypted %q, want %q", i, got, want)
+			}
+		}
+	})
+}

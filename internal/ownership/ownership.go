@@ -17,6 +17,7 @@
 package ownership
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -153,6 +154,13 @@ type Judge struct {
 // Resolve evaluates every claim against the disputed table and returns
 // one verdict per claim, in order.
 func (j Judge) Resolve(disputed *relation.Table, claims []Claim) ([]Verdict, error) {
+	return j.ResolveContext(context.Background(), disputed, claims)
+}
+
+// ResolveContext is Resolve under a context: the per-claim detection
+// scans abort with the context's error on cancellation, and no further
+// claims are evaluated once ctx is done.
+func (j Judge) ResolveContext(ctx context.Context, disputed *relation.Table, claims []Claim) ([]Verdict, error) {
 	if j.Tau <= 0 || j.Quantum <= 0 {
 		return nil, fmt.Errorf("ownership: Tau and Quantum must be positive")
 	}
@@ -165,19 +173,26 @@ func (j Judge) Resolve(disputed *relation.Table, claims []Claim) ([]Verdict, err
 	}
 	verdicts := make([]Verdict, 0, len(claims))
 	for _, claim := range claims {
-		verdicts = append(verdicts, j.resolveOne(disputed, encCol, claim))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := j.resolveOne(ctx, disputed, encCol, claim)
+		if err != nil {
+			return nil, err
+		}
+		verdicts = append(verdicts, v)
 	}
 	return verdicts, nil
 }
 
-func (j Judge) resolveOne(disputed *relation.Table, encCol []string, claim Claim) Verdict {
+func (j Judge) resolveOne(ctx context.Context, disputed *relation.Table, encCol []string, claim Claim) (Verdict, error) {
 	v := Verdict{Claimant: claim.Claimant}
 
 	// (1) Decrypt the identifying column with the claimant's key.
 	cipher, err := crypt.NewCipher(claim.Key.Enc)
 	if err != nil {
 		v.Reason = fmt.Sprintf("cannot build cipher: %v", err)
-		return v
+		return v, nil
 	}
 	cleartexts := make([]string, 0, len(encCol))
 	failures := 0
@@ -193,7 +208,7 @@ func (j Judge) resolveOne(disputed *relation.Table, encCol []string, claim Claim
 	// undecryptable cells, but an owner must decrypt most of the table.
 	if len(cleartexts) == 0 || failures > len(encCol)/2 {
 		v.Reason = fmt.Sprintf("key decrypts only %d of %d identifying values", len(cleartexts), len(encCol))
-		return v
+		return v, nil
 	}
 	v.DecryptOK = true
 
@@ -201,11 +216,11 @@ func (j Judge) resolveOne(disputed *relation.Table, encCol []string, claim Claim
 	vPrime, err := IdentStatistic(cleartexts)
 	if err != nil {
 		v.Reason = err.Error()
-		return v
+		return v, nil
 	}
 	if math.Abs(claim.V-vPrime) >= j.Tau {
 		v.Reason = fmt.Sprintf("statistic mismatch: claimed %v, recomputed %v, tau %v", claim.V, vPrime, j.Tau)
-		return v
+		return v, nil
 	}
 	v.StatisticOK = true
 
@@ -214,31 +229,36 @@ func (j Judge) resolveOne(disputed *relation.Table, encCol []string, claim Claim
 	fv, err := MarkFromStatistic(claim.V, j.Quantum, claim.Params.Mark.Len())
 	if err != nil {
 		v.Reason = err.Error()
-		return v
+		return v, nil
 	}
 	if !claim.Params.Mark.Equal(fv) {
 		v.Reason = "claimed mark is not F(v)"
-		return v
+		return v, nil
 	}
 	v.MarkDerived = true
 
 	// (4) Detect under the claimant's key and compare with F(v).
-	det, err := watermark.Detect(disputed, j.IdentCol, j.Columns, claim.Params)
+	det, err := watermark.DetectContext(ctx, disputed, j.IdentCol, j.Columns, claim.Params)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Cancellation aborts the whole arbitration rather than
+			// mislabelling this claim as failed.
+			return Verdict{}, ctx.Err()
+		}
 		v.Reason = fmt.Sprintf("detection failed: %v", err)
-		return v
+		return v, nil
 	}
 	loss, err := fv.LossFraction(det.Mark)
 	if err != nil {
 		v.Reason = err.Error()
-		return v
+		return v, nil
 	}
 	v.MarkLoss = loss
 	if loss > j.LossThreshold {
 		v.Reason = fmt.Sprintf("mark loss %.2f exceeds threshold %.2f", loss, j.LossThreshold)
-		return v
+		return v, nil
 	}
 	v.MarkDetected = true
 	v.Valid = true
-	return v
+	return v, nil
 }

@@ -12,9 +12,19 @@
 //   - when several indices fail, the error reported is the one the
 //     sequential loop would have hit first (lowest index / lowest chunk);
 //   - worker count only changes wall-clock time, never output.
+//
+// Every helper has a context-aware form (ForEachCtx, ForEachChunkCtx,
+// MapCtx) that stops dispatching new work once the context is done and
+// returns the context's error. Cancellation is inherently racy — which
+// indices had already started is scheduler-dependent — so the
+// determinism contract applies to runs that complete without
+// cancellation; a cancelled run deterministically reports the
+// cancellation cause (unless a lower-indexed fn failure had already been
+// recorded, which wins as usual).
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,8 +49,20 @@ func Resolve(n int) int {
 // With workers resolved to 1 the loop runs inline on the caller's
 // goroutine and stops at the first error, exactly like a plain for loop.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach under a context: no new index is dispatched once
+// ctx is done, and the context error is returned after in-flight calls
+// drain — unless an fn call failed, in which case the lowest failing
+// index's error wins (matching the uncancelled contract). A context that
+// is already done returns immediately without calling fn at all.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	workers = Resolve(workers)
 	if workers > n {
@@ -48,6 +70,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -64,11 +89,17 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		firstIdx = n
 		firstErr error
 	)
+	done := ctx.Done()
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1) - 1)
 				if i >= n {
 					return
@@ -98,7 +129,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // Chunk is a contiguous index range [Lo, Hi).
@@ -138,19 +172,40 @@ func Chunks(workers, n int) []Chunk {
 // order and stop at the first failure — is exactly the error a
 // sequential [0, n) loop would have returned.
 func ForEachChunk(workers, n int, fn func(shard, lo, hi int) error) error {
+	return ForEachChunkCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachChunkCtx is ForEachChunk under a context. A context that is
+// already done returns its error before any chunk runs. Because one
+// chunk can cover a large index range, long-running fn bodies should
+// additionally poll ctx at row-batch boundaries (see CtxStride) to abort
+// mid-chunk; ForEachChunkCtx itself only gates chunk dispatch. After all
+// chunks drain, a chunk error (lowest shard first) wins over the
+// context error.
+func ForEachChunkCtx(ctx context.Context, workers, n int, fn func(shard, lo, hi int) error) error {
 	chunks := Chunks(workers, n)
-	if len(chunks) <= 1 {
-		if len(chunks) == 1 {
-			return fn(0, chunks[0].Lo, chunks[0].Hi)
-		}
+	if len(chunks) == 0 {
 		return nil
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(chunks) == 1 {
+		return fn(0, chunks[0].Lo, chunks[0].Hi)
+	}
 	errs := make([]error, len(chunks))
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	wg.Add(len(chunks))
 	for ci, c := range chunks {
 		go func() {
 			defer wg.Done()
+			select {
+			case <-done:
+				errs[ci] = ctx.Err()
+				return
+			default:
+			}
 			errs[ci] = fn(ci, c.Lo, c.Hi)
 		}()
 	}
@@ -160,15 +215,42 @@ func ForEachChunk(workers, n int, fn func(shard, lo, hi int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
+}
+
+// CtxStride is the row-batch size at which chunked scans poll their
+// context: fn bodies iterating a [lo, hi) range check ctx.Err() every
+// CtxStride rows, so cancellation aborts a chunk in bounded time without
+// putting a branch-heavy check in the per-row hot path.
+const CtxStride = 1024
+
+// CtxAt polls ctx at CtxStride boundaries: it returns ctx.Err() when i
+// is a multiple of CtxStride (and always at i itself when ctx is nil-safe
+// to skip). Callers write
+//
+//	if err := pool.CtxAt(ctx, row-lo); err != nil { return err }
+//
+// at the top of their row loop.
+func CtxAt(ctx context.Context, i int) error {
+	if i%CtxStride != 0 {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Map computes out[i] = fn(i) for i in [0, n) on at most workers
 // goroutines, returning the results in input order. On failure it
 // returns the error of the lowest failing index and no results.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map under a context: it stops dispatching on cancellation
+// and returns the context error (or the lowest failing index's error)
+// with no results.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

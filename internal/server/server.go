@@ -1,0 +1,391 @@
+// Package server is the HTTP service layer over the protection
+// pipeline: request-scoped handlers for POST /v1/protect, /v1/detect
+// and /v1/dispute plus GET /v1/healthz, speaking the internal/api wire
+// contract. Every request runs under a per-request deadline and inside
+// a bounded in-flight semaphore sized off the worker configuration, so
+// a burst of heavy protect calls queues instead of oversubscribing the
+// machine; cancellation (client disconnect, deadline) propagates through
+// the whole pipeline via context and aborts promptly.
+//
+// The package is cmd-agnostic: cmd/medshield-server wires flags, the
+// listener and graceful shutdown around Handler(); tests drive the same
+// handler through httptest.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/dht"
+	"repro/internal/ontology"
+	"repro/internal/ownership"
+	"repro/internal/pool"
+	"repro/internal/relation"
+	"repro/internal/watermark"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Trees are the domain hierarchy trees served; nil selects the
+	// builtin medical ontologies.
+	Trees map[string]*dht.Tree
+	// Defaults is the server-level pipeline configuration; per-request
+	// api.Options overlay it. Zero K defaults to 20 with AutoEpsilon.
+	Defaults core.Config
+	// RequestTimeout is the per-request deadline (default 60s).
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently served pipeline requests. 0 sizes
+	// it off the effective worker count: one fanned-out pipeline run
+	// already saturates the cores, so a small multiple of 1 is enough to
+	// keep the machine busy while bounding memory.
+	MaxInflight int
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// Logger receives one line per served request; nil disables logging.
+	Logger *log.Logger
+}
+
+// Server implements the handlers.
+type Server struct {
+	cfg Config
+	sem chan struct{}
+}
+
+// New validates the configuration eagerly — an invalid Defaults fails
+// here, not on the first request — and returns the service.
+func New(cfg Config) (*Server, error) {
+	if cfg.Trees == nil {
+		cfg.Trees = ontology.Trees()
+	}
+	if cfg.Defaults.K == 0 {
+		cfg.Defaults.K = 20
+		cfg.Defaults.AutoEpsilon = true
+	}
+	// Probe the defaults through the real constructor so misconfiguration
+	// surfaces at startup.
+	fw, err := core.New(cfg.Trees, cfg.Defaults)
+	if err != nil {
+		return nil, fmt.Errorf("server: invalid defaults: %w", err)
+	}
+	cfg.Defaults = fw.Config()
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.MaxInflight <= 0 {
+		// One pipeline run fans out over Workers cores; two in flight
+		// keep the machine busy while one drains, without unbounded
+		// memory growth under a burst.
+		cfg.MaxInflight = 2
+		if cfg.Defaults.Workers == 1 {
+			// Sequential runs leave cores idle; admit one per core.
+			cfg.MaxInflight = pool.Resolve(0)
+		}
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	return &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}, nil
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/protect", s.pipeline(s.handleProtect))
+	mux.HandleFunc("POST /v1/detect", s.pipeline(s.handleDetect))
+	mux.HandleFunc("POST /v1/dispute", s.pipeline(s.handleDispute))
+	return mux
+}
+
+// pipeline wraps a handler with the service envelope: body size cap,
+// per-request deadline, the bounded in-flight semaphore, and request
+// logging. Handlers return (status, error) and write nothing on error —
+// the wrapper owns the error envelope.
+func (s *Server) pipeline(h func(w http.ResponseWriter, r *http.Request) (int, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		status := http.StatusOK
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			var err error
+			if status, err = h(w, r); err != nil {
+				status = s.writeError(w, err)
+			}
+		case <-ctx.Done():
+			// Deadline spent waiting for a slot means the server is
+			// saturated, not that the pipeline was slow — report
+			// overloaded (503) so clients and load balancers shed/retry.
+			// A client that walked away keeps the cancellation code.
+			err := fmt.Errorf("server: waiting for capacity: %w", ctx.Err())
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				err = overloadedError{err: err}
+			}
+			status = s.writeError(w, err)
+		}
+		s.logf("%s %s %d %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.HealthResponse{
+		Status:   "ok",
+		Version:  api.Version,
+		Workers:  pool.Resolve(s.cfg.Defaults.Workers),
+		Inflight: len(s.sem),
+		Capacity: cap(s.sem),
+	})
+}
+
+func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req api.ProtectRequest
+	if err := api.DecodeJSON(r.Body, &req); err != nil {
+		return 0, badRequest(err)
+	}
+	switch req.Output {
+	case "", api.OutputRows, api.OutputCSV:
+	default:
+		// Reject before the pipeline runs; EncodeTable would catch it
+		// only after a full (wasted) protect pass.
+		return 0, badRequest(fmt.Errorf("unknown output format %q (want %q or %q)", req.Output, api.OutputRows, api.OutputCSV))
+	}
+	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
+	if err != nil {
+		return 0, err
+	}
+	prot, err := fw.ProtectContext(r.Context(), tbl, key)
+	if err != nil {
+		return 0, err
+	}
+	outTbl, err := api.EncodeTable(prot.Table, req.Output)
+	if err != nil {
+		return 0, badRequest(err)
+	}
+	writeJSON(w, http.StatusOK, api.ProtectResponse{
+		Version:    api.Version,
+		Table:      outTbl,
+		Provenance: prot.Provenance,
+		Stats: api.ProtectStats{
+			Rows:           prot.Table.NumRows(),
+			TuplesSelected: prot.Embed.TuplesSelected,
+			BitsEmbedded:   prot.Embed.BitsEmbedded,
+			CellsChanged:   prot.Embed.CellsChanged,
+			EffectiveK:     prot.Binning.EffectiveK,
+			Epsilon:        prot.Provenance.Epsilon,
+			AvgLoss:        prot.Binning.AvgLoss,
+		},
+	})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req api.DetectRequest
+	if err := api.DecodeJSON(r.Body, &req); err != nil {
+		return 0, badRequest(err)
+	}
+	if req.Options == nil {
+		req.Options = &api.Options{}
+	}
+	if req.Options.K == 0 {
+		// Detection does not re-bin; K only has to satisfy validation.
+		req.Options.K = max(req.Provenance.K, 1)
+	}
+	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
+	if err != nil {
+		return 0, err
+	}
+	det, err := fw.DetectContext(r.Context(), tbl, req.Provenance, key)
+	if err != nil {
+		return 0, err
+	}
+	writeJSON(w, http.StatusOK, api.DetectResponse{
+		Version:  api.Version,
+		Match:    det.Match,
+		MarkLoss: det.MarkLoss,
+		Mark:     det.Result.Mark.String(),
+		Stats: api.DetectStats{
+			TuplesSelected: det.Result.Stats.TuplesSelected,
+			VotesCast:      det.Result.Stats.VotesCast,
+			BitsRead:       det.Result.Stats.BitsRead,
+			SkippedCells:   det.Result.Stats.SkippedCells,
+		},
+	})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleDispute(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req api.DisputeRequest
+	if err := api.DecodeJSON(r.Body, &req); err != nil {
+		return 0, badRequest(err)
+	}
+	if req.Options == nil {
+		req.Options = &api.Options{}
+	}
+	if req.Options.K == 0 {
+		req.Options.K = max(req.Provenance.K, 1)
+	}
+	fw, tbl, ownerKey, err := s.prepare(req.Table, req.OwnerKey, req.Options)
+	if err != nil {
+		return 0, err
+	}
+	rivals := make([]ownership.Claim, 0, len(req.Rivals))
+	for i, rc := range req.Rivals {
+		if rc.Key.Secret == "" || rc.Key.Eta == 0 {
+			return 0, badRequest(fmt.Errorf("rival %d: key needs a non-empty secret and eta >= 1", i))
+		}
+		mark, err := bitstr.FromString(rc.Mark)
+		if err != nil {
+			return 0, badRequest(fmt.Errorf("rival %d: mark: %w", i, err))
+		}
+		dup := rc.Duplication
+		if dup == 0 {
+			dup = max(req.Provenance.Duplication, 1)
+		}
+		rivalKey := crypt.NewWatermarkKeyFromSecret(rc.Key.Secret, rc.Key.Eta)
+		rivals = append(rivals, ownership.Claim{
+			Claimant: rc.Claimant,
+			V:        rc.V,
+			Key:      rivalKey,
+			Params:   watermarkParams(fw, rivalKey, mark, dup, req.Provenance),
+		})
+	}
+	verdicts, err := fw.DisputeContext(r.Context(), tbl, req.Provenance, ownerKey, rivals)
+	if err != nil {
+		return 0, err
+	}
+	out := make([]api.Verdict, len(verdicts))
+	for i, v := range verdicts {
+		out[i] = api.Verdict{
+			Claimant:     v.Claimant,
+			DecryptOK:    v.DecryptOK,
+			StatisticOK:  v.StatisticOK,
+			MarkDerived:  v.MarkDerived,
+			MarkDetected: v.MarkDetected,
+			MarkLoss:     v.MarkLoss,
+			Valid:        v.Valid,
+			Reason:       v.Reason,
+		}
+	}
+	writeJSON(w, http.StatusOK, api.DisputeResponse{Version: api.Version, Verdicts: out})
+	return http.StatusOK, nil
+}
+
+// maxEnumLimit caps the per-request exhaustive-search override; the
+// default is binning.DefaultEnumLimit (4096) and anything far beyond it
+// is a denial-of-service lever, not a tuning knob.
+const maxEnumLimit = 1 << 16
+
+// prepare builds the per-request framework, table and key: overlay the
+// request options on the server defaults, construct (and so validate)
+// the framework, decode the table payload and derive the key set.
+// Remote resource levers are clamped: Workers never exceeds the
+// machine's core count (more never changes output, only scheduler
+// pressure) and EnumLimit is bounded by maxEnumLimit.
+func (s *Server) prepare(t api.Table, k api.Key, opts *api.Options) (*core.Framework, *relation.Table, crypt.WatermarkKey, error) {
+	var zero crypt.WatermarkKey
+	cfg, err := opts.Apply(s.cfg.Defaults)
+	if err != nil {
+		return nil, nil, zero, badRequest(err)
+	}
+	if cores := pool.Resolve(0); cfg.Workers > cores {
+		cfg.Workers = cores
+	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 1
+	}
+	if cfg.EnumLimit > maxEnumLimit {
+		return nil, nil, zero, badRequest(fmt.Errorf("enum_limit %d exceeds the server cap %d", cfg.EnumLimit, maxEnumLimit))
+	}
+	fw, err := core.New(s.cfg.Trees, cfg)
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	tbl, err := api.DecodeTable(t)
+	if err != nil {
+		return nil, nil, zero, badRequest(err)
+	}
+	if k.Secret == "" || k.Eta == 0 {
+		return nil, nil, zero, badRequest(fmt.Errorf("key needs a non-empty secret and eta >= 1"))
+	}
+	return fw, tbl, crypt.NewWatermarkKeyFromSecret(k.Secret, k.Eta), nil
+}
+
+// badRequestError tags request-shape problems so writeError maps them
+// to 400/bad_request without a core sentinel.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return badRequestError{err: err} }
+
+// overloadedError tags capacity-wait timeouts so they surface as
+// 503/overloaded instead of the pipeline's deadline_exceeded.
+type overloadedError struct{ err error }
+
+func (e overloadedError) Error() string { return e.err.Error() }
+func (e overloadedError) Unwrap() error { return e.err }
+
+func (s *Server) writeError(w http.ResponseWriter, err error) int {
+	var (
+		code   string
+		status int
+		br     badRequestError
+		ol     overloadedError
+		mbe    *http.MaxBytesError
+	)
+	switch {
+	case errors.As(err, &ol):
+		code, status = api.CodeOverloaded, http.StatusServiceUnavailable
+	case errors.As(err, &mbe):
+		code, status = api.CodePayloadTooLarge, http.StatusRequestEntityTooLarge
+	case errors.As(err, &br):
+		code, status = api.CodeBadRequest, http.StatusBadRequest
+	default:
+		code, status = api.Classify(err)
+	}
+	writeJSON(w, status, api.ErrorResponse{Error: api.Error{Code: code, Message: err.Error()}})
+	return status
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is gone; nothing useful to do on error
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// watermarkParams rebuilds rival detection parameters consistent with
+// the provenance record's embedding policy.
+func watermarkParams(fw *core.Framework, key crypt.WatermarkKey, mark bitstr.Bits, dup int, prov core.Provenance) watermark.Params {
+	return watermark.Params{
+		Key:                    key,
+		Mark:                   mark,
+		Duplication:            dup,
+		WeightedVoting:         prov.WeightedVoting,
+		SaltPositionWithColumn: prov.SaltPositionWithColumn,
+		BoundaryPermutation:    prov.BoundaryPermutation,
+		Workers:                fw.Config().Workers,
+	}
+}

@@ -1,6 +1,8 @@
 package watermark
 
 import (
+	"context"
+
 	"repro/internal/bitstr"
 	"repro/internal/crypt"
 	"repro/internal/pool"
@@ -22,6 +24,14 @@ import (
 // usage metrics, is skipped. This single code path therefore serves clean
 // tables, the §5.2 generalization attack and the §7.2 alteration attacks.
 func Detect(tbl *relation.Table, identCol string, columns map[string]ColumnSpec, p Params) (DetectResult, error) {
+	return DetectContext(context.Background(), tbl, identCol, columns, p)
+}
+
+// DetectContext is Detect under a context: shards poll ctx at
+// pool.CtxStride row boundaries, so a long scan over a large suspect
+// table aborts promptly with the context's error when the caller's
+// deadline expires or the request is cancelled.
+func DetectContext(ctx context.Context, tbl *relation.Table, identCol string, columns map[string]ColumnSpec, p Params) (DetectResult, error) {
 	var res DetectResult
 	if err := p.validate(); err != nil {
 		return res, err
@@ -58,10 +68,13 @@ func Detect(tbl *relation.Table, identCol string, columns map[string]ColumnSpec,
 	chunks := pool.Chunks(p.Workers, tbl.NumRows())
 	shardBoards := make([]*bitstr.VoteBoard, len(chunks))
 	shardStats := make([]DetectStats, len(chunks))
-	pool.ForEachChunk(p.Workers, tbl.NumRows(), func(si, lo, hi int) error {
+	err := pool.ForEachChunkCtx(ctx, p.Workers, tbl.NumRows(), func(si, lo, hi int) error {
 		shardBoard := bitstr.NewVoteBoard(p.wmdLen())
 		shard := &shardStats[si]
 		for row := lo; row < hi; row++ {
+			if err := pool.CtxAt(ctx, row-lo); err != nil {
+				return err
+			}
 			var ident []byte
 			if p.UseVirtualIdent {
 				ident = virtualIdent(tbl, row, cols, colIdx, columns)
@@ -89,6 +102,9 @@ func Detect(tbl *relation.Table, identCol string, columns map[string]ColumnSpec,
 		shardBoards[si] = shardBoard
 		return nil
 	})
+	if err != nil {
+		return res, err
+	}
 	for si := range chunks {
 		if err := board.Merge(shardBoards[si]); err != nil {
 			return res, err

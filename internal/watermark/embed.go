@@ -1,6 +1,7 @@
 package watermark
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/crypt"
@@ -27,6 +28,14 @@ import (
 // depends on the worker count; callers must discard the table when
 // Embed fails (Protect embeds into a throwaway clone for this reason).
 func Embed(tbl *relation.Table, identCol string, columns map[string]ColumnSpec, p Params) (EmbedStats, error) {
+	return EmbedContext(context.Background(), tbl, identCol, columns, p)
+}
+
+// EmbedContext is Embed under a context: shards poll ctx at
+// pool.CtxStride row boundaries and the run aborts with the context's
+// error. A cancelled embed leaves the table partially mutated, exactly
+// like an embed that failed on a bad row — callers must discard it.
+func EmbedContext(ctx context.Context, tbl *relation.Table, identCol string, columns map[string]ColumnSpec, p Params) (EmbedStats, error) {
 	var stats EmbedStats
 	if err := p.validate(); err != nil {
 		return stats, err
@@ -65,9 +74,12 @@ func Embed(tbl *relation.Table, identCol string, columns map[string]ColumnSpec, 
 	// error of the lowest failing shard — whose scan stops at its first
 	// bad row, like the sequential loop — is the one reported.
 	shardStats := make([]EmbedStats, len(pool.Chunks(p.Workers, tbl.NumRows())))
-	err := pool.ForEachChunk(p.Workers, tbl.NumRows(), func(si, lo, hi int) error {
+	err := pool.ForEachChunkCtx(ctx, p.Workers, tbl.NumRows(), func(si, lo, hi int) error {
 		shard := &shardStats[si]
 		for row := lo; row < hi; row++ {
+			if err := pool.CtxAt(ctx, row-lo); err != nil {
+				return err
+			}
 			var ident []byte
 			if p.UseVirtualIdent {
 				ident = virtualIdent(tbl, row, cols, colIdx, columns)

@@ -14,13 +14,14 @@
 //     the binning frontier, resilient to subset alteration/addition/
 //     deletion and to the generalization attack.
 //
-// A typical protection run:
+// A typical protection run configures the framework with functional
+// options (validated eagerly at construction):
 //
-//	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{
-//		K:           20,
-//		AutoEpsilon: true,
-//		Workers:     0, // fan the pipeline out over all cores (1 = sequential)
-//	})
+//	fw, err := medshield.New(medshield.BuiltinTrees(),
+//		medshield.WithK(20),
+//		medshield.WithAutoEpsilon(),
+//		medshield.WithWorkers(0), // fan out over all cores (1 = sequential)
+//	)
 //	key := medshield.NewKey("hospital secret passphrase", 75)
 //	protected, err := fw.Protect(table, key)
 //	// publish protected.Table; retain protected.Provenance + the secret
@@ -30,12 +31,22 @@
 //	det, err := fw.Detect(suspect, protected.Provenance, key)
 //	if det.Match { /* our mark is present */ }
 //
+// Every pipeline entry point has a request-scoped form — ProtectContext,
+// DetectContext, DisputeContext — that aborts promptly when the context
+// is cancelled or its deadline passes; the plain forms are the
+// Background-context equivalents. Service deployments (cmd/medshield-server
+// exposes the pipeline over HTTP) should always use the Context forms.
+//
 // Ownership disputes (§5.4 of the paper) are arbitrated with fw.Dispute.
+// Failures wrap typed sentinels (ErrBadConfig, ErrBadSchema, ErrBadKey,
+// ErrBadProvenance, ErrUnsatisfiable, ErrKeyMismatch) classifiable with
+// errors.Is.
 package medshield
 
 import (
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/binning"
 	"repro/internal/core"
@@ -94,8 +105,42 @@ const (
 	StrategyGreedy     = binning.StrategyGreedy
 )
 
-// New builds a Framework over per-column domain hierarchy trees.
-func New(trees map[string]*Tree, cfg Config) (*Framework, error) {
+// Sentinel errors of the pipeline, re-exported from core. Every error
+// returned by New, Protect, Detect, Dispute and DecryptIdentifiers
+// wraps exactly one of these (or a context error), so callers classify
+// failures with errors.Is — the HTTP service layer maps them to status
+// codes this way.
+var (
+	ErrBadConfig     = core.ErrBadConfig
+	ErrBadKey        = core.ErrBadKey
+	ErrBadSchema     = core.ErrBadSchema
+	ErrBadProvenance = core.ErrBadProvenance
+	ErrUnsatisfiable = core.ErrUnsatisfiable
+	ErrKeyMismatch   = core.ErrKeyMismatch
+)
+
+// New builds a Framework over per-column domain hierarchy trees,
+// configured by functional options applied in order over the zero
+// Config:
+//
+//	fw, err := medshield.New(trees, medshield.WithK(20), medshield.WithAutoEpsilon())
+//
+// Validation is eager: an invalid combination returns an error wrapping
+// ErrBadConfig here, not at the first Protect. The effective (defaulted)
+// configuration is Framework.Config(), which remains the serializable
+// record of how the instance behaves.
+func New(trees map[string]*Tree, opts ...Option) (*Framework, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.New(trees, cfg)
+}
+
+// NewFromConfig builds a Framework from a complete Config value — the
+// constructor for callers that already hold a serialized or programmatic
+// effective configuration. New(trees, opts...) is the preferred surface.
+func NewFromConfig(trees map[string]*Tree, cfg Config) (*Framework, error) {
 	return core.New(trees, cfg)
 }
 
@@ -140,17 +185,44 @@ func LoadCSVFile(path string, schema *Schema) (*Table, error) {
 	return relation.ReadCSV(f, schema)
 }
 
-// SaveCSVFile writes a table (header + rows) to a file.
-func SaveCSVFile(path string, tbl *Table) error {
-	f, err := os.Create(path)
+// SaveCSVFile writes a table (header + rows) to a file atomically: the
+// CSV is written to a temporary file in the target directory, synced,
+// and renamed over path. A mid-write failure (disk full, cancellation,
+// crash) therefore never leaves a truncated table at path — it either
+// still holds its previous content or does not exist.
+func SaveCSVFile(path string, tbl *Table) (err error) {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := tbl.WriteCSV(f); err != nil {
-		f.Close()
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	// CreateTemp makes a 0600 file; keep an existing destination's mode
+	// (or the conventional 0644 for a new one) so the rename does not
+	// silently drop read permissions from downstream consumers.
+	mode := os.FileMode(0o644)
+	if st, statErr := os.Stat(path); statErr == nil {
+		mode = st.Mode().Perm()
+	}
+	if err = f.Chmod(mode); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = tbl.WriteCSV(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // ParseTree decodes a JSON-serialized domain hierarchy tree (the format

@@ -13,7 +13,7 @@ func TestPublicPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.Config{K: 12, AutoEpsilon: true})
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(12), medshield.WithAutoEpsilon())
 	if err != nil {
 		t.Fatal(err)
 	}

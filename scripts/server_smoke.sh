@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of cmd/medshield-server: build the binary, start
+# it, hit /v1/healthz, protect a synthetic table over /v1/protect, detect
+# the mark over /v1/detect (must match), and verify graceful SIGTERM
+# shutdown (exit 0). CI runs this after the unit tests; it also works
+# locally: scripts/server_smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-18080}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"; [[ -n "${SRV_PID:-}" ]] && kill "$SRV_PID" 2>/dev/null || true' EXIT
+
+echo "==> building"
+go build -o "$TMP/medshield-server" ./cmd/medshield-server
+go run ./cmd/medprotect gen -rows 2000 -seed 4 -out "$TMP/data.csv"
+
+echo "==> starting server on :$PORT"
+"$TMP/medshield-server" -addr "127.0.0.1:$PORT" -quiet 2>"$TMP/server.log" &
+SRV_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "http://127.0.0.1:$PORT/v1/healthz" >"$TMP/health.json" 2>/dev/null; then
+    break
+  fi
+  sleep 0.2
+done
+grep -q '"status":"ok"' "$TMP/health.json" || { echo "healthz failed"; cat "$TMP/server.log"; exit 1; }
+echo "==> healthz ok: $(cat "$TMP/health.json")"
+
+python3 - "$TMP" <<'EOF'
+import csv, json, sys
+tmp = sys.argv[1]
+rows = list(csv.reader(open(f"{tmp}/data.csv")))
+hdr, data = rows[0], rows[1:]
+kinds = {"ssn": "identifying", "age": "quasi-numeric", "zip_code": "quasi-categorical",
+         "doctor": "quasi-categorical", "symptom": "quasi-categorical",
+         "prescription": "quasi-categorical"}
+req = {"table": {"columns": [{"name": h, "kind": kinds[h]} for h in hdr], "rows": data},
+       "key": {"secret": "ci smoke secret", "eta": 10},
+       "options": {"k": 15}}
+json.dump(req, open(f"{tmp}/protect.json", "w"))
+EOF
+
+echo "==> POST /v1/protect"
+curl -sf -X POST --data "@$TMP/protect.json" "http://127.0.0.1:$PORT/v1/protect" -o "$TMP/protect_resp.json"
+python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+r = json.load(open(f"{tmp}/protect_resp.json"))
+assert r["version"] == "v1", r["version"]
+assert r["stats"]["rows"] == 2000, r["stats"]
+assert r["stats"]["bits_embedded"] > 0, r["stats"]
+print("    protect stats:", r["stats"])
+json.dump({"table": r["table"], "provenance": r["provenance"],
+           "key": {"secret": "ci smoke secret", "eta": 10}},
+          open(f"{tmp}/detect.json", "w"))
+EOF
+
+echo "==> POST /v1/detect"
+curl -sf -X POST --data "@$TMP/detect.json" "http://127.0.0.1:$PORT/v1/detect" -o "$TMP/detect_resp.json"
+python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+r = json.load(open(f"{tmp}/detect_resp.json"))
+assert r["match"] is True, f"mark not detected over HTTP: {r}"
+print("    detect match:", r["match"], "loss:", r["mark_loss"])
+EOF
+
+echo "==> graceful shutdown"
+kill -TERM "$SRV_PID"
+RC=0
+wait "$SRV_PID" || RC=$?
+SRV_PID=""
+[[ $RC -eq 0 ]] || { echo "server exited $RC on SIGTERM"; cat "$TMP/server.log"; exit 1; }
+grep -q drained "$TMP/server.log" || { echo "no drain log"; cat "$TMP/server.log"; exit 1; }
+echo "==> smoke ok"
