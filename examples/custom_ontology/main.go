@@ -112,7 +112,7 @@ func main() {
 
 	// ---- attack + detect ---------------------------------------------------
 	pirated := p.Table.Clone()
-	n := pirated.DeleteWhere(func(row []string) bool { return rng.Intn(3) == 0 })
+	n := pirated.DeleteWhereView(func(medshield.RowView) bool { return rng.Intn(3) == 0 })
 	det, err := fw.Detect(pirated, p.Provenance, key)
 	if err != nil {
 		log.Fatal(err)

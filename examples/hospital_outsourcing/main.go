@@ -78,14 +78,20 @@ func main() {
 	}
 	// The institute runs its analysis on the generalized data: e.g.
 	// circulatory cases per published age bin.
+	// The columnar engine makes this a code-level group-by: the symptom
+	// predicate resolves to one dictionary code, and the aggregation
+	// walks two integer vectors.
 	counts := map[string]int{}
 	ageIdx, _ := study.Schema().Index("age")
 	symIdx, _ := study.Schema().Index("symptom")
-	study.ForEachRow(func(_ int, row []string) {
-		if row[symIdx] == "390-459 Circulatory System" {
-			counts[row[ageIdx]]++
+	if circ, ok := study.CodeOf(symIdx, "390-459 Circulatory System"); ok {
+		ageCodes, symCodes := study.Codes(ageIdx), study.Codes(symIdx)
+		for i, sc := range symCodes {
+			if sc == circ {
+				counts[study.ValueOf(ageIdx, ageCodes[i])]++
+			}
 		}
-	})
+	}
 	fmt.Printf("institute: circulatory cases per published age bin (%d bins)\n", len(counts))
 
 	// ---- Traceability (authorized) --------------------------------------

@@ -4,10 +4,13 @@ package repro_test
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/anonymity"
@@ -137,5 +140,58 @@ func TestExperimentsRenderAll(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Fatal("empty render")
+	}
+}
+
+// TestPipelineGoldenOutput pins the byte-exact 20k-row pipeline output:
+// the protected CSV, the recovered mark and the input fixture itself.
+// The hashes were recorded against the row-store implementation, so the
+// columnar engine (and any future representation change) is held to
+// byte-identical Protect/Detect behaviour. If a PR intentionally changes
+// pipeline semantics (ontology, datagen, crypto, embedding), update the
+// constants deliberately in that PR — never to paper over an accidental
+// diff.
+func TestPipelineGoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-row Protect in -short mode")
+	}
+	const (
+		wantInputSHA     = "1f1de1cfc0367fe64dd093b4e0eedfc1de0741db17d20a2b947ded0ba372a4dd"
+		wantProtectedSHA = "3244ae1da3fe2d7629f58ae7e39694efb6d796a2e39264ede4d47598681275df"
+		wantMark         = "01001001001001110100"
+	)
+	tbl, err := medshield.GenerateSyntheticData(20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in strings.Builder
+	if err := tbl.WriteCSV(&in); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(in.String()))); got != wantInputSHA {
+		t.Fatalf("input fixture hash = %s, want %s", got, wantInputSHA)
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := medshield.NewKey("bench", 75)
+	p, err := fw.Protect(tbl, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := p.Table.WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(out.String()))); got != wantProtectedSHA {
+		t.Fatalf("protected table hash = %s, want %s", got, wantProtectedSHA)
+	}
+	det, err := fw.Detect(p.Table, p.Provenance, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := det.Result.Mark.String(); got != wantMark || det.MarkLoss != 0 {
+		t.Fatalf("detected mark = %s (loss %v), want %s (loss 0)", got, det.MarkLoss, wantMark)
 	}
 }

@@ -8,7 +8,6 @@ package anonymity
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/relation"
 )
@@ -17,30 +16,48 @@ import (
 // appear in normal cell values.
 const keySep = "\x1f"
 
+// appendBinKey appends the keySep-joined bin key of the given cell
+// values to dst — the single definition of the key shape that BinKey,
+// Bins and Flow all share.
+func appendBinKey(dst []byte, cellAt func(i int) string, n int) []byte {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			dst = append(dst, keySep...)
+		}
+		dst = append(dst, cellAt(i)...)
+	}
+	return dst
+}
+
 // BinKey builds the bin identity of a row over the given column indices.
 func BinKey(row []string, colIdx []int) string {
-	parts := make([]string, len(colIdx))
-	for i, c := range colIdx {
-		parts[i] = row[c]
-	}
-	return strings.Join(parts, keySep)
+	return string(appendBinKey(nil, func(i int) string { return row[colIdx[i]] }, len(colIdx)))
 }
 
 // Bins returns the bin-size map of the table over the given columns:
-// bin value-combination → number of tuples.
+// bin value-combination → number of tuples. The scan is columnar: bin
+// keys assemble from dictionary codes into a reused buffer, so steady
+// state allocates only on first sight of a bin.
 func Bins(tbl *relation.Table, cols []string) (map[string]int, error) {
 	idx := make([]int, len(cols))
+	dicts := make([][]string, len(cols))
+	codes := make([][]uint32, len(cols))
 	for i, c := range cols {
 		ci, err := tbl.Schema().Index(c)
 		if err != nil {
 			return nil, err
 		}
 		idx[i] = ci
+		dicts[i] = tbl.DictValues(ci)
+		codes[i] = tbl.Codes(ci)
 	}
 	out := make(map[string]int)
-	tbl.ForEachRow(func(_ int, row []string) {
-		out[BinKey(row, idx)]++
-	})
+	n := tbl.NumRows()
+	var key []byte
+	for row := 0; row < n; row++ {
+		key = appendBinKey(key[:0], func(c int) string { return dicts[c][codes[c][row]] }, len(idx))
+		out[string(key)]++
+	}
 	return out, nil
 }
 
@@ -161,9 +178,13 @@ func Flow(before, after *relation.Table, cols []string) (map[string]*BinFlow, er
 		}
 		return f
 	}
+	binKeyAt := func(t *relation.Table, i int) string {
+		v := t.View(i)
+		return string(appendBinKey(nil, func(c int) string { return v.Cell(idx[c]) }, len(idx)))
+	}
 	for i := 0; i < before.NumRows(); i++ {
-		kb := BinKey(before.Row(i), idx)
-		ka := BinKey(after.Row(i), idx)
+		kb := binKeyAt(before, i)
+		ka := binKeyAt(after, i)
 		get(kb).Before++
 		get(ka).After++
 		if kb != ka {

@@ -232,7 +232,7 @@ func EncodeTable(tbl *relation.Table, output string) (Table, error) {
 	case "", OutputRows:
 		out.Rows = make([][]string, tbl.NumRows())
 		for i := 0; i < tbl.NumRows(); i++ {
-			out.Rows[i] = tbl.Row(i)
+			out.Rows[i] = tbl.View(i).AppendTo(make([]string, 0, schema.NumColumns()))
 		}
 	case OutputCSV:
 		var sb strings.Builder

@@ -152,8 +152,8 @@ func DeleteRanges(tbl *relation.Table, identCol string, frac float64, pieces int
 		}
 		start := rng.Intn(n - span)
 		lval, uval := ids[start], ids[start+span-1]
-		deleted += tbl.DeleteWhere(func(row []string) bool {
-			v := row[ci]
+		deleted += tbl.DeleteWhereView(func(row relation.RowView) bool {
+			v := row.Cell(ci)
 			return v >= lval && v <= uval
 		})
 	}
@@ -176,16 +176,17 @@ func Generalize(tbl *relation.Table, col string, tree *dht.Tree, ceiling dht.Gen
 	if err != nil {
 		return 0, err
 	}
-	changed := 0
-	for i := 0; i < tbl.NumRows(); i++ {
-		old := tbl.CellAt(i, ci)
+	// The climb is a pure function of the cell value, so it rewrites the
+	// column dictionary: one AncestorAtDepth walk per distinct value, and
+	// every row remaps by integer code.
+	return tbl.MapColumn(ci, func(old string) (string, error) {
 		id, err := tree.ResolveValue(old)
 		if err != nil {
-			continue // not in domain; nothing to generalize
+			return old, nil // not in domain; nothing to generalize
 		}
 		ceil, ok := ceiling.CoverOf(id)
 		if !ok {
-			continue // already above the ceiling
+			return old, nil // already above the ceiling
 		}
 		targetDepth := tree.Node(id).Depth - levels
 		if ceilDepth := tree.Node(ceil).Depth; targetDepth < ceilDepth {
@@ -193,14 +194,10 @@ func Generalize(tbl *relation.Table, col string, tree *dht.Tree, ceiling dht.Gen
 		}
 		anc, err := tree.AncestorAtDepth(id, targetDepth)
 		if err != nil {
-			return changed, err
+			return "", err
 		}
-		if v := tree.Value(anc); v != old {
-			tbl.SetCellAt(i, ci, v)
-			changed++
-		}
-	}
-	return changed, nil
+		return tree.Value(anc), nil
+	})
 }
 
 // Respecialize implements a laundering attack against hierarchical
@@ -224,16 +221,33 @@ func Respecialize(tbl *relation.Table, col string, tree *dht.Tree, ceiling, fron
 	if err != nil {
 		return 0, err
 	}
-	changed := 0
-	for i := 0; i < tbl.NumRows(); i++ {
-		old := tbl.CellAt(i, ci)
-		id, err := tree.ResolveValue(old)
+	// The climb point is a function of the cell value: compute it once
+	// per dictionary code. The random re-specialization descent stays
+	// per-row — each row consumes its own rng draws, in row order, so
+	// seeded attack runs reproduce the historical mutation sequence.
+	type climb struct {
+		planned bool
+		skip    bool
+		id, anc dht.NodeID
+		err     error
+	}
+	dict := tbl.DictValues(ci)
+	climbs := make([]climb, len(dict))
+	planOf := func(code uint32) *climb {
+		c := &climbs[code]
+		if c.planned {
+			return c
+		}
+		c.planned = true
+		id, err := tree.ResolveValue(dict[code])
 		if err != nil {
-			continue
+			c.skip = true
+			return c
 		}
 		ceil, ok := ceiling.CoverOf(id)
 		if !ok {
-			continue
+			c.skip = true
+			return c
 		}
 		targetDepth := tree.Node(id).Depth - levels
 		if ceilDepth := tree.Node(ceil).Depth; targetDepth < ceilDepth {
@@ -241,20 +255,34 @@ func Respecialize(tbl *relation.Table, col string, tree *dht.Tree, ceiling, fron
 		}
 		anc, err := tree.AncestorAtDepth(id, targetDepth)
 		if err != nil {
-			return changed, err
+			c.err = err
+			return c
+		}
+		c.id, c.anc = id, anc
+		return c
+	}
+	changed := 0
+	for i := 0; i < tbl.NumRows(); i++ {
+		code := tbl.CodeAt(i, ci)
+		c := planOf(code)
+		if c.skip {
+			continue
+		}
+		if c.err != nil {
+			return changed, c.err
 		}
 		// Descend random children until back on the frontier.
-		cur := anc
+		cur := c.anc
 		for !frontier.Contains(cur) {
 			children := tree.Children(cur)
 			if len(children) == 0 {
 				// fell through the frontier: keep the original value
-				cur = id
+				cur = c.id
 				break
 			}
 			cur = children[rng.Intn(len(children))]
 		}
-		if v := tree.Value(cur); v != old {
+		if v := tree.Value(cur); v != dict[code] {
 			tbl.SetCellAt(i, ci, v)
 			changed++
 		}

@@ -143,11 +143,13 @@ func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *cr
 		if !ok || tree == nil {
 			return colSetup{}, fmt.Errorf("binning: no DHT for quasi column %s", col)
 		}
-		values, err := tbl.Column(col)
+		ci, err := schema.Index(col)
 		if err != nil {
 			return colSetup{}, err
 		}
-		hist, err := infoloss.LeafHistogram(tree, values)
+		// Dictionary-encoded histogram: one leaf resolution per distinct
+		// value, integer counting per row.
+		hist, err := infoloss.LeafHistogramCodes(tree, tbl.DictValues(ci), tbl.Codes(ci))
 		if err != nil {
 			return colSetup{}, fmt.Errorf("binning: column %s: %w", col, err)
 		}
@@ -190,12 +192,10 @@ func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *cr
 			stats MonoStats
 		}
 		outs, err := pool.MapCtx(ctx, cfg.Workers, len(quasi), func(i int) (monoOut, error) {
+			// The conservative rule never suppresses, so work's histogram
+			// equals the setup histogram — no second table scan.
 			col := quasi[i]
-			values, err := work.Column(col)
-			if err != nil {
-				return monoOut{}, err
-			}
-			g, st, err := MonoBin(cfg.Trees[col], maxGens[col], values, effectiveK, false)
+			g, st, err := MonoBinHist(cfg.Trees[col], maxGens[col], setups[i].hist, effectiveK, false)
 			if err != nil {
 				return monoOut{}, err
 			}
@@ -210,30 +210,40 @@ func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *cr
 		}
 	} else {
 		for _, col := range quasi {
-			values, err := work.Column(col)
+			tree := cfg.Trees[col]
+			colIdx, err := work.Schema().Index(col)
 			if err != nil {
 				return nil, err
 			}
-			g, st, err := MonoBin(cfg.Trees[col], maxGens[col], values, effectiveK, true)
+			hist, err := infoloss.LeafHistogramCodes(tree, work.DictValues(colIdx), work.Codes(colIdx))
+			if err != nil {
+				return nil, fmt.Errorf("binning: column %s: %w", col, err)
+			}
+			g, st, err := MonoBinHist(tree, maxGens[col], hist, effectiveK, true)
 			if err != nil {
 				return nil, err
 			}
 			if len(st.Deficient) > 0 {
 				// Aggressive rule produced under-k bins: suppress their rows
 				// (the "suppression" half of generalization and suppression).
-				tree := cfg.Trees[col]
-				colIdx, _ := work.Schema().Index(col)
-				n := work.DeleteWhere(func(row []string) bool {
-					leaf, err := tree.ResolveLeaf(row[colIdx])
+				// Deficiency is a property of the value, so the verdict is
+				// computed once per dictionary entry and rows drop by code.
+				dict := work.DictValues(colIdx)
+				drop := make([]bool, len(dict))
+				for code, v := range dict {
+					leaf, err := tree.ResolveLeaf(v)
 					if err != nil {
-						return false
+						continue
 					}
 					for _, d := range st.Deficient {
 						if tree.IsAncestorOrSelf(d, leaf) {
-							return true
+							drop[code] = true
+							break
 						}
 					}
-					return false
+				}
+				n := work.DeleteWhereView(func(v relation.RowView) bool {
+					return drop[v.Code(colIdx)]
 				})
 				suppressed += n
 			}
@@ -249,21 +259,17 @@ func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *cr
 	}
 
 	// 4+5. Encrypt identifying columns, generalize quasi columns. Both
-	// are pure per-row transforms (the cipher is safe for concurrent
-	// use), so each column fans its rows out over contiguous shards; the
-	// shards write disjoint cells and the first-error rule matches the
-	// sequential scan.
+	// are deterministic per-value transforms, so they rewrite the column
+	// dictionaries: encryption runs once per distinct identifier (fanned
+	// out over workers — the cipher is safe for concurrent use) and
+	// generalization once per distinct quasi value (typically a handful
+	// of dictionary entries for 20k+ rows); rows only have their codes
+	// remapped.
 	out := work
 	for _, col := range idents {
 		colIdx, _ := out.Schema().Index(col)
-		if err := pool.ForEachChunkCtx(ctx, cfg.Workers, out.NumRows(), func(_, lo, hi int) error {
-			for i := lo; i < hi; i++ {
-				if err := pool.CtxAt(ctx, i-lo); err != nil {
-					return err
-				}
-				out.SetCellAt(i, colIdx, cipher.EncryptString(out.CellAt(i, colIdx)))
-			}
-			return nil
+		if _, err := out.MapColumnCtx(ctx, cfg.Workers, colIdx, func(v string) (string, error) {
+			return cipher.EncryptString(v), nil
 		}); err != nil {
 			return nil, err
 		}
@@ -271,18 +277,12 @@ func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *cr
 	for _, col := range quasi {
 		gen := ultiGens[col]
 		colIdx, _ := out.Schema().Index(col)
-		if err := pool.ForEachChunkCtx(ctx, cfg.Workers, out.NumRows(), func(_, lo, hi int) error {
-			for i := lo; i < hi; i++ {
-				if err := pool.CtxAt(ctx, i-lo); err != nil {
-					return err
-				}
-				v, err := gen.GeneralizeValue(out.CellAt(i, colIdx))
-				if err != nil {
-					return fmt.Errorf("binning: column %s row %d: %w", col, i, err)
-				}
-				out.SetCellAt(i, colIdx, v)
+		if _, err := out.MapColumnCtx(ctx, cfg.Workers, colIdx, func(v string) (string, error) {
+			g, err := gen.GeneralizeValue(v)
+			if err != nil {
+				return "", fmt.Errorf("binning: column %s value %q: %w", col, v, err)
 			}
-			return nil
+			return g, nil
 		}); err != nil {
 			return nil, err
 		}

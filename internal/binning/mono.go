@@ -41,16 +41,28 @@ type MonoStats struct {
 // It errors if some maximal generalization node holds 1..k-1 tuples —
 // then the data are not binnable under the given usage metrics.
 func MonoBin(tree *dht.Tree, maxg dht.GenSet, values []string, k int, aggressive bool) (dht.GenSet, MonoStats, error) {
+	// Only guard the LeafHistogram call below against a nil tree;
+	// MonoBinHist owns the real argument validation.
+	if tree == nil {
+		return dht.GenSet{}, MonoStats{}, fmt.Errorf("binning: maximal generalization nodes must belong to the column's tree")
+	}
+	hist, err := infoloss.LeafHistogram(tree, values)
+	if err != nil {
+		return dht.GenSet{}, MonoStats{}, err
+	}
+	return MonoBinHist(tree, maxg, hist, k, aggressive)
+}
+
+// MonoBinHist is MonoBin over a precomputed leaf histogram (as built by
+// infoloss.LeafHistogram or, code-level, infoloss.LeafHistogramCodes) —
+// the form the columnar pipeline uses so the table is scanned once.
+func MonoBinHist(tree *dht.Tree, maxg dht.GenSet, hist []int, k int, aggressive bool) (dht.GenSet, MonoStats, error) {
 	var stats MonoStats
 	if tree == nil || maxg.Tree() != tree {
 		return dht.GenSet{}, stats, fmt.Errorf("binning: maximal generalization nodes must belong to the column's tree")
 	}
 	if k < 1 {
 		return dht.GenSet{}, stats, fmt.Errorf("binning: k must be >= 1, got %d", k)
-	}
-	hist, err := infoloss.LeafHistogram(tree, values)
-	if err != nil {
-		return dht.GenSet{}, stats, err
 	}
 	sub := infoloss.SubtreeCounts(tree, hist)
 

@@ -175,7 +175,9 @@ func MultiBinContext(
 }
 
 // resolveRowLeaves maps every row and column to its DHT leaf once, so
-// candidate evaluation is pure array work.
+// candidate evaluation is pure array work. Resolution runs per distinct
+// dictionary entry — the paper's "essentially categorical" observation —
+// and rows fan out by integer code.
 func resolveRowLeaves(ctx context.Context, tbl *relation.Table, cols []string, gens map[string]dht.GenSet) ([][]dht.NodeID, error) {
 	out := make([][]dht.NodeID, len(cols))
 	for ci, col := range cols {
@@ -187,21 +189,25 @@ func resolveRowLeaves(ctx context.Context, tbl *relation.Table, cols []string, g
 		if err != nil {
 			return nil, err
 		}
-		leaves := make([]dht.NodeID, tbl.NumRows())
-		var resolveErr error
-		tbl.ForEachRow(func(i int, row []string) {
-			if resolveErr != nil {
-				return
+		dict, codes := tbl.DictValues(colIdx), tbl.Codes(colIdx)
+		used := make([]bool, len(dict))
+		for _, code := range codes {
+			used[code] = true
+		}
+		leafOf := make([]dht.NodeID, len(dict))
+		for code, v := range dict {
+			if !used[code] {
+				continue
 			}
-			leaf, err := tree.ResolveLeaf(row[colIdx])
+			leaf, err := tree.ResolveLeaf(v)
 			if err != nil {
-				resolveErr = fmt.Errorf("binning: column %s row %d: %w", col, i, err)
-				return
+				return nil, fmt.Errorf("binning: column %s value %q: %w", col, v, err)
 			}
-			leaves[i] = leaf
-		})
-		if resolveErr != nil {
-			return nil, resolveErr
+			leafOf[code] = leaf
+		}
+		leaves := make([]dht.NodeID, len(codes))
+		for i, code := range codes {
+			leaves[i] = leafOf[code]
 		}
 		out[ci] = leaves
 	}

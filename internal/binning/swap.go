@@ -43,27 +43,29 @@ func RestrainedSwap(tbl *relation.Table, col string, ulti dht.GenSet, maxMoves i
 		groups[p] = append(groups[p], nd)
 	}
 
-	// Rows per frontier member.
+	// Rows per frontier member: the value → cover mapping is a function
+	// of the dictionary entry, so resolve once per distinct value and
+	// bucket rows by integer code.
+	dict, codes := tbl.DictValues(ci), tbl.Codes(ci)
+	coverOf := make([]dht.NodeID, len(dict))
+	errOf := make([]error, len(dict))
+	resolved := make([]bool, len(dict))
 	rowsOf := make(map[dht.NodeID][]int)
-	var resolveErr error
-	tbl.ForEachRow(func(i int, row []string) {
-		if resolveErr != nil {
-			return
+	for i, code := range codes {
+		if !resolved[code] {
+			resolved[code] = true
+			if id, err := tree.ResolveValue(dict[code]); err != nil {
+				errOf[code] = err
+			} else if cover, ok := ulti.CoverOf(id); !ok {
+				errOf[code] = fmt.Errorf("value %q above the frontier", dict[code])
+			} else {
+				coverOf[code] = cover
+			}
 		}
-		id, err := tree.ResolveValue(row[ci])
-		if err != nil {
-			resolveErr = fmt.Errorf("binning: row %d: %w", i, err)
-			return
+		if err := errOf[code]; err != nil {
+			return 0, fmt.Errorf("binning: row %d: %w", i, err)
 		}
-		cover, ok := ulti.CoverOf(id)
-		if !ok {
-			resolveErr = fmt.Errorf("binning: row %d: value %q above the frontier", i, row[ci])
-			return
-		}
-		rowsOf[cover] = append(rowsOf[cover], i)
-	})
-	if resolveErr != nil {
-		return 0, resolveErr
+		rowsOf[coverOf[code]] = append(rowsOf[coverOf[code]], i)
 	}
 
 	parents := make([]dht.NodeID, 0, len(groups))

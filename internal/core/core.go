@@ -20,7 +20,6 @@ import (
 	"repro/internal/dht"
 	"repro/internal/infoloss"
 	"repro/internal/ownership"
-	"repro/internal/pool"
 	"repro/internal/relation"
 	"repro/internal/watermark"
 )
@@ -493,18 +492,15 @@ func (f *Framework) DecryptIdentifiers(ctx context.Context, tbl *relation.Table,
 		return nil, fmt.Errorf("%w: %w", err, ErrBadKey)
 	}
 	out := tbl.Clone()
-	if err := pool.ForEachChunkCtx(ctx, f.cfg.Workers, out.NumRows(), func(_, lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			if err := pool.CtxAt(ctx, i-lo); err != nil {
-				return err
-			}
-			pt, err := cipher.DecryptString(out.CellAt(i, colIdx))
-			if err != nil {
-				return fmt.Errorf("core: row %d: %w: %w", i, err, ErrKeyMismatch)
-			}
-			out.SetCellAt(i, colIdx, pt)
+	// Decryption is deterministic per value, so it rewrites the column
+	// dictionary: one DecryptString per distinct ciphertext (fanned out
+	// over workers), and rows remap by code.
+	if _, err := out.MapColumnCtx(ctx, f.cfg.Workers, colIdx, func(token string) (string, error) {
+		pt, err := cipher.DecryptString(token)
+		if err != nil {
+			return "", fmt.Errorf("core: identifier %q: %w: %w", token, err, ErrKeyMismatch)
 		}
-		return nil
+		return pt, nil
 	}); err != nil {
 		return nil, err
 	}

@@ -260,27 +260,25 @@ func newWatermarkSetup(cfg Config, k int) (*wmSetup, error) {
 	binned := original.Clone()
 	columns := make(map[string]watermark.ColumnSpec, len(trees))
 	for _, col := range original.Schema().QuasiColumns() {
-		values, err := binned.Column(col)
+		ci, _ := binned.Schema().Index(col)
+		hist, err := infoloss.LeafHistogramCodes(trees[col], binned.DictValues(ci), binned.Codes(ci))
 		if err != nil {
 			return nil, err
 		}
-		ulti, _, err := binning.MonoBin(trees[col], maxGens[col], values, k, false)
+		ulti, _, err := binning.MonoBinHist(trees[col], maxGens[col], hist, k, false)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: mono-binning %s at k=%d: %w", col, k, err)
 		}
-		ci, _ := binned.Schema().Index(col)
-		for i := 0; i < binned.NumRows(); i++ {
-			v, err := ulti.GeneralizeValue(binned.CellAt(i, ci))
-			if err != nil {
-				return nil, err
-			}
-			binned.SetCellAt(i, ci, v)
+		if _, err := binned.MapColumn(ci, ulti.GeneralizeValue); err != nil {
+			return nil, err
 		}
 		columns[col] = watermark.ColumnSpec{Tree: trees[col], MaxGen: maxGens[col], UltiGen: ulti}
 	}
 	identIdx, _ := binned.Schema().Index(identCol)
-	for i := 0; i < binned.NumRows(); i++ {
-		binned.SetCellAt(i, identIdx, cipher.EncryptString(binned.CellAt(i, identIdx)))
+	if _, err := binned.MapColumn(identIdx, func(v string) (string, error) {
+		return cipher.EncryptString(v), nil
+	}); err != nil {
+		return nil, err
 	}
 
 	return &wmSetup{
@@ -309,11 +307,11 @@ func (s *wmSetup) frontierValues() map[string][]string {
 func columnLossAvg(s *wmSetup, gens map[string]dht.GenSet) (float64, error) {
 	var losses []float64
 	for col, gen := range gens {
-		values, err := s.original.Column(col)
+		ci, err := s.original.Schema().Index(col)
 		if err != nil {
 			return 0, err
 		}
-		hist, err := infoloss.LeafHistogram(s.trees[col], values)
+		hist, err := infoloss.LeafHistogramCodes(s.trees[col], s.original.DictValues(ci), s.original.Codes(ci))
 		if err != nil {
 			return 0, err
 		}

@@ -34,16 +34,14 @@ func Figure11(cfg Config) (*Table, error) {
 		maxGens[col] = dht.RootGenSet(trees[col])
 	}
 
-	// Histograms once.
+	// Histograms once, straight off the dictionary-encoded columns.
 	hists := make(map[string][]int, len(quasi))
-	colValues := make(map[string][]string, len(quasi))
 	for _, col := range quasi {
-		values, err := tbl.Column(col)
+		ci, err := tbl.Schema().Index(col)
 		if err != nil {
 			return nil, err
 		}
-		colValues[col] = values
-		h, err := infoloss.LeafHistogram(trees[col], values)
+		h, err := infoloss.LeafHistogramCodes(trees[col], tbl.DictValues(ci), tbl.Codes(ci))
 		if err != nil {
 			return nil, err
 		}
@@ -66,7 +64,7 @@ func Figure11(cfg Config) (*Table, error) {
 		minGens := make(map[string]dht.GenSet, len(quasi))
 		var monoLosses []float64
 		for _, col := range quasi {
-			g, _, err := binning.MonoBin(trees[col], maxGens[col], colValues[col], k, false)
+			g, _, err := binning.MonoBinHist(trees[col], maxGens[col], hists[col], k, false)
 			if err != nil {
 				return nil, fmt.Errorf("k=%d column %s: %w", k, col, err)
 			}

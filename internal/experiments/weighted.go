@@ -217,7 +217,7 @@ type flowSet struct {
 
 func flowFor(setup *wmSetup, marked interface {
 	NumRows() int
-	Row(int) []string
+	CellAt(row, col int) string
 }, col string) (flowSet, error) {
 	fs := flowSet{out: map[string]int{}, in: map[string]int{}, size: map[string]int{}}
 	ci, err := setup.binned.Schema().Index(col)
@@ -225,8 +225,8 @@ func flowFor(setup *wmSetup, marked interface {
 		return fs, err
 	}
 	for i := 0; i < setup.binned.NumRows(); i++ {
-		before := setup.binned.Row(i)[ci]
-		after := marked.Row(i)[ci]
+		before := setup.binned.CellAt(i, ci)
+		after := marked.CellAt(i, ci)
 		fs.size[before]++
 		if before != after {
 			fs.out[before]++

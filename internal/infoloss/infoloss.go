@@ -36,6 +36,37 @@ func LeafHistogram(tree *dht.Tree, values []string) ([]int, error) {
 	return counts, nil
 }
 
+// LeafHistogramCodes is LeafHistogram over a dictionary-encoded column:
+// each distinct value (dictionary entry) resolves to its leaf once, and
+// the code vector is folded into the histogram with pure integer
+// indexing — no per-row string hashing. Dictionary entries not present
+// in codes are never resolved, so stale entries cannot fail the scan.
+func LeafHistogramCodes(tree *dht.Tree, dict []string, codes []uint32) ([]int, error) {
+	perCode := make([]int, len(dict))
+	for code := range perCode {
+		perCode[code] = -1
+	}
+	for _, code := range codes {
+		perCode[code] = 0
+	}
+	leafOf := make([]dht.NodeID, len(dict))
+	for code, v := range dict {
+		if perCode[code] < 0 {
+			continue // unused dictionary entry
+		}
+		leaf, err := tree.ResolveLeaf(v)
+		if err != nil {
+			return nil, fmt.Errorf("infoloss: value %q: %w", v, err)
+		}
+		leafOf[code] = leaf
+	}
+	counts := make([]int, tree.Size())
+	for _, code := range codes {
+		counts[leafOf[code]]++
+	}
+	return counts, nil
+}
+
 // SubtreeCounts turns a leaf histogram into per-node subtree sums:
 // out[id] = number of entries whose leaf lies under id. This is the
 // paper's NumTuple(SubTree(nd, tr), tbl) for every nd, computed once in

@@ -83,52 +83,62 @@ func Attack(published, external *relation.Table, cols []string, trees map[string
 	// Index external individuals by their leaf-node path per column:
 	// for candidate counting we register each individual under every
 	// (column, ancestor) pair lazily via a per-column map from node ID to
-	// the set of external rows below it. Build per-column node→rows maps
-	// bottom-up once; the join then intersects.
+	// the set of external rows below it. Values resolve once per distinct
+	// dictionary entry; rows register by integer code. The join then
+	// intersects.
 	perColRows := make([]map[dht.NodeID][]int32, len(cols))
 	for ci, col := range cols {
 		tree := trees[col]
+		dict := external.DictValues(extIdx[ci])
+		codes := external.Codes(extIdx[ci])
+		idOf := make([]dht.NodeID, len(dict))
+		resolved := make([]bool, len(dict))
+		errOf := make([]error, len(dict))
 		m := make(map[dht.NodeID][]int32)
-		var resolveErr error
-		external.ForEachRow(func(row int, cells []string) {
-			if resolveErr != nil {
-				return
+		for row, code := range codes {
+			if !resolved[code] {
+				resolved[code] = true
+				idOf[code], errOf[code] = tree.ResolveValue(dict[code])
 			}
-			id, err := tree.ResolveValue(cells[extIdx[ci]])
-			if err != nil {
-				resolveErr = fmt.Errorf("linkage: external row %d column %s: %w", row, col, err)
-				return
+			if err := errOf[code]; err != nil {
+				return res, fmt.Errorf("linkage: external row %d column %s: %w", row, col, err)
 			}
 			// register under the node and all its ancestors
-			for cur := id; cur != dht.None; cur = tree.Parent(cur) {
+			for cur := idOf[code]; cur != dht.None; cur = tree.Parent(cur) {
 				m[cur] = append(m[cur], int32(row))
 			}
-		})
-		if resolveErr != nil {
-			return res, resolveErr
 		}
 		perColRows[ci] = m
 	}
 
 	res.Published = published.NumRows()
 	res.MinCandidates = -1
-	var attackErr error
-	published.ForEachRow(func(row int, cells []string) {
-		if attackErr != nil {
-			return
+	// Published values also resolve per distinct dictionary entry; an
+	// out-of-domain value means "no candidates", not an error.
+	pubIDs := make([][]dht.NodeID, len(cols))
+	pubOK := make([][]bool, len(cols))
+	for ci, col := range cols {
+		tree := trees[col]
+		dict := published.DictValues(pubIdx[ci])
+		pubIDs[ci] = make([]dht.NodeID, len(dict))
+		pubOK[ci] = make([]bool, len(dict))
+		for code, v := range dict {
+			if id, err := tree.ResolveValue(v); err == nil {
+				pubIDs[ci][code], pubOK[ci][code] = id, true
+			}
 		}
+	}
+	for row := 0; row < published.NumRows(); row++ {
 		// candidate set = intersection over columns of externals under
 		// the published node
 		var candidates []int32
-		for ci, col := range cols {
-			tree := trees[col]
-			id, err := tree.ResolveValue(cells[pubIdx[ci]])
-			if err != nil {
-				// out-of-domain published value: no candidates
+		for ci := range cols {
+			code := published.CodeAt(row, pubIdx[ci])
+			if !pubOK[ci][code] {
 				candidates = nil
 				break
 			}
-			rows := perColRows[ci][id]
+			rows := perColRows[ci][pubIDs[ci][code]]
 			if ci == 0 {
 				candidates = rows
 				continue
@@ -139,7 +149,7 @@ func Attack(published, external *relation.Table, cols []string, trees map[string
 			}
 		}
 		if len(candidates) == 0 {
-			return
+			continue
 		}
 		res.Matched++
 		if len(candidates) == 1 {
@@ -151,11 +161,11 @@ func Attack(published, external *relation.Table, cols []string, trees map[string
 		if len(candidates) > res.MaxCandidates {
 			res.MaxCandidates = len(candidates)
 		}
-	})
+	}
 	if res.MinCandidates < 0 {
 		res.MinCandidates = 0
 	}
-	return res, attackErr
+	return res, nil
 }
 
 // intersect returns the sorted intersection of two ascending row lists.
@@ -189,28 +199,7 @@ func ExternalView(original *relation.Table, identCol string, cols []string) (*re
 	if err != nil {
 		return nil, err
 	}
-	out := relation.NewTable(schema)
-	identIdx, err := original.Schema().Index(identCol)
-	if err != nil {
-		return nil, err
-	}
-	srcIdx := make([]int, len(cols))
-	for i, c := range cols {
-		if srcIdx[i], err = original.Schema().Index(c); err != nil {
-			return nil, err
-		}
-	}
-	var appendErr error
-	original.ForEachRow(func(_ int, row []string) {
-		if appendErr != nil {
-			return
-		}
-		cells := make([]string, 0, len(cols)+1)
-		cells = append(cells, row[identIdx])
-		for _, si := range srcIdx {
-			cells = append(cells, row[si])
-		}
-		appendErr = out.AppendRow(cells)
-	})
-	return out, appendErr
+	// A columnar projection: the adversary's view copies dictionaries and
+	// code vectors wholesale, no per-cell decoding.
+	return original.Project(schema)
 }

@@ -1,24 +1,34 @@
 // Package relation is the relational-table substrate of the framework.
 // It models the paper's table tbl: a schema whose columns are classified
 // by the identifying information they contain (Section 2 of the paper —
-// identifying, quasi-identifying, or other), and a row store with the
-// mutation operations the attack models need (random alteration, tuple
-// addition, random and range deletion).
+// identifying, quasi-identifying, or other), and a column-major,
+// dictionary-encoded cell store with the mutation operations the attack
+// models need (random alteration, tuple addition, random and range
+// deletion).
 //
-// Cell values are strings; domain semantics (numeric intervals,
-// categorical hierarchies) live in the dht package. This mirrors the
-// paper's observation that after binning the data become essentially
-// categorical.
+// Representation. The paper observes that after binning the data become
+// essentially categorical, so every column is stored as a string
+// dictionary (code → value, deduplicated) plus a dense []uint32 code
+// vector with one code per tuple. Hot paths — binning histograms,
+// watermark scans, attack mutations — operate on the integer codes and
+// precompute per-distinct-value work once per dictionary entry instead
+// of once per row; the string API (Cell, Row, ForEachRow, CSV) decodes
+// on demand. Domain semantics (numeric intervals, categorical
+// hierarchies) live in the dht package.
 package relation
 
 import (
+	"context"
 	"encoding/csv"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
+
+	"repro/internal/pool"
 )
 
 // Kind classifies a column by the identifying information it contains
@@ -156,40 +166,99 @@ func (s *Schema) QuasiColumns() []string {
 // IdentColumns returns the names of all identifying columns.
 func (s *Schema) IdentColumns() []string { return s.ColumnsOfKind(Identifying) }
 
-// Table is an in-memory relation: a schema plus a row store.
+// column is one dictionary-encoded attribute vector: dict maps codes to
+// values, index is the inverse (built lazily after Clone), codes holds
+// one dictionary code per tuple.
+type column struct {
+	dict  []string
+	index map[string]uint32
+	codes []uint32
+}
+
+// ensureIndex (re)builds the value → code map. It is nil after Clone so
+// read-only clones never pay for it. Not safe for concurrent use.
+func (c *column) ensureIndex() {
+	if c.index != nil {
+		return
+	}
+	c.index = make(map[string]uint32, len(c.dict))
+	for code, v := range c.dict {
+		c.index[v] = uint32(code)
+	}
+}
+
+// intern returns the code of v, inserting it into the dictionary if new.
+// Inserted values are cloned so the dictionary never pins a caller's
+// larger backing array (e.g. a CSV record buffer).
+func (c *column) intern(v string) uint32 {
+	c.ensureIndex()
+	if code, ok := c.index[v]; ok {
+		return code
+	}
+	code := uint32(len(c.dict))
+	v = strings.Clone(v)
+	c.dict = append(c.dict, v)
+	c.index[v] = code
+	return code
+}
+
+// Table is an in-memory relation: a schema plus one dictionary-encoded
+// code vector per column.
 type Table struct {
 	schema *Schema
-	rows   [][]string
+	cols   []column
 }
 
 // NewTable returns an empty table with the given schema.
 func NewTable(schema *Schema) *Table {
-	return &Table{schema: schema}
+	return &Table{schema: schema, cols: make([]column, schema.NumColumns())}
 }
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
 // NumRows returns the number of tuples.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int { return len(t.cols[0].codes) }
 
-// AppendRow adds a tuple. The row length must match the schema. The slice
-// is copied.
+// AppendRow adds a tuple. The row length must match the schema. Cell
+// values are interned into the per-column dictionaries.
 func (t *Table) AppendRow(row []string) error {
-	if len(row) != t.schema.NumColumns() {
-		return fmt.Errorf("relation: row has %d cells, schema has %d columns", len(row), t.schema.NumColumns())
+	if len(row) != len(t.cols) {
+		return fmt.Errorf("relation: row has %d cells, schema has %d columns", len(row), len(t.cols))
 	}
-	cp := make([]string, len(row))
-	copy(cp, row)
-	t.rows = append(t.rows, cp)
+	for ci := range t.cols {
+		c := &t.cols[ci]
+		c.codes = append(c.codes, c.intern(row[ci]))
+	}
+	return nil
+}
+
+// AppendCodes adds a tuple given as per-column dictionary codes. Every
+// code must already be in range for its column's dictionary.
+func (t *Table) AppendCodes(codes []uint32) error {
+	if len(codes) != len(t.cols) {
+		return fmt.Errorf("relation: row has %d codes, schema has %d columns", len(codes), len(t.cols))
+	}
+	for ci := range t.cols {
+		if int(codes[ci]) >= len(t.cols[ci].dict) {
+			return fmt.Errorf("relation: column %d: code %d out of dictionary range [0,%d)",
+				ci, codes[ci], len(t.cols[ci].dict))
+		}
+	}
+	for ci := range t.cols {
+		t.cols[ci].codes = append(t.cols[ci].codes, codes[ci])
+	}
 	return nil
 }
 
 // Row returns a copy of tuple i.
 func (t *Table) Row(i int) []string {
-	cp := make([]string, len(t.rows[i]))
-	copy(cp, t.rows[i])
-	return cp
+	row := make([]string, len(t.cols))
+	for ci := range t.cols {
+		c := &t.cols[ci]
+		row[ci] = c.dict[c.codes[i]]
+	}
+	return row
 }
 
 // Cell returns the value at row i, named column.
@@ -198,10 +267,10 @@ func (t *Table) Cell(i int, col string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if i < 0 || i >= len(t.rows) {
-		return "", fmt.Errorf("relation: row %d out of range [0,%d)", i, len(t.rows))
+	if i < 0 || i >= t.NumRows() {
+		return "", fmt.Errorf("relation: row %d out of range [0,%d)", i, t.NumRows())
 	}
-	return t.rows[i][ci], nil
+	return t.CellAt(i, ci), nil
 }
 
 // SetCell overwrites the value at row i, named column.
@@ -210,42 +279,124 @@ func (t *Table) SetCell(i int, col, value string) error {
 	if err != nil {
 		return err
 	}
-	if i < 0 || i >= len(t.rows) {
-		return fmt.Errorf("relation: row %d out of range [0,%d)", i, len(t.rows))
+	if i < 0 || i >= t.NumRows() {
+		return fmt.Errorf("relation: row %d out of range [0,%d)", i, t.NumRows())
 	}
-	t.rows[i][ci] = value
+	t.SetCellAt(i, ci, value)
 	return nil
 }
 
 // CellAt is Cell by column index, without bounds checking on the column;
-// for hot loops that already resolved the index.
-func (t *Table) CellAt(i, col int) string { return t.rows[i][col] }
+// for hot loops that already resolved the index. It is a dictionary
+// lookup — no allocation.
+func (t *Table) CellAt(i, col int) string {
+	c := &t.cols[col]
+	return c.dict[c.codes[i]]
+}
 
-// SetCellAt is SetCell by column index.
-func (t *Table) SetCellAt(i, col int, value string) { t.rows[i][col] = value }
+// SetCellAt is SetCell by column index. The value is interned; writing a
+// value already in the column's dictionary mutates only the code vector.
+// Not safe for concurrent use (interning may grow the dictionary) — see
+// SetCodeAt for the race-free sharded-writer path.
+func (t *Table) SetCellAt(i, col int, value string) {
+	c := &t.cols[col]
+	c.codes[i] = c.intern(value)
+}
 
-// Column returns a copy of the named column's values.
+// CodeAt returns the dictionary code of the cell at row i. Codes are
+// stable under reads and SetCodeAt, and only grow (never shuffle) under
+// interning writes; Delete*, Shuffle and Sort* reorder rows, and
+// MapColumn rebuilds the dictionary.
+func (t *Table) CodeAt(i, col int) uint32 { return t.cols[col].codes[i] }
+
+// SetCodeAt overwrites the cell at row i with an existing dictionary
+// code (obtained from CodeAt, CodeOf or InternValue). It is a plain
+// slice store, so concurrent writers on disjoint rows are safe. The code
+// must be in range for the column's dictionary.
+func (t *Table) SetCodeAt(i, col int, code uint32) {
+	c := &t.cols[col]
+	if int(code) >= len(c.dict) {
+		panic(fmt.Sprintf("relation: column %d: code %d out of dictionary range [0,%d)", col, code, len(c.dict)))
+	}
+	c.codes[i] = code
+}
+
+// ValueOf decodes a dictionary code of the column.
+func (t *Table) ValueOf(col int, code uint32) string { return t.cols[col].dict[code] }
+
+// CodeOf returns the dictionary code of value in the column, if the
+// value occurs in the dictionary. It may (re)build the column's inverse
+// index, so it is not safe concurrently with itself or with interning
+// writes on the same column.
+func (t *Table) CodeOf(col int, value string) (uint32, bool) {
+	c := &t.cols[col]
+	c.ensureIndex()
+	code, ok := c.index[value]
+	return code, ok
+}
+
+// InternValue inserts value into the column's dictionary (if absent) and
+// returns its code, without touching any row. Use it to pre-intern every
+// value a sharded writer may store, then write codes with SetCodeAt.
+func (t *Table) InternValue(col int, value string) uint32 {
+	return t.cols[col].intern(value)
+}
+
+// DictLen returns the column's dictionary size (distinct values ever
+// interned; deletions may leave unused entries until MapColumn compacts).
+func (t *Table) DictLen(col int) int { return len(t.cols[col].dict) }
+
+// DictValues returns the column's dictionary, indexed by code. The slice
+// is shared with the table: callers must treat it as read-only, and it
+// is stale after interning writes or MapColumn.
+func (t *Table) DictValues(col int) []string { return t.cols[col].dict }
+
+// Codes returns the column's code vector (one code per row). The slice
+// is shared with the table: callers must treat it as read-only, and it
+// is stale after any row mutation.
+func (t *Table) Codes(col int) []uint32 { return t.cols[col].codes }
+
+// Column returns a decoded copy of the named column's values.
 func (t *Table) Column(name string) ([]string, error) {
 	ci, err := t.schema.Index(name)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]string, len(t.rows))
-	for i, r := range t.rows {
-		out[i] = r[ci]
+	c := &t.cols[ci]
+	out := make([]string, len(c.codes))
+	for i, code := range c.codes {
+		out[i] = c.dict[code]
 	}
 	return out, nil
 }
 
-// Clone returns a deep copy sharing the (immutable) schema.
+// Clone returns a deep copy sharing the (immutable) schema. Cloning
+// copies dictionaries and code vectors; the inverse indexes are rebuilt
+// lazily, so read-only clones never pay for them.
 func (t *Table) Clone() *Table {
-	c := &Table{schema: t.schema, rows: make([][]string, len(t.rows))}
-	for i, r := range t.rows {
-		row := make([]string, len(r))
-		copy(row, r)
-		c.rows[i] = row
+	c := &Table{schema: t.schema, cols: make([]column, len(t.cols))}
+	for ci := range t.cols {
+		src := &t.cols[ci]
+		dst := &c.cols[ci]
+		dst.dict = append([]string(nil), src.dict...)
+		dst.codes = append([]uint32(nil), src.codes...)
 	}
 	return c
+}
+
+// compact keeps exactly the rows for which keep[i] is true, preserving
+// relative order.
+func (t *Table) compact(keep []bool) {
+	for ci := range t.cols {
+		codes := t.cols[ci].codes
+		kept := codes[:0]
+		for i, code := range codes {
+			if keep[i] {
+				kept = append(kept, code)
+			}
+		}
+		t.cols[ci].codes = kept
+	}
 }
 
 // DeleteRows removes the tuples at the given indices (any order,
@@ -254,108 +405,329 @@ func (t *Table) DeleteRows(indices []int) error {
 	if len(indices) == 0 {
 		return nil
 	}
-	drop := make(map[int]bool, len(indices))
+	n := t.NumRows()
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = true
+	}
 	for _, i := range indices {
-		if i < 0 || i >= len(t.rows) {
-			return fmt.Errorf("relation: row %d out of range [0,%d)", i, len(t.rows))
+		if i < 0 || i >= n {
+			return fmt.Errorf("relation: row %d out of range [0,%d)", i, n)
 		}
-		drop[i] = true
+		keep[i] = false
 	}
-	kept := t.rows[:0]
-	for i, r := range t.rows {
-		if !drop[i] {
-			kept = append(kept, r)
-		}
-	}
-	// zero the tail so deleted rows can be collected
-	for i := len(kept); i < len(t.rows); i++ {
-		t.rows[i] = nil
-	}
-	t.rows = kept
+	t.compact(keep)
 	return nil
 }
 
 // DeleteWhere removes all tuples for which pred returns true and reports
 // how many were removed. This implements the paper's range deletion
-// (DELETE FROM R WHERE SSN > lval AND SSN < uval) generically.
+// (DELETE FROM R WHERE SSN > lval AND SSN < uval) generically. The row
+// slice passed to pred is reused between calls: it must not be retained.
+// Prefer DeleteWhereView, which decodes nothing.
 func (t *Table) DeleteWhere(pred func(row []string) bool) int {
-	kept := t.rows[:0]
+	scratch := make([]string, len(t.cols))
+	return t.DeleteWhereView(func(v RowView) bool {
+		return pred(v.AppendTo(scratch[:0]))
+	})
+}
+
+// DeleteWhereView is DeleteWhere over zero-copy row views: pred reads
+// cells (or codes) straight from the column store.
+func (t *Table) DeleteWhereView(pred func(v RowView) bool) int {
+	n := t.NumRows()
+	keep := make([]bool, n)
 	removed := 0
-	for _, r := range t.rows {
-		if pred(r) {
+	for i := 0; i < n; i++ {
+		if pred(RowView{t: t, i: i}) {
 			removed++
 		} else {
-			kept = append(kept, r)
+			keep[i] = true
 		}
 	}
-	for i := len(kept); i < len(t.rows); i++ {
-		t.rows[i] = nil
+	if removed > 0 {
+		t.compact(keep)
 	}
-	t.rows = kept
 	return removed
 }
 
 // AppendTable appends all rows of other, which must share the schema
-// column count.
+// column count. Cells are matched positionally; other's codes are
+// remapped through a per-column dictionary translation built once, so
+// the append is O(dict + rows) rather than per-cell hashing.
 func (t *Table) AppendTable(other *Table) error {
-	if other.schema.NumColumns() != t.schema.NumColumns() {
+	if len(other.cols) != len(t.cols) {
 		return errors.New("relation: column count mismatch")
 	}
-	for i := range other.rows {
-		if err := t.AppendRow(other.rows[i]); err != nil {
+	for ci := range t.cols {
+		src := &other.cols[ci]
+		dst := &t.cols[ci]
+		remap := make([]uint32, len(src.dict))
+		for code, v := range src.dict {
+			remap[code] = dst.intern(v)
+		}
+		for _, code := range src.codes {
+			dst.codes = append(dst.codes, remap[code])
+		}
+	}
+	return nil
+}
+
+// permute rearranges rows so that new row i is old row perm[i].
+func (t *Table) permute(perm []int) {
+	for ci := range t.cols {
+		codes := t.cols[ci].codes
+		next := make([]uint32, len(codes))
+		for i, p := range perm {
+			next[i] = codes[p]
+		}
+		t.cols[ci].codes = next
+	}
+}
+
+// identityPerm returns [0, 1, ... n).
+func identityPerm(n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return perm
+}
+
+// Shuffle permutes row order using rng. Attacks use this to destroy any
+// accidental reliance on physical order. The rng draw sequence matches a
+// direct Fisher–Yates shuffle of the row store, so seeded runs reproduce
+// historical orders.
+func (t *Table) Shuffle(rng *rand.Rand) {
+	perm := identityPerm(t.NumRows())
+	rng.Shuffle(len(perm), func(i, j int) {
+		perm[i], perm[j] = perm[j], perm[i]
+	})
+	t.permute(perm)
+}
+
+// SortByColumn sorts rows by the named column (stable). QuasiNumeric
+// columns sort numerically: values parse once per distinct dictionary
+// entry, numeric values order by magnitude (so "9" < "10"), and
+// non-numeric values sort lexicographically after all numeric ones.
+// Every other kind sorts by plain string comparison.
+func (t *Table) SortByColumn(name string) error {
+	ci, err := t.schema.Index(name)
+	if err != nil {
+		return err
+	}
+	c := &t.cols[ci]
+	perm := identityPerm(len(c.codes))
+	if t.schema.Column(ci).Kind == QuasiNumeric {
+		nums := make([]float64, len(c.dict))
+		numeric := make([]bool, len(c.dict))
+		for code, v := range c.dict {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				nums[code], numeric[code] = f, true
+			}
+		}
+		sort.SliceStable(perm, func(i, j int) bool {
+			a, b := c.codes[perm[i]], c.codes[perm[j]]
+			switch {
+			case numeric[a] && numeric[b]:
+				return nums[a] < nums[b]
+			case numeric[a] != numeric[b]:
+				return numeric[a] // numbers before non-numbers
+			default:
+				return c.dict[a] < c.dict[b]
+			}
+		})
+	} else {
+		sort.SliceStable(perm, func(i, j int) bool {
+			return c.dict[c.codes[perm[i]]] < c.dict[c.codes[perm[j]]]
+		})
+	}
+	t.permute(perm)
+	return nil
+}
+
+// RowView is a zero-copy accessor for one tuple of a table. It is valid
+// only while the table's row set is unchanged.
+type RowView struct {
+	t *Table
+	i int
+}
+
+// View returns a zero-copy view of tuple i.
+func (t *Table) View(i int) RowView { return RowView{t: t, i: i} }
+
+// Index returns the row index the view points at.
+func (v RowView) Index() int { return v.i }
+
+// Cell decodes the cell in the given column.
+func (v RowView) Cell(col int) string { return v.t.CellAt(v.i, col) }
+
+// Code returns the dictionary code of the cell in the given column.
+func (v RowView) Code(col int) uint32 { return v.t.cols[col].codes[v.i] }
+
+// AppendTo appends the decoded row to dst and returns it.
+func (v RowView) AppendTo(dst []string) []string {
+	for ci := range v.t.cols {
+		c := &v.t.cols[ci]
+		dst = append(dst, c.dict[c.codes[v.i]])
+	}
+	return dst
+}
+
+// ForEachRow calls fn with (index, decoded row) for each tuple. The row
+// slice is reused between calls: it must not be mutated or retained.
+// Prefer code-level scans (Codes/DictValues, View) on hot paths.
+func (t *Table) ForEachRow(fn func(i int, row []string)) {
+	n := t.NumRows()
+	row := make([]string, len(t.cols))
+	for i := 0; i < n; i++ {
+		for ci := range t.cols {
+			c := &t.cols[ci]
+			row[ci] = c.dict[c.codes[i]]
+		}
+		fn(i, row)
+	}
+}
+
+// DefaultChunk is the row-batch size of ForEachRowChunk when the caller
+// passes chunk <= 0.
+const DefaultChunk = 4096
+
+// ForEachRowChunk calls fn with contiguous half-open row ranges
+// [lo, hi) of at most chunk rows (DefaultChunk when chunk <= 0), in
+// order, stopping at the first error. Batches bound the working set of
+// streaming consumers; fn reads cells through the code-level accessors.
+func (t *Table) ForEachRowChunk(chunk int, fn func(lo, hi int) error) error {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	n := t.NumRows()
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if err := fn(lo, hi); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Shuffle permutes row order using rng. Attacks use this to destroy any
-// accidental reliance on physical order.
-func (t *Table) Shuffle(rng *rand.Rand) {
-	rng.Shuffle(len(t.rows), func(i, j int) {
-		t.rows[i], t.rows[j] = t.rows[j], t.rows[i]
-	})
+// MapColumn rewrites one column through fn, calling fn once per distinct
+// value in use instead of once per row: fn transforms dictionary
+// entries, rows only have their codes remapped. The dictionary is
+// compacted (unused entries dropped, equal outputs merged) and the
+// number of rows whose value changed is returned. fn must be
+// deterministic; a row-level scan applying a deterministic fn yields
+// exactly the same table.
+func (t *Table) MapColumn(col int, fn func(value string) (string, error)) (int, error) {
+	return t.MapColumnCtx(context.Background(), 1, col, fn)
 }
 
-// SortByColumn sorts rows by the named column's string value (stable).
-func (t *Table) SortByColumn(name string) error {
-	ci, err := t.schema.Index(name)
-	if err != nil {
-		return err
+// MapColumnCtx is MapColumn with the per-entry fn calls fanned out over
+// workers (0 = GOMAXPROCS, 1 = sequential) under ctx. The rebuilt
+// dictionary is ordered by first use regardless of worker count, and the
+// error of the lowest failing dictionary entry is reported.
+func (t *Table) MapColumnCtx(ctx context.Context, workers, col int, fn func(value string) (string, error)) (int, error) {
+	c := &t.cols[col]
+	n := len(c.dict)
+	if n == 0 {
+		return 0, nil
 	}
-	sort.SliceStable(t.rows, func(i, j int) bool {
-		return t.rows[i][ci] < t.rows[j][ci]
-	})
-	return nil
-}
-
-// ForEachRow calls fn with (index, row view) for each tuple. The row slice
-// must not be mutated or retained.
-func (t *Table) ForEachRow(fn func(i int, row []string)) {
-	for i, r := range t.rows {
-		fn(i, r)
+	rowsPer := make([]int, n)
+	for _, code := range c.codes {
+		rowsPer[code]++
 	}
+	results := make([]string, n)
+	if err := pool.ForEachCtx(ctx, workers, n, func(k int) error {
+		if rowsPer[k] == 0 {
+			return nil
+		}
+		out, err := fn(c.dict[k])
+		if err != nil {
+			return err
+		}
+		results[k] = out
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	next := column{}
+	remap := make([]uint32, n)
+	changed := 0
+	for k := 0; k < n; k++ {
+		if rowsPer[k] == 0 {
+			continue
+		}
+		remap[k] = next.intern(results[k])
+		if results[k] != c.dict[k] {
+			changed += rowsPer[k]
+		}
+	}
+	next.codes = c.codes
+	for i, code := range next.codes {
+		next.codes[i] = remap[code]
+	}
+	t.cols[col] = next
+	return changed, nil
 }
 
-// WriteCSV writes the table (header + rows) to w.
+// Project returns a new table over the target schema, copying each
+// target column's dictionary and code vector from the source column of
+// the same name — a zero-decode columnar projection.
+func (t *Table) Project(target *Schema) (*Table, error) {
+	out := NewTable(target)
+	for ci := 0; ci < target.NumColumns(); ci++ {
+		si, err := t.schema.Index(target.Column(ci).Name)
+		if err != nil {
+			return nil, err
+		}
+		src := &t.cols[si]
+		out.cols[ci].dict = append([]string(nil), src.dict...)
+		out.cols[ci].codes = append([]uint32(nil), src.codes...)
+	}
+	return out, nil
+}
+
+// WriteCSV writes the table (header + rows) to w, decoding one bounded
+// record batch at a time — the table is never materialized as
+// [][]string.
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(t.schema.Names()); err != nil {
 		return fmt.Errorf("relation: writing header: %w", err)
 	}
-	for _, r := range t.rows {
-		if err := cw.Write(r); err != nil {
-			return fmt.Errorf("relation: writing row: %w", err)
+	record := make([]string, len(t.cols))
+	err := t.ForEachRowChunk(DefaultChunk, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			for ci := range t.cols {
+				c := &t.cols[ci]
+				record[ci] = c.dict[c.codes[i]]
+			}
+			if err := cw.Write(record); err != nil {
+				return fmt.Errorf("relation: writing row: %w", err)
+			}
 		}
+		// flush per batch so the writer's buffer stays bounded
+		cw.Flush()
+		return cw.Error()
+	})
+	if err != nil {
+		return err
 	}
 	cw.Flush()
 	return cw.Error()
 }
 
 // ReadCSV reads a table from r. The CSV header must contain exactly the
-// schema's column names (in any order); cells are mapped by name.
+// schema's column names (in any order); cells are mapped by name. The
+// reader streams: each record is interned straight into the column
+// dictionaries and code vectors, so no [][]string row store is ever
+// built and repeated values share one dictionary entry.
 func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("relation: reading header: %w", err)
@@ -385,11 +757,10 @@ func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("relation: line %d: %w", lineNo, err)
 		}
-		row := make([]string, schema.NumColumns())
 		for i, v := range rec {
-			row[perm[i]] = v
+			c := &t.cols[perm[i]]
+			c.codes = append(c.codes, c.intern(v))
 		}
-		t.rows = append(t.rows, row)
 	}
 	return t, nil
 }

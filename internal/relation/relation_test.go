@@ -2,6 +2,7 @@ package relation
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -316,5 +317,213 @@ func TestCSVErrors(t *testing.T) {
 		if _, err := ReadCSV(strings.NewReader(c), s); err == nil {
 			t.Errorf("CSV %q accepted", c)
 		}
+	}
+}
+
+func TestSortByColumnNumeric(t *testing.T) {
+	// Regression: lexicographic sorting put "10" before "9". QuasiNumeric
+	// columns must sort by magnitude.
+	tbl := NewTable(testSchema(t))
+	ages := []string{"10", "9", "100", "23", "9", "invalid", "4.5"}
+	for i, age := range ages {
+		if err := tbl.AppendRow([]string{fmt.Sprintf("s%d", i), age, "Nurse", "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.SortByColumn("age"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"4.5", "9", "9", "10", "23", "100", "invalid"}
+	for i, w := range want {
+		if v, _ := tbl.Cell(i, "age"); v != w {
+			t.Errorf("row %d age = %q, want %q", i, v, w)
+		}
+	}
+	// Stability: the two 9s keep their original relative order (s1 then s4).
+	a, _ := tbl.Cell(1, "ssn")
+	b, _ := tbl.Cell(2, "ssn")
+	if a != "s1" || b != "s4" {
+		t.Errorf("equal keys reordered: %s, %s", a, b)
+	}
+	// Non-numeric column kinds still sort lexicographically.
+	if err := tbl.SortByColumn("doctor"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodeAccessors(t *testing.T) {
+	tbl := testTable(t)
+	ci, _ := tbl.Schema().Index("doctor")
+	// Dictionary encoding: the two "Nurse" cells share one code.
+	if tbl.CodeAt(0, ci) != tbl.CodeAt(3, ci) {
+		t.Error("equal values got distinct codes")
+	}
+	if got := tbl.ValueOf(ci, tbl.CodeAt(0, ci)); got != "Nurse" {
+		t.Errorf("ValueOf = %q", got)
+	}
+	code, ok := tbl.CodeOf(ci, "Surgeon")
+	if !ok || tbl.ValueOf(ci, code) != "Surgeon" {
+		t.Errorf("CodeOf(Surgeon) = %d, %v", code, ok)
+	}
+	if _, ok := tbl.CodeOf(ci, "absent"); ok {
+		t.Error("CodeOf resolved an absent value")
+	}
+	if tbl.DictLen(ci) != 3 {
+		t.Errorf("DictLen = %d, want 3", tbl.DictLen(ci))
+	}
+	if got := len(tbl.Codes(ci)); got != tbl.NumRows() {
+		t.Errorf("Codes length = %d", got)
+	}
+	if got := len(tbl.DictValues(ci)); got != 3 {
+		t.Errorf("DictValues length = %d", got)
+	}
+	// SetCodeAt writes without interning; out-of-range codes panic.
+	tbl.SetCodeAt(2, ci, code)
+	if v, _ := tbl.Cell(2, "doctor"); v != "Surgeon" {
+		t.Error("SetCodeAt did not stick")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range SetCodeAt did not panic")
+			}
+		}()
+		tbl.SetCodeAt(0, ci, 99)
+	}()
+	// InternValue grows the dictionary without touching rows.
+	n := tbl.NumRows()
+	newCode := tbl.InternValue(ci, "Radiologist")
+	if tbl.NumRows() != n || tbl.ValueOf(ci, newCode) != "Radiologist" {
+		t.Error("InternValue changed rows or misfiled the value")
+	}
+}
+
+func TestRowViewAndChunks(t *testing.T) {
+	tbl := testTable(t)
+	v := tbl.View(1)
+	if v.Index() != 1 || v.Cell(0) != "s2" || tbl.ValueOf(0, v.Code(0)) != "s2" {
+		t.Errorf("RowView = %v %q", v.Index(), v.Cell(0))
+	}
+	if got := v.AppendTo(nil); len(got) != 4 || got[2] != "Surgeon" {
+		t.Errorf("AppendTo = %v", got)
+	}
+	var ranges [][2]int
+	if err := tbl.ForEachRowChunk(3, func(lo, hi int) error {
+		ranges = append(ranges, [2]int{lo, hi})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 2 || ranges[0] != [2]int{0, 3} || ranges[1] != [2]int{3, 4} {
+		t.Errorf("chunks = %v", ranges)
+	}
+	wantErr := fmt.Errorf("stop")
+	if err := tbl.ForEachRowChunk(1, func(lo, hi int) error { return wantErr }); err != wantErr {
+		t.Errorf("chunk error = %v", err)
+	}
+}
+
+func TestAppendCodes(t *testing.T) {
+	tbl := testTable(t)
+	codes := []uint32{tbl.CodeAt(0, 0), tbl.CodeAt(1, 1), tbl.CodeAt(2, 2), tbl.CodeAt(3, 3)}
+	if err := tbl.AppendCodes(codes); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 5 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+	if got := tbl.Row(4); got[0] != "s1" || got[1] != "67" || got[2] != "Clerk" || got[3] != "d" {
+		t.Errorf("appended row = %v", got)
+	}
+	if err := tbl.AppendCodes([]uint32{0}); err == nil {
+		t.Error("short code row accepted")
+	}
+	if err := tbl.AppendCodes([]uint32{0, 0, 0, 99}); err == nil {
+		t.Error("out-of-range code accepted")
+	}
+}
+
+func TestMapColumn(t *testing.T) {
+	tbl := testTable(t)
+	ci, _ := tbl.Schema().Index("doctor")
+	// Merge Nurse and Surgeon into Staff; Clerk unchanged.
+	changed, err := tbl.MapColumn(ci, func(v string) (string, error) {
+		if v == "Nurse" || v == "Surgeon" {
+			return "Staff", nil
+		}
+		return v, nil
+	})
+	if err != nil || changed != 3 {
+		t.Fatalf("MapColumn = %d, %v; want 3 changed", changed, err)
+	}
+	for i, want := range []string{"Staff", "Staff", "Clerk", "Staff"} {
+		if v, _ := tbl.Cell(i, "doctor"); v != want {
+			t.Errorf("row %d doctor = %q, want %q", i, v, want)
+		}
+	}
+	// The dictionary compacted: merged outputs share one entry.
+	if tbl.DictLen(ci) != 2 {
+		t.Errorf("DictLen = %d, want 2", tbl.DictLen(ci))
+	}
+	// Errors abort without committing.
+	if _, err := tbl.MapColumn(ci, func(v string) (string, error) {
+		return "", fmt.Errorf("boom")
+	}); err == nil {
+		t.Error("MapColumn error not propagated")
+	}
+	if v, _ := tbl.Cell(0, "doctor"); v != "Staff" {
+		t.Error("failed MapColumn mutated the table")
+	}
+	// Unused dictionary entries are skipped: delete all Clerk rows, then
+	// map with a fn that rejects Clerk — it must never see the value.
+	tbl.DeleteWhereView(func(v RowView) bool { return v.Cell(ci) == "Clerk" })
+	if _, err := tbl.MapColumn(ci, func(v string) (string, error) {
+		if v == "Clerk" {
+			return "", fmt.Errorf("stale entry visited")
+		}
+		return v, nil
+	}); err != nil {
+		t.Errorf("MapColumn visited a stale dictionary entry: %v", err)
+	}
+}
+
+func TestDeleteWhereView(t *testing.T) {
+	tbl := testTable(t)
+	ci, _ := tbl.Schema().Index("doctor")
+	code, _ := tbl.CodeOf(ci, "Nurse")
+	n := tbl.DeleteWhereView(func(v RowView) bool { return v.Code(ci) == code })
+	if n != 2 || tbl.NumRows() != 2 {
+		t.Errorf("DeleteWhereView removed %d, left %d", n, tbl.NumRows())
+	}
+}
+
+func TestProject(t *testing.T) {
+	tbl := testTable(t)
+	sub := MustSchema(
+		Column{Name: "doctor", Kind: QuasiCategorical},
+		Column{Name: "ssn", Kind: Identifying},
+	)
+	out, err := tbl.Project(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != tbl.NumRows() {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	if v, _ := out.Cell(1, "doctor"); v != "Surgeon" {
+		t.Errorf("projected doctor = %q", v)
+	}
+	if v, _ := out.Cell(1, "ssn"); v != "s2" {
+		t.Errorf("projected ssn = %q", v)
+	}
+	// Mutating the projection must not touch the source.
+	if err := out.SetCell(0, "ssn", "mutated"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tbl.Cell(0, "ssn"); v != "s1" {
+		t.Error("Project shares code storage")
+	}
+	if _, err := tbl.Project(MustSchema(Column{Name: "missing"})); err == nil {
+		t.Error("projection of a missing column accepted")
 	}
 }

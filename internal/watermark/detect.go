@@ -9,6 +9,25 @@ import (
 	"repro/internal/relation"
 )
 
+// cellVerdict is the value-dependent outcome of detectCell for one
+// dictionary code: the harvested bit, the number of level bits read, and
+// whether the cell contributes a vote at all.
+type cellVerdict struct {
+	bit  bool
+	read int
+	ok   bool
+}
+
+// detectPlan precomputes one column's per-code verdicts: the detection
+// walk is a pure function of the cell value, so it runs once per
+// distinct dictionary entry and the row scan reduces to integer lookups
+// plus vote accumulation.
+type detectPlan struct {
+	col      string
+	idx      int
+	verdicts []cellVerdict
+}
+
 // Detect implements the Detection algorithm of Figure 9. It selects
 // tuples with Equation (5), resolves each watermarked cell to its tree
 // node, harvests one bit per level from the node up to (but excluding)
@@ -43,8 +62,10 @@ func DetectContext(ctx context.Context, tbl *relation.Table, identCol string, co
 			return res, err
 		}
 	}
-	colIdx := make(map[string]int, len(columns))
-	for col, spec := range columns {
+	cols := sortColumns(columns)
+	plans := make([]detectPlan, len(cols))
+	for i, col := range cols {
+		spec := columns[col]
 		if err := spec.validate(col); err != nil {
 			return res, err
 		}
@@ -52,13 +73,31 @@ func DetectContext(ctx context.Context, tbl *relation.Table, identCol string, co
 		if err != nil {
 			return res, err
 		}
-		colIdx[col] = ci
+		// The detection walk per distinct value, not per row: an attacked
+		// 20k-row table typically holds a few dozen distinct values per
+		// watermarked column.
+		dict := tbl.DictValues(ci)
+		verdicts := make([]cellVerdict, len(dict))
+		for code, value := range dict {
+			bit, read, ok := detectCell(spec, value, p)
+			verdicts[code] = cellVerdict{bit: bit, read: read, ok: ok}
+		}
+		plans[i] = detectPlan{col: col, idx: ci, verdicts: verdicts}
+	}
+	var vkeys *virtualKeys
+	if p.UseVirtualIdent {
+		idxs := make([]int, len(cols))
+		specs := make([]ColumnSpec, len(cols))
+		for i, col := range cols {
+			idxs[i] = plans[i].idx
+			specs[i] = columns[col]
+		}
+		vkeys = buildVirtualKeys(tbl, idxs, specs)
 	}
 
 	prf1 := crypt.NewPRF(p.Key.K1)
 	prf2 := crypt.NewPRF(p.Key.K2)
 	board := bitstr.NewVoteBoard(p.wmdLen())
-	cols := sortColumns(columns)
 
 	// Shard the tuples into contiguous row ranges, harvest votes on a
 	// per-shard board, then merge boards and counters in shard order. All
@@ -77,7 +116,7 @@ func DetectContext(ctx context.Context, tbl *relation.Table, identCol string, co
 			}
 			var ident []byte
 			if p.UseVirtualIdent {
-				ident = virtualIdent(tbl, row, cols, colIdx, columns)
+				ident = vkeys.identOf(tbl, row)
 			} else {
 				ident = []byte(tbl.CellAt(row, identIdx))
 			}
@@ -85,17 +124,16 @@ func DetectContext(ctx context.Context, tbl *relation.Table, identCol string, co
 				continue
 			}
 			shard.TuplesSelected++
-			for _, col := range cols {
-				spec := columns[col]
-				value := tbl.CellAt(row, colIdx[col])
-				bit, read, ok := detectCell(spec, value, p)
-				shard.BitsRead += read
-				if !ok {
+			for pi := range plans {
+				plan := &plans[pi]
+				v := &plan.verdicts[tbl.CodeAt(row, plan.idx)]
+				shard.BitsRead += v.read
+				if !v.ok {
 					shard.SkippedCells++
 					continue
 				}
-				pos := p.positionOf(prf2, ident, col)
-				shardBoard.Vote(pos, bit, 1)
+				pos := p.positionOf(prf2, ident, plan.col)
+				shardBoard.Vote(pos, v.bit, 1)
 				shard.VotesCast++
 			}
 		}

@@ -5,9 +5,84 @@ import (
 	"fmt"
 
 	"repro/internal/crypt"
+	"repro/internal/dht"
 	"repro/internal/pool"
 	"repro/internal/relation"
 )
+
+// embedPrelude is the value-dependent half of the Permutate walk for one
+// dictionary code: everything that does not depend on the tuple's
+// identity is computed once per distinct value instead of once per row.
+type embedPrelude struct {
+	// err is the resolution/frontier error of the value; it is raised
+	// only when a *selected* tuple carries this code — unselected tuples
+	// never error, exactly like the per-row scan.
+	err error
+	// boundary marks the §5.1 case: the ultimate node is itself maximal.
+	boundary bool
+	// maxNode roots the hierarchical walk (non-boundary case).
+	maxNode dht.NodeID
+	// set / setCodes are the boundary permutation set and the dictionary
+	// codes of its values (boundary case with BoundaryPermutation).
+	set      []dht.NodeID
+	setCodes []uint32
+}
+
+// embedPlan precomputes one column's per-code preludes plus the
+// node → dictionary code table the walk endpoints decode through.
+type embedPlan struct {
+	col        string
+	idx        int
+	spec       ColumnSpec
+	pre        []embedPrelude
+	codeOfNode []uint32 // indexed by NodeID; valid for frontier nodes
+}
+
+// buildEmbedPlan pre-interns every value embedding can write (ultimate
+// frontier members and boundary sets) so the sharded writers below touch
+// only code vectors, then computes the per-code preludes.
+func buildEmbedPlan(tbl *relation.Table, col string, ci int, spec ColumnSpec, boundaryPermutation bool) embedPlan {
+	plan := embedPlan{col: col, idx: ci, spec: spec}
+	tree := spec.Tree
+	plan.codeOfNode = make([]uint32, tree.Size())
+	for _, nd := range spec.UltiGen.Nodes() {
+		plan.codeOfNode[nd] = tbl.InternValue(ci, tree.Value(nd))
+	}
+	dict := tbl.DictValues(ci)
+	plan.pre = make([]embedPrelude, len(dict))
+	for code, value := range dict {
+		p := &plan.pre[code]
+		id, err := tree.ResolveValue(value)
+		if err != nil {
+			p.err = err
+			continue
+		}
+		if !spec.UltiGen.Contains(id) {
+			p.err = fmt.Errorf("value %q is not at the ultimate generalization frontier; was the table binned with these frontiers?", value)
+			continue
+		}
+		maxNode, ok := spec.MaxGen.CoverOf(id)
+		if !ok {
+			p.err = fmt.Errorf("value %q has no covering maximal generalization node", value)
+			continue
+		}
+		if maxNode == id {
+			p.boundary = true
+			if boundaryPermutation {
+				if set := boundarySet(spec, id); len(set) >= 2 {
+					p.set = set
+					p.setCodes = make([]uint32, len(set))
+					for i, nd := range set {
+						p.setCodes[i] = plan.codeOfNode[nd]
+					}
+				}
+			}
+			continue
+		}
+		p.maxNode = maxNode
+	}
+	return plan
+}
 
 // Embed implements the hierarchical Embedding algorithm of Figure 9 over
 // the binned table tbl, in place. identCol names the (encrypted)
@@ -21,6 +96,11 @@ import (
 // (Permutate), until an ultimate generalization node is reached. Levels
 // with fewer than two children are traversed without carrying a bit
 // (DESIGN.md deviation 2).
+//
+// The value-dependent half of the walk (resolution, frontier checks,
+// boundary sets) is planned once per distinct dictionary entry; the
+// per-tuple half (PRF selection, the keyed descent) runs on integer
+// codes, and shards write disjoint rows of the code vectors only.
 //
 // On success the embedded table is byte-identical for every
 // Params.Workers value. On error the table is left partially mutated —
@@ -50,8 +130,10 @@ func EmbedContext(ctx context.Context, tbl *relation.Table, identCol string, col
 			return stats, err
 		}
 	}
-	colIdx := make(map[string]int, len(columns))
-	for col, spec := range columns {
+	cols := sortColumns(columns)
+	plans := make([]embedPlan, len(cols))
+	for i, col := range cols {
+		spec := columns[col]
 		if err := spec.validate(col); err != nil {
 			return stats, err
 		}
@@ -59,20 +141,30 @@ func EmbedContext(ctx context.Context, tbl *relation.Table, identCol string, col
 		if err != nil {
 			return stats, err
 		}
-		colIdx[col] = ci
+		plans[i] = buildEmbedPlan(tbl, col, ci, spec, p.BoundaryPermutation)
+	}
+	var vkeys *virtualKeys
+	if p.UseVirtualIdent {
+		idxs := make([]int, len(plans))
+		specs := make([]ColumnSpec, len(plans))
+		for i := range plans {
+			idxs[i], specs[i] = plans[i].idx, plans[i].spec
+		}
+		vkeys = buildVirtualKeys(tbl, idxs, specs)
 	}
 
 	prf1 := crypt.NewPRF(p.Key.K1)
 	prf2 := crypt.NewPRF(p.Key.K2)
 	wmd := p.Mark.Duplicate(p.Duplication)
-	cols := sortColumns(columns)
 
 	// Shard the tuples into contiguous row ranges and embed each range on
 	// its own goroutine: every row touches only its own cells (the §5.3
-	// virtual key, too, is derived from the row itself), so the shards are
-	// disjoint. Per-shard statistics are summed in shard order, and the
-	// error of the lowest failing shard — whose scan stops at its first
-	// bad row, like the sequential loop — is the one reported.
+	// virtual key, too, is derived from the row itself), and all values a
+	// shard can write were interned by the plans above, so the shards are
+	// disjoint writers on the code vectors. Per-shard statistics are
+	// summed in shard order, and the error of the lowest failing shard —
+	// whose scan stops at its first bad row, like the sequential loop —
+	// is the one reported.
 	shardStats := make([]EmbedStats, len(pool.Chunks(p.Workers, tbl.NumRows())))
 	err := pool.ForEachChunkCtx(ctx, p.Workers, tbl.NumRows(), func(si, lo, hi int) error {
 		shard := &shardStats[si]
@@ -82,7 +174,7 @@ func EmbedContext(ctx context.Context, tbl *relation.Table, identCol string, col
 			}
 			var ident []byte
 			if p.UseVirtualIdent {
-				ident = virtualIdent(tbl, row, cols, colIdx, columns)
+				ident = vkeys.identOf(tbl, row)
 			} else {
 				ident = []byte(tbl.CellAt(row, identIdx))
 			}
@@ -90,21 +182,19 @@ func EmbedContext(ctx context.Context, tbl *relation.Table, identCol string, col
 				continue
 			}
 			shard.TuplesSelected++
-			for _, col := range cols {
-				spec := columns[col]
-				bit := wmd.Get(p.positionOf(prf2, ident, col))
-				ci := colIdx[col]
-				oldVal := tbl.CellAt(row, ci)
-				newVal, embedded, err := embedCell(spec, prf2, ident, col, oldVal, bit, p.BoundaryPermutation)
+			for pi := range plans {
+				plan := &plans[pi]
+				code := tbl.CodeAt(row, plan.idx)
+				newCode, embedded, err := embedCode(plan, code, prf2, ident, wmd.Get(p.positionOf(prf2, ident, plan.col)))
 				if err != nil {
-					return fmt.Errorf("watermark: row %d column %s: %w", row, col, err)
+					return fmt.Errorf("watermark: row %d column %s: %w", row, plan.col, err)
 				}
 				shard.BitsEmbedded += embedded
 				if embedded == 0 {
 					shard.ZeroBandwidth++
 				}
-				if newVal != oldVal {
-					tbl.SetCellAt(row, ci, newVal)
+				if newCode != code {
+					tbl.SetCodeAt(row, plan.idx, newCode)
 					shard.CellsChanged++
 				}
 			}
@@ -120,34 +210,25 @@ func EmbedContext(ctx context.Context, tbl *relation.Table, identCol string, col
 	return stats, nil
 }
 
-// embedCell runs the Permutate walk for one cell, returning the new value
-// and the number of bits embedded (levels with branching >= 2).
-func embedCell(spec ColumnSpec, prf2 *crypt.PRF, ident []byte, col, value string, bit, boundary bool) (string, int, error) {
-	tree := spec.Tree
-	id, err := tree.ResolveValue(value)
-	if err != nil {
-		return "", 0, err
+// embedCode runs the per-tuple half of the Permutate walk for one cell,
+// returning the new dictionary code and the number of bits embedded
+// (levels with branching >= 2).
+func embedCode(plan *embedPlan, code uint32, prf2 *crypt.PRF, ident []byte, bit bool) (uint32, int, error) {
+	pre := &plan.pre[code]
+	if pre.err != nil {
+		return 0, 0, pre.err
 	}
-	if !spec.UltiGen.Contains(id) {
-		return "", 0, fmt.Errorf("value %q is not at the ultimate generalization frontier; was the table binned with these frontiers?", value)
-	}
-	maxNode, ok := spec.MaxGen.CoverOf(id)
-	if !ok {
-		return "", 0, fmt.Errorf("value %q has no covering maximal generalization node", value)
-	}
-
-	if maxNode == id {
-		// §5.1 boundary case: the ultimate node is itself maximal.
-		if !boundary {
-			return value, 0, nil
+	tree := plan.spec.Tree
+	if pre.boundary {
+		// §5.1 boundary case: the ultimate node is itself maximal; the
+		// plan left setCodes empty when permutation is off or the set has
+		// fewer than two members.
+		if len(pre.setCodes) == 0 {
+			return code, 0, nil
 		}
-		set := boundarySet(spec, id)
-		if len(set) < 2 {
-			return value, 0, nil
-		}
-		idx := int(prf2.Mod(uint64(len(set)), ident, []byte("perm"), []byte(col), []byte("boundary")))
-		idx = setMuBit(idx, bit, len(set))
-		return tree.Value(set[idx]), 1, nil
+		idx := int(prf2.Mod(uint64(len(pre.set)), ident, []byte("perm"), []byte(plan.col), []byte("boundary")))
+		idx = setMuBit(idx, bit, len(pre.set))
+		return pre.setCodes[idx], 1, nil
 	}
 
 	// Hierarchical walk: descend from the maximal node, choosing at each
@@ -155,22 +236,22 @@ func embedCell(spec ColumnSpec, prf2 *crypt.PRF, ident []byte, col, value string
 	// The pseudorandom part of the index is salted with the depth so the
 	// even/odd slot varies per level; detection only reads the parity, so
 	// this changes nothing observable (see DESIGN.md §2).
-	cur := maxNode
+	cur := pre.maxNode
 	embedded := 0
-	for !spec.UltiGen.Contains(cur) {
+	for !plan.spec.UltiGen.Contains(cur) {
 		children := tree.SortedChildren(cur)
 		if len(children) == 0 {
-			return "", 0, fmt.Errorf("internal: walk from %q reached leaf %q without crossing the ultimate frontier",
-				tree.Value(maxNode), tree.Value(cur))
+			return 0, 0, fmt.Errorf("internal: walk from %q reached leaf %q without crossing the ultimate frontier",
+				tree.Value(pre.maxNode), tree.Value(cur))
 		}
 		idx := 0
 		if len(children) >= 2 {
 			depth := tree.Node(cur).Depth
-			idx = int(prf2.Mod(uint64(len(children)), ident, []byte("perm"), []byte(col), []byte{byte(depth)}))
+			idx = int(prf2.Mod(uint64(len(children)), ident, []byte("perm"), []byte(plan.col), []byte{byte(depth)}))
 			idx = setMuBit(idx, bit, len(children))
 			embedded++
 		}
 		cur = children[idx]
 	}
-	return tree.Value(cur), embedded, nil
+	return plan.codeOfNode[cur], embedded, nil
 }

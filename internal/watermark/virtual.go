@@ -46,3 +46,58 @@ func virtualIdent(tbl cellReader, row int, cols []string, colIdx map[string]int,
 type cellReader interface {
 	CellAt(row, col int) string
 }
+
+// virtualKeys is the dictionary-encoded fast path for virtualIdent: the
+// per-column key contribution is a function of the cell value alone, so
+// it is computed once per dictionary code and per-row derivation is pure
+// integer indexing plus concatenation. Embedding never changes a value's
+// maximal cover (the §5.1 bandwidth argument), and every value it writes
+// is pre-interned before the parts table is built, so the parts stay
+// valid while embedding mutates the table.
+type virtualKeys struct {
+	idxs  []int      // column indexes, in sorted column order
+	parts [][]string // per column: code → key part
+}
+
+// buildVirtualKeys precomputes the per-code key parts for the given
+// columns (sorted order, parallel slices).
+func buildVirtualKeys(tbl codeTable, idxs []int, specs []ColumnSpec) *virtualKeys {
+	vk := &virtualKeys{idxs: idxs, parts: make([][]string, len(idxs))}
+	for i, ci := range idxs {
+		spec := specs[i]
+		dict := tbl.DictValues(ci)
+		parts := make([]string, len(dict))
+		for code, value := range dict {
+			part := value
+			if id, err := spec.Tree.ResolveValue(value); err == nil {
+				if maxNode, ok := spec.MaxGen.CoverOf(id); ok {
+					part = spec.Tree.Value(maxNode)
+				}
+			}
+			parts[code] = part
+		}
+		vk.parts[i] = parts
+	}
+	return vk
+}
+
+// identOf derives the virtual key bytes of one row. The byte layout is
+// identical to virtualIdent's.
+func (vk *virtualKeys) identOf(tbl codeTable, row int) []byte {
+	n := 0
+	for i, ci := range vk.idxs {
+		n += len(vk.parts[i][tbl.CodeAt(row, ci)]) + 1
+	}
+	out := make([]byte, 0, n)
+	for i, ci := range vk.idxs {
+		out = append(out, vk.parts[i][tbl.CodeAt(row, ci)]...)
+		out = append(out, 0x1f)
+	}
+	return out
+}
+
+// codeTable is the slice of relation.Table the code-level scans need.
+type codeTable interface {
+	CodeAt(row, col int) uint32
+	DictValues(col int) []string
+}

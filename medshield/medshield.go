@@ -82,6 +82,9 @@ type (
 	Schema = relation.Schema
 	// Column is one schema attribute.
 	Column = relation.Column
+	// RowView is a zero-copy accessor for one table row, used by the
+	// code-level scan APIs (Table.View, Table.DeleteWhereView).
+	RowView = relation.RowView
 	// Tree is a domain hierarchy tree.
 	Tree = dht.Tree
 	// GenSet is a valid generalization frontier over a Tree.

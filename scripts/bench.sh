@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# bench.sh — record the pipeline's perf trajectory across PRs.
+#
+# Runs the 20k-row Protect / Detect / MultiBin benchmarks with -benchmem
+# and appends one labelled entry (best-of-N ns/op, plus B/op and
+# allocs/op) per benchmark to BENCH_pipeline.json at the repo root, so
+# representation regressions show up as a diff in review.
+#
+# Usage: scripts/bench.sh [label]
+#   label   entry label (default: git describe of HEAD)
+#   COUNT   benchmark repetitions (default 3; best run is recorded)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}"
+COUNT="${COUNT:-3}"
+OUT="BENCH_pipeline.json"
+PATTERN='BenchmarkProtect20k$|BenchmarkDetect20k$|BenchmarkMultiBinGreedy$'
+
+RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" .)"
+echo "$RAW"
+
+ENTRY="$(echo "$RAW" | awk -v label="$LABEL" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip -GOMAXPROCS suffix if present
+    ns = $3; bytes = $5; allocs = $7
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+      best[name] = ns; b[name] = bytes; a[name] = allocs
+    }
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+  }
+  END {
+    printf "  {\n    \"label\": \"%s\",\n    \"date\": \"%s\",\n    \"benchmarks\": {\n", label, date
+    for (i = 1; i <= n; i++) {
+      name = order[i]
+      printf "      \"%s\": {\"ns_op\": %s, \"bytes_op\": %s, \"allocs_op\": %s}%s\n", \
+        name, best[name], b[name], a[name], (i < n ? "," : "")
+    }
+    printf "    }\n  }"
+  }')"
+
+if [ -z "$ENTRY" ]; then
+  echo "bench.sh: no benchmark output parsed" >&2
+  exit 1
+fi
+
+if [ ! -f "$OUT" ]; then
+  printf '[\n%s\n]\n' "$ENTRY" > "$OUT"
+else
+  # append the entry before the closing bracket (portable: no GNU-only
+  # head -n -1 / in-place sed)
+  awk '{ lines[NR] = $0 } END { sub(/}$/, "},", lines[NR-1]); for (i = 1; i < NR; i++) print lines[i] }' \
+    "$OUT" > "$OUT.tmp"
+  printf '%s\n]\n' "$ENTRY" >> "$OUT.tmp"
+  mv "$OUT.tmp" "$OUT"
+fi
+
+echo "recorded entry \"$LABEL\" in $OUT"
