@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/binning"
@@ -182,6 +183,104 @@ func BenchmarkProtect20k(b *testing.B) {
 		if _, err := fw.Protect(tbl, key); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- incremental append (plan/apply/append pipeline) -------------------
+
+// appendBenchFixture protects a 20k-row base once and carves a 2k-row
+// delta from the same distribution — the nightly-batch scenario.
+func appendBenchFixture(b *testing.B) (*medshield.Framework, medshield.Plan, *relation.Table, *relation.Table, medshield.Key) {
+	b.Helper()
+	all := benchTable(b, 22000)
+	base, err := all.Slice(0, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta, err := all.Slice(20000, 22000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon())
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := medshield.NewKey("bench", 75)
+	prot, err := fw.Protect(base, key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fw, prot.Plan, delta, all, key
+}
+
+// BenchmarkAppend2k protects a 2,000-row nightly batch under an
+// existing 20,000-row plan — the incremental path: no binning search,
+// one transform plus one embed. Its counterpart BenchmarkReprotect22k
+// measures the alternative this replaces (full re-Protect of the
+// union); the ratio is the staged pipeline's payoff and is recorded in
+// BENCH_pipeline.json by scripts/bench.sh.
+func BenchmarkAppend2k(b *testing.B) {
+	fw, plan, delta, _, key := appendBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Append(delta, &plan, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReprotect22k re-runs the full pipeline on the 22,000-row
+// union — what ingesting a 2k batch would cost without AppendContext.
+func BenchmarkReprotect22k(b *testing.B) {
+	fw, _, _, all, key := appendBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Protect(all, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAppendFasterThanReprotect guards the acceptance ratio at test
+// scale: appending 2k rows under a 20k-row plan must beat re-protecting
+// the 22k-row union by at least 5x. The measured gap is far larger (the
+// append skips the whole binning search); 5x keeps the bound robust on
+// noisy CI runners.
+func TestAppendFasterThanReprotect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-row fixtures in -short mode")
+	}
+	all, err := datagen.Generate(datagen.Config{Rows: 22000, Seed: 1, Correlate: true, ZipfS: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := all.Slice(0, 20000)
+	delta, _ := all.Slice(20000, 22000)
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := medshield.NewKey("bench", 75)
+	prot, err := fw.Protect(base, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := prot.Plan
+
+	start := time.Now()
+	if _, err := fw.Append(delta, &plan, key); err != nil {
+		t.Fatal(err)
+	}
+	appendDur := time.Since(start)
+
+	start = time.Now()
+	if _, err := fw.Protect(all, key); err != nil {
+		t.Fatal(err)
+	}
+	reprotectDur := time.Since(start)
+
+	if appendDur*5 > reprotectDur {
+		t.Errorf("append 2k = %v vs re-protect 22k = %v; want >= 5x speedup", appendDur, reprotectDur)
 	}
 }
 

@@ -7,11 +7,19 @@
 // Subcommands:
 //
 //	medprotect gen      -rows N -seed S -out data.csv
-//	medprotect protect  -in data.csv -k K -eta E -secret S -out protected.csv -prov prov.json [-workers W]
+//	medprotect protect  -in data.csv -k K -eta E -secret S -out protected.csv -prov prov.json [-plan plan.json] [-workers W]
+//	medprotect plan     -in data.csv -k K -eta E -secret S -plan plan.json [-workers W]
+//	medprotect append   -in delta.csv -plan plan.json -secret S -out delta-protected.csv [-base protected.csv] [-workers W]
 //	medprotect detect   -in suspect.csv -prov prov.json -secret S [-workers W]
 //	medprotect attack   -in protected.csv -out attacked.csv -prov prov.json -kind alter|add|delete|rangedelete|generalize -frac F [-col C] [-levels L] -seed S
 //	medprotect dispute  -in disputed.csv -prov prov.json -secret S
 //	medprotect trees    -dir DIR
+//
+// protect -plan (or the standalone plan subcommand) writes the
+// protection plan: a superset of the provenance record that freezes the
+// binning frontiers and watermark parameters. append protects a new
+// batch of rows under a saved plan — no binning search — and advances
+// the plan's published bin record in place, so nightly batches chain.
 package main
 
 import (
@@ -38,6 +46,10 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "protect":
 		err = cmdProtect(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "append":
+		err = cmdAppend(os.Args[2:])
 	case "detect":
 		err = cmdDetect(os.Args[2:])
 	case "attack":
@@ -60,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: medprotect <gen|protect|detect|attack|dispute|trees> [flags]
+	fmt.Fprintln(os.Stderr, `usage: medprotect <gen|protect|plan|append|detect|attack|dispute|trees> [flags]
 run "medprotect <subcommand> -h" for flags`)
 }
 
@@ -102,6 +114,7 @@ func cmdProtect(args []string) error {
 	secret := fs.String("secret", "", "owner secret passphrase (required)")
 	out := fs.String("out", "protected.csv", "output CSV path")
 	provPath := fs.String("prov", "prov.json", "provenance output path")
+	planPath := fs.String("plan", "", "also write the effective protection plan here (enables later `medprotect append`)")
 	autoEps := fs.Bool("auto-epsilon", true, "apply the §6 conservative ε")
 	workers := fs.Int("workers", 0, "worker goroutines for the pipeline (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
@@ -132,10 +145,149 @@ func cmdProtect(args []string) error {
 	if err := os.WriteFile(*provPath, data, 0o600); err != nil {
 		return err
 	}
+	if *planPath != "" {
+		if err := writePlan(*planPath, &p.Plan); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("protected %d tuples: k=%d (ε=%d), avg info loss %.1f%%, %d tuples marked, %d cells changed\n",
 		p.Table.NumRows(), p.Provenance.K, p.Provenance.Epsilon,
 		p.Binning.AvgLoss*100, p.Embed.TuplesSelected, p.Embed.CellsChanged)
 	fmt.Printf("table -> %s, provenance -> %s (keep the secret and this file)\n", *out, *provPath)
+	if *planPath != "" {
+		fmt.Printf("plan -> %s (protect future batches with `medprotect append`)\n", *planPath)
+	}
+	return nil
+}
+
+func writePlan(path string, plan *medshield.Plan) error {
+	data, err := medshield.MarshalPlan(plan)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+func loadPlan(path string) (*medshield.Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := medshield.ParsePlan(data)
+	if err != nil {
+		return nil, fmt.Errorf("decoding plan %s: %w", path, err)
+	}
+	return plan, nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	in := fs.String("in", "data.csv", "input CSV (builtin schema)")
+	k := fs.Int("k", 20, "k-anonymity parameter")
+	eta := fs.Uint64("eta", 75, "watermark selection parameter η")
+	secret := fs.String("secret", "", "owner secret passphrase (required)")
+	planPath := fs.String("plan", "plan.json", "plan output path")
+	autoEps := fs.Bool("auto-epsilon", true, "apply the §6 conservative ε")
+	workers := fs.Int("workers", 0, "worker goroutines for the search (0 = all cores, 1 = sequential)")
+	_ = fs.Parse(args)
+	if *secret == "" {
+		return fmt.Errorf("plan: -secret is required")
+	}
+
+	tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+	if err != nil {
+		return err
+	}
+	fw, err := medshield.NewFromConfig(medshield.BuiltinTrees(), medshield.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	plan, err := fw.Plan(tbl, medshield.NewKey(*secret, *eta))
+	if err != nil {
+		return err
+	}
+	if err := writePlan(*planPath, plan); err != nil {
+		return err
+	}
+	fmt.Printf("planned %d tuples: k=%d (ε=%d, effective k=%d), avg info loss %.1f%%\n",
+		tbl.NumRows(), plan.K, plan.Epsilon, plan.EffectiveK, plan.AvgLoss*100)
+	fmt.Printf("plan -> %s (search only — run protect to publish, which fills the bin record appends need)\n", *planPath)
+	return nil
+}
+
+func cmdAppend(args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	in := fs.String("in", "delta.csv", "delta CSV (new clear-text rows, builtin schema)")
+	planPath := fs.String("plan", "plan.json", "saved plan path (from protect -plan; advanced in place)")
+	secret := fs.String("secret", "", "owner secret passphrase (required)")
+	eta := fs.Uint64("eta", 75, "η used at protection time")
+	out := fs.String("out", "delta-protected.csv", "protected delta CSV path")
+	base := fs.String("base", "", "optional published CSV to append the protected delta to, in place")
+	workers := fs.Int("workers", 0, "worker goroutines for the transform (0 = all cores, 1 = sequential)")
+	_ = fs.Parse(args)
+	if *secret == "" {
+		return fmt.Errorf("append: -secret is required")
+	}
+
+	delta, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+	if err != nil {
+		return err
+	}
+	plan, err := loadPlan(*planPath)
+	if err != nil {
+		return err
+	}
+	// Load — and sanity-check — the published table before touching
+	// anything: the plan records how many rows are published, so a base
+	// that disagrees means an earlier append half-finished (or the wrong
+	// file was named). Refusing here keeps a retry from appending the
+	// same batch twice.
+	var published *medshield.Table
+	if *base != "" {
+		published, err = medshield.LoadCSVFile(*base, medshield.BuiltinSchema())
+		if err != nil {
+			return err
+		}
+		if published.NumRows() != plan.Rows {
+			return fmt.Errorf(
+				"append: %s holds %d rows but %s records %d published rows; base and plan are out of sync (a previous append may have partially failed) — reconcile them before appending",
+				*base, published.NumRows(), *planPath, plan.Rows)
+		}
+	}
+	fw, err := medshield.NewFromConfig(medshield.BuiltinTrees(), medshield.Config{K: plan.K, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	app, err := fw.Append(delta, plan, medshield.NewKey(*secret, *eta))
+	if err != nil {
+		return err
+	}
+	// Write order bounds the damage of a mid-sequence failure: the
+	// standalone delta first (always recoverable), then the advanced
+	// plan, then the base extension — and the row-count guard above
+	// catches any half-state on the next run.
+	if err := medshield.SaveCSVFile(*out, app.Table); err != nil {
+		return err
+	}
+	if err := writePlan(*planPath, &app.Plan); err != nil {
+		return err
+	}
+	if published != nil {
+		if err := published.AppendTable(app.Table); err != nil {
+			return err
+		}
+		if err := medshield.SaveCSVFile(*base, published); err != nil {
+			return fmt.Errorf(
+				"append: plan %s is already advanced but extending %s failed: %w — reconcile by appending the rows of %s to it",
+				*planPath, *base, err, *out)
+		}
+	}
+	fmt.Printf("appended %d tuples under the plan: %d marked, %d cells changed, %d new bin(s), %d suppressed\n",
+		app.Table.NumRows(), app.Embed.TuplesSelected, app.Embed.CellsChanged, app.NewBins, app.Suppressed)
+	fmt.Printf("delta -> %s, plan advanced in %s (union now %d tuples)\n", *out, *planPath, app.Plan.Rows)
+	if *base != "" {
+		fmt.Printf("published table %s extended in place\n", *base)
+	}
 	return nil
 }
 

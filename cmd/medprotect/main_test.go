@@ -123,6 +123,115 @@ func TestCLITrees(t *testing.T) {
 	}
 }
 
+// TestCLIPlanAppend exercises the incremental flow: protect a base with
+// -plan, append a delta batch under the saved plan (extending the
+// published CSV in place), and detect over the extended table.
+func TestCLIPlanAppend(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	deltaCSV := filepath.Join(dir, "delta.csv")
+	protected := filepath.Join(dir, "protected.csv")
+	prov := filepath.Join(dir, "prov.json")
+	plan := filepath.Join(dir, "plan.json")
+	deltaOut := filepath.Join(dir, "delta-protected.csv")
+
+	if err := cmdGen([]string{"-rows", "2500", "-seed", "5", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdGen([]string{"-rows", "300", "-seed", "6", "-out", deltaCSV}); err != nil {
+		t.Fatalf("gen delta: %v", err)
+	}
+	if err := cmdProtect([]string{
+		"-in", data, "-k", "15", "-eta", "40",
+		"-secret", "cli append secret", "-out", protected, "-prov", prov, "-plan", plan,
+	}); err != nil {
+		t.Fatalf("protect: %v", err)
+	}
+	planDoc, err := os.ReadFile(plan)
+	if err != nil {
+		t.Fatalf("plan file missing: %v", err)
+	}
+	parsed, err := medshield.ParsePlan(planDoc)
+	if err != nil {
+		t.Fatalf("plan file invalid: %v", err)
+	}
+	if parsed.Rows != 2500 || len(parsed.Bins) == 0 {
+		t.Fatalf("plan lacks the published bin record: rows=%d bins=%d", parsed.Rows, len(parsed.Bins))
+	}
+
+	if err := cmdAppend([]string{
+		"-in", deltaCSV, "-plan", plan, "-secret", "cli append secret", "-eta", "40",
+		"-out", deltaOut, "-base", protected,
+	}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	extended, err := medshield.LoadCSVFile(protected, medshield.BuiltinSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extended.NumRows() != 2800 {
+		t.Errorf("extended table rows = %d, want 2800", extended.NumRows())
+	}
+	advanced, err := os.ReadFile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := medshield.ParsePlan(advanced)
+	if err != nil {
+		t.Fatalf("advanced plan invalid: %v", err)
+	}
+	if reparsed.Rows != 2800 {
+		t.Errorf("advanced plan rows = %d, want 2800", reparsed.Rows)
+	}
+
+	// The mark must hold over the extended published table.
+	if err := cmdDetect([]string{
+		"-in", protected, "-prov", prov, "-secret", "cli append secret", "-eta", "40",
+	}); err != nil {
+		t.Fatalf("detect over extended table: %v", err)
+	}
+
+	// A base that disagrees with the plan's published row count (here: a
+	// stale plan against the already-extended base) must be refused —
+	// the guard against double-appending after a partial failure.
+	stale := filepath.Join(dir, "stale-plan.json")
+	if err := os.WriteFile(stale, planDoc, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAppend([]string{
+		"-in", deltaCSV, "-plan", stale, "-secret", "cli append secret", "-eta", "40",
+		"-out", deltaOut, "-base", protected,
+	}); err == nil || !strings.Contains(err.Error(), "out of sync") {
+		t.Errorf("stale plan against extended base: %v, want out-of-sync refusal", err)
+	}
+
+	// The search-only plan subcommand writes a valid, bin-record-free plan.
+	dry := filepath.Join(dir, "dry.json")
+	if err := cmdPlan([]string{
+		"-in", data, "-k", "15", "-eta", "40", "-secret", "cli append secret", "-plan", dry,
+	}); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	dryDoc, err := os.ReadFile(dry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dryPlan, err := medshield.ParsePlan(dryDoc)
+	if err != nil {
+		t.Fatalf("dry plan invalid: %v", err)
+	}
+	if len(dryPlan.Bins) != 0 {
+		t.Error("search-only plan should carry no bin record")
+	}
+	// Appending under an unapplied plan must refuse.
+	if err := cmdAppend([]string{
+		"-in", deltaCSV, "-plan", dry, "-secret", "cli append secret", "-eta", "40",
+		"-out", deltaOut,
+	}); err == nil {
+		t.Error("append under a search-only plan accepted")
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	dir := t.TempDir()
 	if err := cmdProtect([]string{"-in", "nope.csv", "-secret", "s"}); err == nil {

@@ -101,13 +101,78 @@ type ProtectStats struct {
 	AvgLoss        float64 `json:"avg_loss"`
 }
 
-// ProtectResponse returns the outsourcing-ready table and the owner's
-// provenance record (store it — detection needs it back verbatim).
+// ProtectResponse returns the outsourcing-ready table, the owner's
+// provenance record (store it — detection needs it back verbatim) and
+// the effective protection plan (store it too — incremental appends
+// replay it; it is a superset of the provenance record).
 type ProtectResponse struct {
 	Version    string          `json:"version"`
 	Table      Table           `json:"table"`
 	Provenance core.Provenance `json:"provenance"`
+	Plan       core.Plan       `json:"plan"`
 	Stats      ProtectStats    `json:"stats"`
+}
+
+// PlanRequest asks the service to run only the planning stage: the
+// binning frontier search and ownership-mark derivation, with no table
+// transform. The response's plan is a dry-run artifact — it shows the
+// effective k, frontiers and information loss a protect run would use —
+// and becomes executable through /v1/protect (which re-plans
+// identically) or a library ApplyContext.
+type PlanRequest struct {
+	Table   Table    `json:"table"`
+	Key     Key      `json:"key"`
+	Options *Options `json:"options,omitempty"`
+}
+
+// PlanStats summarizes the search.
+type PlanStats struct {
+	Rows       int     `json:"rows"`
+	K          int     `json:"k"`
+	Epsilon    int     `json:"epsilon"`
+	EffectiveK int     `json:"effective_k"`
+	AvgLoss    float64 `json:"avg_loss"`
+}
+
+// PlanResponse returns the searched plan.
+type PlanResponse struct {
+	Version string    `json:"version"`
+	Plan    core.Plan `json:"plan"`
+	Stats   PlanStats `json:"stats"`
+}
+
+// AppendRequest asks the service to protect a delta batch under an
+// existing plan — the plan a previous protect (or append) response
+// returned, with its published bin record. The response carries only
+// the protected delta rows; the caller appends them to the outsourced
+// table and retains the advanced plan for the next batch.
+type AppendRequest struct {
+	Table   Table     `json:"table"` // the delta batch (clear-text rows)
+	Plan    core.Plan `json:"plan"`
+	Key     Key       `json:"key"`
+	Options *Options  `json:"options,omitempty"`
+	Output  string    `json:"output,omitempty"` // OutputRows (default) | OutputCSV
+}
+
+// AppendStats is the append work summary.
+type AppendStats struct {
+	// Rows is the number of protected delta rows returned.
+	Rows int `json:"rows"`
+	// TotalRows is the published union size per the advanced plan.
+	TotalRows      int `json:"total_rows"`
+	TuplesSelected int `json:"tuples_selected"`
+	BitsEmbedded   int `json:"bits_embedded"`
+	CellsChanged   int `json:"cells_changed"`
+	NewBins        int `json:"new_bins"`
+	Suppressed     int `json:"suppressed"`
+}
+
+// AppendResponse returns the protected delta and the advanced plan.
+type AppendResponse struct {
+	Version string      `json:"version"`
+	Table   Table       `json:"table"`
+	Plan    core.Plan   `json:"plan"`
+	Stats   AppendStats `json:"stats"`
 }
 
 // DetectRequest asks whether the owner's mark is present in a suspected

@@ -30,6 +30,7 @@ const (
 	CodeBadProvenance    = "bad_provenance"    // provenance record does not fit
 	CodeUnsatisfiable    = "unsatisfiable"     // k-anonymity/bandwidth unattainable for this data
 	CodeKeyMismatch      = "key_mismatch"      // well-formed key does not match the data
+	CodePlanDrift        = "plan_drift"        // delta batch no longer fits the frozen plan; re-plan
 	CodeCanceled         = "canceled"          // request context cancelled by the client
 	CodeDeadlineExceeded = "deadline_exceeded" // per-request deadline hit
 	CodeOverloaded       = "overloaded"        // in-flight request limit reached
@@ -60,6 +61,10 @@ func Classify(err error) (code string, status int) {
 		return CodeUnsatisfiable, http.StatusUnprocessableEntity
 	case errors.Is(err, core.ErrKeyMismatch):
 		return CodeKeyMismatch, http.StatusForbidden
+	case errors.Is(err, core.ErrPlanDrift):
+		// The request is well-formed; it conflicts with the frozen
+		// plan's published state. The client's remedy is a re-plan.
+		return CodePlanDrift, http.StatusConflict
 	default:
 		return CodeInternal, http.StatusInternalServerError
 	}

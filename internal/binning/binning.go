@@ -75,6 +75,43 @@ type Result struct {
 	MultiStats MultiStats
 }
 
+// SearchResult is the outcome of the frontier search (stages 1–3 of
+// Figure 8): the per-column frontiers and loss metrics, without the
+// table transform. It is everything a later TransformContext — on the
+// same table or on a freshly arrived batch — needs to bin data to the
+// searched frontiers without repeating the search.
+type SearchResult struct {
+	// MinGens, MaxGens and UltiGens are the per-column frontiers
+	// (minimal, maximal and ultimate generalization nodes).
+	MinGens, MaxGens, UltiGens map[string]dht.GenSet
+	// ColumnLoss is the Equation (1)/(2) information loss per column, and
+	// AvgLoss the Equation (3) normalized loss.
+	ColumnLoss map[string]float64
+	AvgLoss    float64
+	// EffectiveK is K+Epsilon, the anonymity level actually enforced.
+	EffectiveK int
+	// Suppressed counts rows the aggressive rule removed during the
+	// search (0 under the conservative rule).
+	Suppressed int
+	// SuppressValues records, per quasi column, the values of the
+	// deficient frontier nodes whose rows the aggressive rule removed.
+	// Suppress replays the removal on any row batch, so a serialized
+	// search outcome can reproduce the suppression without MonoStats.
+	SuppressValues map[string][]string
+	// MonoStats and MultiStats expose algorithm work counters.
+	MonoStats  map[string]MonoStats
+	MultiStats MultiStats
+	// work is the table the search ran over: the input itself under the
+	// conservative rule (never mutated), or a suppressed clone under the
+	// aggressive rule.
+	work *relation.Table
+}
+
+// Work returns the table the search result describes: the input table
+// under the conservative rule, or the suppressed clone the aggressive
+// rule produced. Callers must treat it as read-only.
+func (s *SearchResult) Work() *relation.Table { return s.work }
+
 // EpsilonForMark returns the paper's conservative ε (Section 6):
 // ε = (s/S)·|wmd|, where s is the biggest bin size, S the sum of all bin
 // sizes and |wmd| the replicated mark length.
@@ -111,7 +148,43 @@ func Run(tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error)
 // dispatching work once ctx is done, and long row scans poll ctx at
 // pool.CtxStride boundaries, so a cancelled binning run aborts promptly
 // with the context's error.
+//
+// RunContext is exactly SearchContext followed by TransformContext —
+// the staged pipeline core.PlanContext / core.ApplyContext invokes the
+// two halves independently.
 func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *crypt.Cipher) (*Result, error) {
+	if len(tbl.Schema().IdentColumns()) > 0 && cipher == nil {
+		return nil, fmt.Errorf("binning: schema has identifying columns but no cipher")
+	}
+	search, err := SearchContext(ctx, tbl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out, err := TransformContext(ctx, search.work, search.UltiGens, search.EffectiveK, cipher, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Table:      out,
+		MinGens:    search.MinGens,
+		MaxGens:    search.MaxGens,
+		UltiGens:   search.UltiGens,
+		ColumnLoss: search.ColumnLoss,
+		AvgLoss:    search.AvgLoss,
+		EffectiveK: search.EffectiveK,
+		Suppressed: search.Suppressed,
+		MonoStats:  search.MonoStats,
+		MultiStats: search.MultiStats,
+	}, nil
+}
+
+// SearchContext runs stages 1–3 of the Figure 8 algorithm — usage-metric
+// derivation, mono-attribute binning, multi-attribute binning — and
+// returns the searched frontiers without transforming the table. Under
+// the conservative rule the input is never touched; the aggressive rule
+// interleaves row suppression with the per-column searches, so it works
+// on a private clone (SearchResult.Work).
+func SearchContext(ctx context.Context, tbl *relation.Table, cfg Config) (*SearchResult, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("binning: K must be >= 1, got %d", cfg.K)
 	}
@@ -122,10 +195,6 @@ func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *cr
 	quasi := schema.QuasiColumns()
 	if len(quasi) == 0 {
 		return nil, fmt.Errorf("binning: schema has no quasi-identifying columns")
-	}
-	idents := schema.IdentColumns()
-	if len(idents) > 0 && cipher == nil {
-		return nil, fmt.Errorf("binning: schema has identifying columns but no cipher")
 	}
 	effectiveK := cfg.K + cfg.Epsilon
 
@@ -180,12 +249,14 @@ func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *cr
 	minGens := make(map[string]dht.GenSet, len(quasi))
 	monoStats := make(map[string]MonoStats, len(quasi))
 	suppressed := 0
-	work := tbl.Clone()
+	suppressValues := make(map[string][]string)
+	work := tbl
 
 	// Under the conservative rule no bin is ever deficient, so no rows
 	// are suppressed and the columns bin independently — fan them out.
 	// The aggressive rule suppresses rows between columns (column i's
-	// deletions change column i+1's histogram), so it stays sequential.
+	// deletions change column i+1's histogram), so it stays sequential
+	// and works on a private clone.
 	if !cfg.Aggressive {
 		type monoOut struct {
 			gen   dht.GenSet
@@ -209,6 +280,7 @@ func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *cr
 			monoStats[col] = outs[i].stats
 		}
 	} else {
+		work = tbl.Clone()
 		for _, col := range quasi {
 			tree := cfg.Trees[col]
 			colIdx, err := work.Schema().Index(col)
@@ -226,25 +298,17 @@ func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *cr
 			if len(st.Deficient) > 0 {
 				// Aggressive rule produced under-k bins: suppress their rows
 				// (the "suppression" half of generalization and suppression).
-				// Deficiency is a property of the value, so the verdict is
-				// computed once per dictionary entry and rows drop by code.
-				dict := work.DictValues(colIdx)
-				drop := make([]bool, len(dict))
-				for code, v := range dict {
-					leaf, err := tree.ResolveLeaf(v)
-					if err != nil {
-						continue
-					}
-					for _, d := range st.Deficient {
-						if tree.IsAncestorOrSelf(d, leaf) {
-							drop[code] = true
-							break
-						}
-					}
+				// The deficient frontier values are recorded so the same
+				// suppression replays on later batches (Suppress).
+				values := make([]string, len(st.Deficient))
+				for i, d := range st.Deficient {
+					values[i] = tree.Value(d)
 				}
-				n := work.DeleteWhereView(func(v relation.RowView) bool {
-					return drop[v.Code(colIdx)]
-				})
+				suppressValues[col] = values
+				n, err := suppressColumn(work, colIdx, tree, values)
+				if err != nil {
+					return nil, fmt.Errorf("binning: column %s: %w", col, err)
+				}
 				suppressed += n
 			}
 			minGens[col] = g
@@ -256,48 +320,6 @@ func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *cr
 	ultiGens, multiStats, err := MultiBinContext(ctx, work, quasi, minGens, maxGens, effectiveK, cfg.Strategy, cfg.EnumLimit, cfg.Workers)
 	if err != nil {
 		return nil, err
-	}
-
-	// 4+5. Encrypt identifying columns, generalize quasi columns. Both
-	// are deterministic per-value transforms, so they rewrite the column
-	// dictionaries: encryption runs once per distinct identifier (fanned
-	// out over workers — the cipher is safe for concurrent use) and
-	// generalization once per distinct quasi value (typically a handful
-	// of dictionary entries for 20k+ rows); rows only have their codes
-	// remapped.
-	out := work
-	for _, col := range idents {
-		colIdx, _ := out.Schema().Index(col)
-		if _, err := out.MapColumnCtx(ctx, cfg.Workers, colIdx, func(v string) (string, error) {
-			return cipher.EncryptString(v), nil
-		}); err != nil {
-			return nil, err
-		}
-	}
-	for _, col := range quasi {
-		gen := ultiGens[col]
-		colIdx, _ := out.Schema().Index(col)
-		if _, err := out.MapColumnCtx(ctx, cfg.Workers, colIdx, func(v string) (string, error) {
-			g, err := gen.GeneralizeValue(v)
-			if err != nil {
-				return "", fmt.Errorf("binning: column %s value %q: %w", col, v, err)
-			}
-			return g, nil
-		}); err != nil {
-			return nil, err
-		}
-	}
-
-	// Defensive verification: the binned table must satisfy k-anonymity
-	// at the effective level.
-	if out.NumRows() > 0 {
-		ok, err := anonymity.SatisfiesK(out, quasi, effectiveK)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, fmt.Errorf("binning: internal: output violates k=%d anonymity", effectiveK)
-		}
 	}
 
 	// Information loss per Equations (1)-(3), measured on the original
@@ -320,16 +342,148 @@ func RunContext(ctx context.Context, tbl *relation.Table, cfg Config, cipher *cr
 		}
 	}
 
-	return &Result{
-		Table:      out,
-		MinGens:    minGens,
-		MaxGens:    maxGens,
-		UltiGens:   ultiGens,
-		ColumnLoss: colLoss,
-		AvgLoss:    avg,
-		EffectiveK: effectiveK,
-		Suppressed: suppressed,
-		MonoStats:  monoStats,
-		MultiStats: multiStats,
+	return &SearchResult{
+		MinGens:        minGens,
+		MaxGens:        maxGens,
+		UltiGens:       ultiGens,
+		ColumnLoss:     colLoss,
+		AvgLoss:        avg,
+		EffectiveK:     effectiveK,
+		Suppressed:     suppressed,
+		SuppressValues: suppressValues,
+		MonoStats:      monoStats,
+		MultiStats:     multiStats,
+		work:           work,
 	}, nil
+}
+
+// suppressColumn removes the rows whose value in column colIdx falls
+// under any of the deficient subtree-root values. Deficiency is a
+// property of the value, so the verdict is computed once per dictionary
+// entry and rows drop by code. Values that do not resolve to a leaf are
+// kept — they were never counted by the histogram the deficiency verdict
+// came from.
+func suppressColumn(tbl *relation.Table, colIdx int, tree *dht.Tree, deficient []string) (int, error) {
+	roots := make([]dht.NodeID, 0, len(deficient))
+	for _, v := range deficient {
+		id, err := tree.ResolveValue(v)
+		if err != nil {
+			return 0, fmt.Errorf("deficient value %q: %w", v, err)
+		}
+		roots = append(roots, id)
+	}
+	dict := tbl.DictValues(colIdx)
+	drop := make([]bool, len(dict))
+	for code, v := range dict {
+		leaf, err := tree.ResolveLeaf(v)
+		if err != nil {
+			continue
+		}
+		for _, d := range roots {
+			if tree.IsAncestorOrSelf(d, leaf) {
+				drop[code] = true
+				break
+			}
+		}
+	}
+	return tbl.DeleteWhereView(func(v relation.RowView) bool {
+		return drop[v.Code(colIdx)]
+	}), nil
+}
+
+// Suppress replays a recorded aggressive-rule suppression (per-column
+// deficient frontier values, as in SearchResult.SuppressValues) on tbl,
+// in place, and returns the number of rows removed. Columns are applied
+// in the table's quasi-column order; each column's verdict depends only
+// on its own values, so the surviving row set matches the interleaved
+// suppression of the original search.
+func Suppress(tbl *relation.Table, trees map[string]*dht.Tree, suppress map[string][]string) (int, error) {
+	if len(suppress) == 0 {
+		return 0, nil
+	}
+	removed := 0
+	for _, col := range tbl.Schema().QuasiColumns() {
+		values, ok := suppress[col]
+		if !ok || len(values) == 0 {
+			continue
+		}
+		tree, ok := trees[col]
+		if !ok || tree == nil {
+			return removed, fmt.Errorf("binning: no DHT for suppressed column %s", col)
+		}
+		colIdx, err := tbl.Schema().Index(col)
+		if err != nil {
+			return removed, err
+		}
+		n, err := suppressColumn(tbl, colIdx, tree, values)
+		if err != nil {
+			return removed, fmt.Errorf("binning: column %s: %w", col, err)
+		}
+		removed += n
+	}
+	return removed, nil
+}
+
+// TransformContext applies searched frontiers to a table — stages 4+5 of
+// Figure 8: encrypt identifying columns with cipher, generalize quasi
+// columns to the ultimate generalization nodes, then defensively verify
+// k-anonymity at the effective level. The input table is not modified.
+//
+// Both transforms are deterministic per-value, so they rewrite the
+// column dictionaries: encryption runs once per distinct identifier
+// (fanned out over workers — the cipher is safe for concurrent use) and
+// generalization once per distinct quasi value (typically a handful of
+// dictionary entries for 20k+ rows); rows only have their codes
+// remapped. A value that cannot be generalized to the given frontier
+// (not in the tree's domain, or above the frontier) fails the transform.
+func TransformContext(ctx context.Context, tbl *relation.Table, ultiGens map[string]dht.GenSet, effectiveK int, cipher *crypt.Cipher, workers int) (*relation.Table, error) {
+	schema := tbl.Schema()
+	quasi := schema.QuasiColumns()
+	idents := schema.IdentColumns()
+	if len(idents) > 0 && cipher == nil {
+		return nil, fmt.Errorf("binning: schema has identifying columns but no cipher")
+	}
+	for _, col := range quasi {
+		if _, ok := ultiGens[col]; !ok {
+			return nil, fmt.Errorf("binning: no ultimate generalization nodes for quasi column %s", col)
+		}
+	}
+	out := tbl.Clone()
+	for _, col := range idents {
+		colIdx, _ := out.Schema().Index(col)
+		if _, err := out.MapColumnCtx(ctx, workers, colIdx, func(v string) (string, error) {
+			return cipher.EncryptString(v), nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, col := range quasi {
+		gen := ultiGens[col]
+		colIdx, _ := out.Schema().Index(col)
+		if _, err := out.MapColumnCtx(ctx, workers, colIdx, func(v string) (string, error) {
+			g, err := gen.GeneralizeValue(v)
+			if err != nil {
+				return "", fmt.Errorf("binning: column %s value %q: %w", col, v, err)
+			}
+			return g, nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Defensive verification: the binned table must satisfy k-anonymity
+	// at the effective level. effectiveK <= 0 disables the check (the
+	// append path verifies the published union instead — a lone delta
+	// batch may legitimately hold small bins) rather than paying a full
+	// bin scan for an unfailable comparison.
+	if effectiveK > 0 && out.NumRows() > 0 {
+		ok, err := anonymity.SatisfiesK(out, quasi, effectiveK)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("binning: internal: output violates k=%d anonymity", effectiveK)
+		}
+	}
+	return out, nil
 }

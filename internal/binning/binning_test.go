@@ -459,6 +459,91 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSearchTransformEqualsRun pins the staged decomposition: the
+// search stage followed by the transform stage must reproduce Run
+// exactly — frontiers, losses, suppression and the binned table — and
+// the recorded SuppressValues must replay the aggressive rule's row
+// removal on a fresh clone of the input.
+func TestSearchTransformEqualsRun(t *testing.T) {
+	tbl, err := datagen.Generate(datagen.Config{Rows: 1500, Seed: 2, Correlate: true, ZipfS: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cipher, err := crypt.NewCipher([]byte("staged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, aggressive := range []bool{false, true} {
+		cfg := Config{K: 20, Trees: ontology.Trees(), Aggressive: aggressive}
+		run, err := Run(tbl, cfg, cipher)
+		if err != nil {
+			t.Fatal(err)
+		}
+		search, err := SearchContext(t.Context(), tbl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for col, g := range run.UltiGens {
+			if !search.UltiGens[col].Equal(g) {
+				t.Errorf("aggressive=%v: column %s: search ulti frontier differs from Run", aggressive, col)
+			}
+			if !search.MinGens[col].Equal(run.MinGens[col]) {
+				t.Errorf("aggressive=%v: column %s: search min frontier differs from Run", aggressive, col)
+			}
+		}
+		if search.AvgLoss != run.AvgLoss || search.EffectiveK != run.EffectiveK || search.Suppressed != run.Suppressed {
+			t.Errorf("aggressive=%v: search metrics differ from Run", aggressive)
+		}
+		out, err := TransformContext(t.Context(), search.Work(), search.UltiGens, search.EffectiveK, cipher, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b strings.Builder
+		if err := run.Table.WriteCSV(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("aggressive=%v: staged transform differs from Run", aggressive)
+		}
+		if !aggressive {
+			if len(search.SuppressValues) != 0 {
+				t.Errorf("conservative search recorded suppressions: %v", search.SuppressValues)
+			}
+			continue
+		}
+		// Replay: the recorded deficient values must remove exactly the
+		// rows the interleaved search removed. (The fixture must keep
+		// the path honest: some rows have to fall.)
+		if search.Suppressed == 0 {
+			t.Fatal("aggressive fixture suppressed nothing; the replay check is vacuous")
+		}
+		replay := tbl.Clone()
+		n, err := Suppress(replay, cfg.Trees, search.SuppressValues)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != search.Suppressed {
+			t.Errorf("replayed suppression removed %d rows, search removed %d", n, search.Suppressed)
+		}
+		if replay.NumRows() != search.Work().NumRows() {
+			t.Errorf("replayed table has %d rows, search work has %d", replay.NumRows(), search.Work().NumRows())
+		}
+		var c, d strings.Builder
+		if err := replay.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		if err := search.Work().WriteCSV(&d); err != nil {
+			t.Fatal(err)
+		}
+		if c.String() != d.String() {
+			t.Error("replayed suppression differs from the search's interleaved suppression")
+		}
+	}
+}
+
 func TestRunWithEpsilon(t *testing.T) {
 	tbl, err := datagen.Generate(datagen.Config{Rows: 1000, Seed: 4, Correlate: true, ZipfS: 1.2})
 	if err != nil {

@@ -111,6 +111,12 @@ type Protected struct {
 	Table *relation.Table
 	// Provenance is the owner's detection/dispute record.
 	Provenance Provenance
+	// Plan is the effective protection plan: the input plan with the
+	// §5.1 boundary-permutation decision actually taken and the
+	// published bin record (Bins/Rows) filled in. Retain it (it is a
+	// superset of Provenance) to protect later batches with
+	// AppendContext.
+	Plan Plan
 	// Binning exposes the binning agent's result (frontiers, losses).
 	Binning *binning.Result
 	// Embed exposes the watermarking agent's statistics.
@@ -198,74 +204,118 @@ func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Prote
 // watermark embedding all abort promptly with the context's error once
 // ctx is cancelled or its deadline passes. A request-scoped caller — the
 // HTTP service, a job queue — should always use this form.
+//
+// ProtectContext is exactly PlanContext followed by ApplyContext; the
+// two stages are independently invokable for plan-once/apply-later and
+// incremental (AppendContext) workflows.
 func (f *Framework) ProtectContext(ctx context.Context, tbl *relation.Table, key crypt.WatermarkKey) (*Protected, error) {
+	plan, err := f.PlanContext(ctx, tbl, key)
+	if err != nil {
+		return nil, err
+	}
+	return f.ApplyContext(ctx, tbl, plan, key)
+}
+
+// Apply is ApplyContext under the background context.
+func (f *Framework) Apply(tbl *relation.Table, plan *Plan, key crypt.WatermarkKey) (*Protected, error) {
+	return f.ApplyContext(context.Background(), tbl, plan, key)
+}
+
+// ApplyContext executes a plan on tbl — the transform half of the
+// Figure 2 pipeline, with no search: encrypt the identifying columns,
+// generalize the quasi columns to the planned frontiers, and embed the
+// planned mark (§5.1 boundary-permutation fallback included). The input
+// table is not modified. The returned Protected carries the effective
+// plan (Protected.Plan) with the published bin record filled in — the
+// document AppendContext later verifies delta batches against.
+//
+// The plan is usually the one PlanContext produced for this very table
+// (the same-process fast path reuses the search state); a deserialized
+// plan (ParsePlan) applies identically, minus the search statistics in
+// Protected.Binning.
+func (f *Framework) ApplyContext(ctx context.Context, tbl *relation.Table, plan *Plan, key crypt.WatermarkKey) (*Protected, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		return nil, fmt.Errorf("core: nil plan: %w", ErrBadProvenance)
+	}
+	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
 	if err := key.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %w", err, ErrBadKey)
 	}
-	identCol, err := f.identCol(tbl.Schema())
-	if err != nil {
-		return nil, err
-	}
 	cipher, err := crypt.NewCipher(key.Enc)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", err, ErrBadKey)
 	}
-
-	// Ownership mark from the clear-text identifying column (§5.4).
-	mark, v, err := ownership.OwnerMark(tbl, identCol, f.cfg.Quantum, f.cfg.MarkBits)
-	if err != nil {
-		return nil, fmt.Errorf("core: deriving ownership mark: %w: %w", err, ErrBadSchema)
+	identCol := plan.IdentCol
+	if _, err := tbl.Schema().Index(identCol); err != nil {
+		return nil, fmt.Errorf("%w: %w", err, ErrBadSchema)
 	}
-
-	// Binning agent, optionally twice for the conservative ε.
-	binCfg := binning.Config{
-		K:          f.cfg.K,
-		Epsilon:    f.cfg.Epsilon,
-		Trees:      f.trees,
-		MaxGens:    f.cfg.MaxGens,
-		Metrics:    f.cfg.Metrics,
-		Strategy:   f.cfg.Strategy,
-		EnumLimit:  f.cfg.EnumLimit,
-		Aggressive: f.cfg.Aggressive,
-		Workers:    f.cfg.Workers,
+	if err := checkQuasiCols(tbl.Schema(), plan); err != nil {
+		return nil, err
 	}
-	binRes, err := binning.RunContext(ctx, tbl, binCfg, cipher)
+	columns, err := f.SpecsFromProvenance(plan.Provenance)
 	if err != nil {
 		return nil, err
 	}
-	if f.cfg.AutoEpsilon {
-		bins, err := anonymity.Bins(binRes.Table, tbl.Schema().QuasiColumns())
-		if err != nil {
+	ultiGens := make(map[string]dht.GenSet, len(columns))
+	maxGens := make(map[string]dht.GenSet, len(columns))
+	for col, spec := range columns {
+		ultiGens[col] = spec.UltiGen
+		maxGens[col] = spec.MaxGen
+	}
+
+	// Same-process fast path: when this plan was computed from this very
+	// table, reuse the search state (already-suppressed work table plus
+	// algorithm statistics). A cold plan replays the recorded
+	// suppression instead.
+	var search *binning.SearchResult
+	if plan.rt != nil && plan.rt.source == tbl {
+		search = plan.rt.search
+	}
+	work := tbl
+	suppressed := 0
+	var minGens map[string]dht.GenSet
+	var monoStats map[string]binning.MonoStats
+	var multiStats binning.MultiStats
+	if search != nil {
+		work = search.Work()
+		suppressed = search.Suppressed
+		monoStats = search.MonoStats
+		multiStats = search.MultiStats
+		minGens = search.MinGens
+	} else {
+		if minGens, err = f.minGensFromPlan(plan); err != nil {
 			return nil, err
 		}
-		eps := binning.EpsilonForMark(bins, f.cfg.MarkBits*f.cfg.Duplication)
-		if eps > binCfg.Epsilon {
-			binCfg.Epsilon = eps
-			if binRes, err = binning.RunContext(ctx, tbl, binCfg, cipher); err != nil {
-				return nil, fmt.Errorf("core: re-binning at k+ε=%d: %w", f.cfg.K+eps, err)
+		if len(plan.Suppress) > 0 {
+			work = tbl.Clone()
+			if suppressed, err = binning.Suppress(work, f.trees, plan.Suppress); err != nil {
+				return nil, fmt.Errorf("core: replaying plan suppression: %w: %w", err, ErrBadProvenance)
 			}
 		}
 	}
 
-	// Watermarking agent on the binned table.
-	columns := f.columnSpecs(binRes)
-	params := watermark.Params{
-		Key:                    key,
-		Mark:                   mark,
-		Duplication:            f.cfg.Duplication,
-		WeightedVoting:         f.cfg.WeightedVoting,
-		SaltPositionWithColumn: f.cfg.SaltPositionWithColumn,
-		BoundaryPermutation:    f.cfg.BoundaryPermutation,
-		Workers:                f.cfg.Workers,
-	}
-	before, err := anonymity.Bins(binRes.Table, tbl.Schema().QuasiColumns())
+	binned, err := binning.TransformContext(ctx, work, ultiGens, plan.EffectiveK, cipher, f.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	marked := binRes.Table.Clone()
+
+	// Watermarking agent on the binned table.
+	params, err := paramsFromProvenance(plan.Provenance, key)
+	if err != nil {
+		return nil, err
+	}
+	params.Workers = f.cfg.Workers
+	quasi := tbl.Schema().QuasiColumns()
+	before, err := anonymity.Bins(binned, quasi)
+	if err != nil {
+		return nil, err
+	}
+	marked := binned.Clone()
 	embedStats, err := watermark.EmbedContext(ctx, marked, identCol, columns, params)
 	if err != nil {
 		return nil, err
@@ -277,7 +327,7 @@ func (f *Framework) ProtectContext(ctx context.Context, tbl *relation.Table, key
 		// permute boundary values among sibling frontier nodes, accepting
 		// a slight usage-metric overshoot for a small tuple fraction.
 		params.BoundaryPermutation = true
-		marked = binRes.Table.Clone()
+		marked = binned.Clone()
 		if embedStats, err = watermark.EmbedContext(ctx, marked, identCol, columns, params); err != nil {
 			return nil, err
 		}
@@ -286,50 +336,51 @@ func (f *Framework) ProtectContext(ctx context.Context, tbl *relation.Table, key
 		return nil, fmt.Errorf(
 			"core: no watermark bandwidth: every frontier sits at the usage metrics with no permutable siblings; relax the metrics or lower K: %w", ErrUnsatisfiable)
 	}
-	after, err := anonymity.Bins(marked, tbl.Schema().QuasiColumns())
+	after, err := anonymity.Bins(marked, quasi)
 	if err != nil {
 		return nil, err
 	}
-	binStats := anonymity.Compare(before, after, f.cfg.K)
+	binStats := anonymity.Compare(before, after, plan.K)
 
 	// The seamlessness guarantee: no bin below K after watermarking.
 	if binStats.BelowK > 0 && !params.BoundaryPermutation {
 		return nil, fmt.Errorf(
 			"core: watermarking pushed %d bins below k=%d; increase Epsilon or enable AutoEpsilon: %w",
-			binStats.BelowK, f.cfg.K, ErrUnsatisfiable)
+			binStats.BelowK, plan.K, ErrUnsatisfiable)
 	}
 
-	prov := Provenance{
-		IdentCol:               identCol,
-		K:                      f.cfg.K,
-		Epsilon:                binCfg.Epsilon,
-		Mark:                   mark.String(),
-		V:                      v,
-		Quantum:                f.cfg.Quantum,
-		Duplication:            f.cfg.Duplication,
-		WeightedVoting:         f.cfg.WeightedVoting,
-		SaltPositionWithColumn: f.cfg.SaltPositionWithColumn,
-		// record the effective value: the §5.1 fallback may have enabled
-		// boundary permutation, and detection must mirror it
-		BoundaryPermutation: params.BoundaryPermutation,
-		Columns:             make(map[string]ColumnProvenance, len(columns)),
-	}
-	for col, spec := range columns {
-		prov.Columns[col] = ColumnProvenance{
-			Ulti: spec.UltiGen.Values(),
-			Max:  spec.MaxGen.Values(),
-		}
-	}
+	// The effective plan: the §5.1 fallback may have enabled boundary
+	// permutation (detection must mirror it), and the published bin
+	// record is the baseline later appends verify against.
+	eff := *plan
+	eff.rt = nil
+	eff.BoundaryPermutation = params.BoundaryPermutation
+	eff.Bins = after
+	eff.Rows = marked.NumRows()
 
 	return &Protected{
 		Table:      marked,
-		Provenance: prov,
-		Binning:    binRes,
-		Embed:      embedStats,
-		BinStats:   binStats,
+		Provenance: eff.Provenance,
+		Plan:       eff,
+		Binning: &binning.Result{
+			Table:      binned,
+			MinGens:    minGens,
+			MaxGens:    maxGens,
+			UltiGens:   ultiGens,
+			ColumnLoss: plan.ColumnLoss,
+			AvgLoss:    plan.AvgLoss,
+			EffectiveK: plan.EffectiveK,
+			Suppressed: suppressed,
+			MonoStats:  monoStats,
+			MultiStats: multiStats,
+		},
+		Embed:    embedStats,
+		BinStats: binStats,
 	}, nil
 }
 
+// columnSpecs builds the watermark column specs straight from a binning
+// result (the in-process twin of SpecsFromProvenance).
 func (f *Framework) columnSpecs(res *binning.Result) map[string]watermark.ColumnSpec {
 	out := make(map[string]watermark.ColumnSpec, len(res.UltiGens))
 	for col, ulti := range res.UltiGens {
@@ -340,6 +391,17 @@ func (f *Framework) columnSpecs(res *binning.Result) map[string]watermark.Column
 		}
 	}
 	return out
+}
+
+// ownershipMark derives the §5.4 ownership mark, wrapping failures in
+// ErrBadSchema (the statistic is undefined for non-numeric identifying
+// columns).
+func ownershipMark(tbl *relation.Table, identCol string, quantum float64, markBits int) (bitstr.Bits, float64, error) {
+	mark, v, err := ownership.OwnerMark(tbl, identCol, quantum, markBits)
+	if err != nil {
+		return bitstr.Bits{}, 0, fmt.Errorf("core: deriving ownership mark: %w: %w", err, ErrBadSchema)
+	}
+	return mark, v, nil
 }
 
 // SpecsFromProvenance rebuilds the watermark column specs from a stored

@@ -34,4 +34,10 @@ var (
 	// the data: identifying-column ciphertexts fail to authenticate
 	// under it.
 	ErrKeyMismatch = errors.New("key does not match the data")
+	// ErrPlanDrift marks a delta batch that no longer fits a frozen
+	// protection plan: a value falls outside the planned generalization
+	// frontiers, or appending would create a bin below k. The remedy is
+	// to re-plan over the combined table (PlanContext + ApplyContext),
+	// not to force the append.
+	ErrPlanDrift = errors.New("delta drifts from the protection plan")
 )

@@ -384,6 +384,24 @@ func (t *Table) Clone() *Table {
 	return c
 }
 
+// Slice returns a new table holding rows [lo, hi) of t, in order — the
+// natural way to carve a delta batch out of a larger export. Column
+// dictionaries are copied wholesale (codes stay valid without a remap);
+// the code vectors copy only the requested range.
+func (t *Table) Slice(lo, hi int) (*Table, error) {
+	if lo < 0 || hi < lo || hi > t.NumRows() {
+		return nil, fmt.Errorf("relation: slice [%d,%d) out of range [0,%d]", lo, hi, t.NumRows())
+	}
+	out := &Table{schema: t.schema, cols: make([]column, len(t.cols))}
+	for ci := range t.cols {
+		src := &t.cols[ci]
+		dst := &out.cols[ci]
+		dst.dict = append([]string(nil), src.dict...)
+		dst.codes = append([]uint32(nil), src.codes[lo:hi]...)
+	}
+	return out, nil
+}
+
 // compact keeps exactly the rows for which keep[i] is true, preserving
 // relative order.
 func (t *Table) compact(keep []bool) {

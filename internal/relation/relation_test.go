@@ -217,6 +217,41 @@ func TestDeleteWhere(t *testing.T) {
 	}
 }
 
+func TestSlice(t *testing.T) {
+	tbl := testTable(t)
+	mid, err := tbl.Slice(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.NumRows() != 2 {
+		t.Fatalf("slice rows = %d, want 2", mid.NumRows())
+	}
+	if got := mid.Row(0); got[0] != "s2" || got[2] != "Surgeon" {
+		t.Errorf("slice row 0 = %v", got)
+	}
+	if got := mid.Row(1); got[0] != "s3" {
+		t.Errorf("slice row 1 = %v", got)
+	}
+	// The slice is independent: mutating it leaves the source intact.
+	mid.SetCellAt(0, 0, "changed")
+	if v, _ := tbl.Cell(1, "ssn"); v != "s2" {
+		t.Error("slice mutation leaked into the source table")
+	}
+	// Empty and full ranges.
+	if empty, err := tbl.Slice(2, 2); err != nil || empty.NumRows() != 0 {
+		t.Errorf("empty slice: %v, rows=%d", err, empty.NumRows())
+	}
+	if full, err := tbl.Slice(0, tbl.NumRows()); err != nil || full.NumRows() != tbl.NumRows() {
+		t.Errorf("full slice: %v", err)
+	}
+	// Out-of-range requests are rejected.
+	for _, r := range [][2]int{{-1, 2}, {0, 5}, {3, 2}} {
+		if _, err := tbl.Slice(r[0], r[1]); err == nil {
+			t.Errorf("slice [%d,%d) accepted", r[0], r[1])
+		}
+	}
+}
+
 func TestAppendTable(t *testing.T) {
 	a := testTable(t)
 	b := testTable(t)

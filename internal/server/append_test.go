@@ -1,0 +1,177 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// TestHTTPPlanAppendRoundTrip drives the incremental-ingestion service
+// flow end to end: protect a base table, POST a delta to /v1/append
+// under the returned plan, and detect the mark over the published
+// union.
+func TestHTTPPlanAppendRoundTrip(t *testing.T) {
+	ts := testServer(t, Config{Defaults: core.Config{K: 15, AutoEpsilon: true}})
+	all, err := datagen.Generate(datagen.Config{Rows: 2800, Seed: 42, Correlate: true, ZipfS: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := all.Slice(0, 2500)
+	delta, _ := all.Slice(2500, 2800)
+	key := api.Key{Secret: "append service secret", Eta: 25}
+
+	baseWire, err := api.EncodeTable(base, api.OutputRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prot api.ProtectResponse
+	status, raw := postJSON(t, ts.URL+"/v1/protect", api.ProtectRequest{Table: baseWire, Key: key}, &prot)
+	if status != http.StatusOK {
+		t.Fatalf("protect: %d\n%s", status, raw)
+	}
+	if len(prot.Plan.Bins) == 0 || prot.Plan.Rows != base.NumRows() {
+		t.Fatalf("protect response plan lacks the published bin record: rows=%d bins=%d",
+			prot.Plan.Rows, len(prot.Plan.Bins))
+	}
+
+	// The plan survives its own wire round-trip (the client stores it as
+	// JSON and sends it back verbatim).
+	planDoc, err := json.Marshal(prot.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var storedPlan core.Plan
+	if err := json.Unmarshal(planDoc, &storedPlan); err != nil {
+		t.Fatal(err)
+	}
+
+	deltaWire, err := api.EncodeTable(delta, api.OutputRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var app api.AppendResponse
+	status, raw = postJSON(t, ts.URL+"/v1/append",
+		api.AppendRequest{Table: deltaWire, Plan: storedPlan, Key: key}, &app)
+	if status != http.StatusOK {
+		t.Fatalf("append: %d\n%s", status, raw)
+	}
+	if app.Stats.Rows != delta.NumRows() || app.Stats.TotalRows != base.NumRows()+delta.NumRows() {
+		t.Fatalf("implausible append stats: %+v", app.Stats)
+	}
+
+	// Publish the union and detect over it.
+	union, err := api.DecodeTable(prot.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaTbl, err := api.DecodeTable(app.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := union.AppendTable(deltaTbl); err != nil {
+		t.Fatal(err)
+	}
+	unionWire, err := api.EncodeTable(union, api.OutputRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var det api.DetectResponse
+	status, raw = postJSON(t, ts.URL+"/v1/detect",
+		api.DetectRequest{Table: unionWire, Provenance: app.Plan.Provenance, Key: key}, &det)
+	if status != http.StatusOK {
+		t.Fatalf("detect: %d\n%s", status, raw)
+	}
+	if !det.Match {
+		t.Fatalf("mark not detected over the union: %+v", det)
+	}
+}
+
+func TestHTTPPlanEndpoint(t *testing.T) {
+	ts := testServer(t, Config{Defaults: core.Config{K: 15, AutoEpsilon: true}})
+	tbl := testTable(t, 1500)
+	wire, err := api.EncodeTable(tbl, api.OutputRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan api.PlanResponse
+	status, raw := postJSON(t, ts.URL+"/v1/plan",
+		api.PlanRequest{Table: wire, Key: api.Key{Secret: "plan secret", Eta: 25}}, &plan)
+	if status != http.StatusOK {
+		t.Fatalf("plan: %d\n%s", status, raw)
+	}
+	if plan.Stats.Rows != tbl.NumRows() || plan.Stats.EffectiveK < plan.Stats.K {
+		t.Fatalf("implausible plan stats: %+v", plan.Stats)
+	}
+	if plan.Plan.FormatVersion != core.PlanVersion || len(plan.Plan.Columns) == 0 {
+		t.Fatalf("implausible plan payload: version=%d columns=%d",
+			plan.Plan.FormatVersion, len(plan.Plan.Columns))
+	}
+	if len(plan.Plan.Bins) != 0 {
+		t.Error("search-only plan should carry no published bin record")
+	}
+}
+
+// TestHTTPAppendPlanDrift pins the wire contract for a drifting batch:
+// 409 with the machine-readable plan_drift code.
+func TestHTTPAppendPlanDrift(t *testing.T) {
+	ts := testServer(t, Config{Defaults: core.Config{K: 15, AutoEpsilon: true}})
+	all, err := datagen.Generate(datagen.Config{Rows: 2510, Seed: 42, Correlate: true, ZipfS: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := all.Slice(0, 2500)
+	delta, _ := all.Slice(2500, 2510)
+	key := api.Key{Secret: "drift secret", Eta: 25}
+
+	baseWire, err := api.EncodeTable(base, api.OutputRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prot api.ProtectResponse
+	status, raw := postJSON(t, ts.URL+"/v1/protect", api.ProtectRequest{Table: baseWire, Key: key}, &prot)
+	if status != http.StatusOK {
+		t.Fatalf("protect: %d\n%s", status, raw)
+	}
+
+	drifting := delta.Clone()
+	if err := drifting.SetCell(0, "symptom", "uncatalogued syndrome"); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := api.EncodeTable(drifting, api.OutputRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, raw = postJSON(t, ts.URL+"/v1/append",
+		api.AppendRequest{Table: wire, Plan: prot.Plan, Key: key}, nil)
+	if status != http.StatusConflict {
+		t.Fatalf("drifting append: status %d, want 409\n%s", status, raw)
+	}
+	var envelope api.ErrorResponse
+	if err := json.Unmarshal(raw, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != api.CodePlanDrift {
+		t.Fatalf("error code %q, want %q", envelope.Error.Code, api.CodePlanDrift)
+	}
+
+	// An unapplied (bin-record-free) plan is a provenance problem, not a
+	// drift: 400 bad_provenance.
+	empty := prot.Plan
+	empty.Bins = nil
+	empty.Rows = 0
+	status, raw = postJSON(t, ts.URL+"/v1/append",
+		api.AppendRequest{Table: wire, Plan: empty, Key: key}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("unapplied plan: status %d, want 400\n%s", status, raw)
+	}
+	if err := json.Unmarshal(raw, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != api.CodeBadProvenance {
+		t.Fatalf("error code %q, want %q", envelope.Error.Code, api.CodeBadProvenance)
+	}
+}

@@ -1,7 +1,10 @@
 // Package server is the HTTP service layer over the protection
-// pipeline: request-scoped handlers for POST /v1/protect, /v1/detect
-// and /v1/dispute plus GET /v1/healthz, speaking the internal/api wire
-// contract. Every request runs under a per-request deadline and inside
+// pipeline: request-scoped handlers for POST /v1/protect, /v1/plan,
+// /v1/append, /v1/detect and /v1/dispute plus GET /v1/healthz, speaking
+// the internal/api wire contract. The plan/append pair turns the
+// service into an incremental-ingestion endpoint: protect once, retain
+// the returned plan, and POST each nightly batch to /v1/append (409
+// plan_drift asks for a re-plan). Every request runs under a per-request deadline and inside
 // a bounded in-flight semaphore sized off the worker configuration, so
 // a burst of heavy protect calls queues instead of oversubscribing the
 // machine; cancellation (client disconnect, deadline) propagates through
@@ -101,6 +104,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/protect", s.pipeline(s.handleProtect))
+	mux.HandleFunc("POST /v1/plan", s.pipeline(s.handlePlan))
+	mux.HandleFunc("POST /v1/append", s.pipeline(s.handleAppend))
 	mux.HandleFunc("POST /v1/detect", s.pipeline(s.handleDetect))
 	mux.HandleFunc("POST /v1/dispute", s.pipeline(s.handleDispute))
 	return mux
@@ -179,6 +184,7 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) (int, err
 		Version:    api.Version,
 		Table:      outTbl,
 		Provenance: prot.Provenance,
+		Plan:       prot.Plan,
 		Stats: api.ProtectStats{
 			Rows:           prot.Table.NumRows(),
 			TuplesSelected: prot.Embed.TuplesSelected,
@@ -187,6 +193,80 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) (int, err
 			EffectiveK:     prot.Binning.EffectiveK,
 			Epsilon:        prot.Provenance.Epsilon,
 			AvgLoss:        prot.Binning.AvgLoss,
+		},
+	})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req api.PlanRequest
+	if err := api.DecodeJSON(r.Body, &req); err != nil {
+		return 0, badRequest(err)
+	}
+	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := fw.PlanContext(r.Context(), tbl, key)
+	if err != nil {
+		return 0, err
+	}
+	writeJSON(w, http.StatusOK, api.PlanResponse{
+		Version: api.Version,
+		Plan:    *plan,
+		Stats: api.PlanStats{
+			Rows:       tbl.NumRows(),
+			K:          plan.K,
+			Epsilon:    plan.Epsilon,
+			EffectiveK: plan.EffectiveK,
+			AvgLoss:    plan.AvgLoss,
+		},
+	})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req api.AppendRequest
+	if err := api.DecodeJSON(r.Body, &req); err != nil {
+		return 0, badRequest(err)
+	}
+	switch req.Output {
+	case "", api.OutputRows, api.OutputCSV:
+	default:
+		return 0, badRequest(fmt.Errorf("unknown output format %q (want %q or %q)", req.Output, api.OutputRows, api.OutputCSV))
+	}
+	if req.Options == nil {
+		req.Options = &api.Options{}
+	}
+	if req.Options.K == 0 {
+		// The append runs under the plan's frozen K; the framework K
+		// only has to satisfy validation.
+		req.Options.K = max(req.Plan.K, 1)
+	}
+	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
+	if err != nil {
+		return 0, err
+	}
+	app, err := fw.AppendContext(r.Context(), tbl, &req.Plan, key)
+	if err != nil {
+		return 0, err
+	}
+	outTbl, err := api.EncodeTable(app.Table, req.Output)
+	if err != nil {
+		return 0, badRequest(err)
+	}
+	writeJSON(w, http.StatusOK, api.AppendResponse{
+		Version: api.Version,
+		Table:   outTbl,
+		Plan:    app.Plan,
+		Stats: api.AppendStats{
+			Rows:           app.Table.NumRows(),
+			TotalRows:      app.Plan.Rows,
+			TuplesSelected: app.Embed.TuplesSelected,
+			BitsEmbedded:   app.Embed.BitsEmbedded,
+			CellsChanged:   app.Embed.CellsChanged,
+			NewBins:        app.NewBins,
+			Suppressed:     app.Suppressed,
 		},
 	})
 	return http.StatusOK, nil

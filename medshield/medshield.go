@@ -31,11 +31,27 @@
 //	det, err := fw.Detect(suspect, protected.Provenance, key)
 //	if det.Match { /* our mark is present */ }
 //
+// Repositories that grow after the initial release use the staged form
+// of the same pipeline: Protect is exactly PlanContext (binning search +
+// ownership-mark derivation, producing a serializable Plan) followed by
+// ApplyContext (encrypt, generalize, embed — no search). Retain
+// protected.Plan next to the secret and protect each incoming batch
+// incrementally:
+//
+//	app, err := fw.Append(delta, &plan, key) // no re-search, same mark
+//	// publish app.Table (append to the outsourced copy); plan = app.Plan
+//
+// Append verifies combined-bin k-safety against the plan's published
+// bin record and returns ErrPlanDrift when a batch no longer fits the
+// frozen plan (values outside the planned frontiers, or a new bin below
+// k) — the caller then re-plans over the combined table.
+//
 // Every pipeline entry point has a request-scoped form — ProtectContext,
-// DetectContext, DisputeContext — that aborts promptly when the context
-// is cancelled or its deadline passes; the plain forms are the
-// Background-context equivalents. Service deployments (cmd/medshield-server
-// exposes the pipeline over HTTP) should always use the Context forms.
+// PlanContext, ApplyContext, AppendContext, DetectContext,
+// DisputeContext — that aborts promptly when the context is cancelled or
+// its deadline passes; the plain forms are the Background-context
+// equivalents. Service deployments (cmd/medshield-server exposes the
+// pipeline over HTTP) should always use the Context forms.
 //
 // Ownership disputes (§5.4 of the paper) are arbitrated with fw.Dispute.
 // Failures wrap typed sentinels (ErrBadConfig, ErrBadSchema, ErrBadKey,
@@ -68,11 +84,23 @@ type (
 	Protected = core.Protected
 	// Provenance is the (non-secret) record needed for later detection.
 	Provenance = core.Provenance
+	// Plan is the frozen planning-stage outcome (Framework.PlanContext):
+	// a serializable superset of Provenance carrying the searched
+	// frontiers, effective watermark parameters and — once applied — the
+	// published bin record that incremental appends verify against.
+	Plan = core.Plan
+	// Appended is AppendContext's result: the protected delta batch plus
+	// the advanced plan.
+	Appended = core.Appended
 	// Detection reports mark recovery from a suspected table.
 	Detection = core.Detection
 	// Key is the secret watermarking key set (k1, k2, η, encryption key).
 	Key = crypt.WatermarkKey
 )
+
+// PlanVersion is the plan serialization format version ParsePlan
+// accepts.
+const PlanVersion = core.PlanVersion
 
 // Relational substrate types.
 type (
@@ -120,7 +148,19 @@ var (
 	ErrBadProvenance = core.ErrBadProvenance
 	ErrUnsatisfiable = core.ErrUnsatisfiable
 	ErrKeyMismatch   = core.ErrKeyMismatch
+	// ErrPlanDrift marks a delta batch that no longer fits a frozen
+	// plan (values outside the planned frontiers, or a new bin that
+	// would fall below k); re-plan over the combined table.
+	ErrPlanDrift = core.ErrPlanDrift
 )
+
+// ParsePlan deserializes and validates a protection plan document
+// (version-gated; every rejection wraps ErrBadProvenance).
+func ParsePlan(data []byte) (*Plan, error) { return core.ParsePlan(data) }
+
+// MarshalPlan serializes a plan as indented JSON, the format ParsePlan
+// accepts.
+func MarshalPlan(p *Plan) ([]byte, error) { return core.MarshalPlan(p) }
 
 // New builds a Framework over per-column domain hierarchy trees,
 // configured by functional options applied in order over the zero

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # bench.sh — record the pipeline's perf trajectory across PRs.
 #
-# Runs the 20k-row Protect / Detect / MultiBin benchmarks with -benchmem
+# Runs the 20k-row Protect / Detect / MultiBin benchmarks plus the
+# incremental-ingestion pair (Append2k vs Reprotect22k) with -benchmem
 # and appends one labelled entry (best-of-N ns/op, plus B/op and
 # allocs/op) per benchmark to BENCH_pipeline.json at the repo root, so
 # representation regressions show up as a diff in review.
@@ -16,7 +17,7 @@ cd "$(dirname "$0")/.."
 LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}"
 COUNT="${COUNT:-3}"
 OUT="BENCH_pipeline.json"
-PATTERN='BenchmarkProtect20k$|BenchmarkDetect20k$|BenchmarkMultiBinGreedy$'
+PATTERN='BenchmarkProtect20k$|BenchmarkDetect20k$|BenchmarkMultiBinGreedy$|BenchmarkAppend2k$|BenchmarkReprotect22k$'
 
 RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" .)"
 echo "$RAW"

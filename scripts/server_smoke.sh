@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of cmd/medshield-server: build the binary, start
-# it, hit /v1/healthz, protect a synthetic table over /v1/protect, detect
-# the mark over /v1/detect (must match), and verify graceful SIGTERM
-# shutdown (exit 0). CI runs this after the unit tests; it also works
-# locally: scripts/server_smoke.sh [port]
+# it, hit /v1/healthz, protect a synthetic table over /v1/protect, append
+# a delta batch over /v1/append under the returned plan, detect the mark
+# over /v1/detect on the published union (must match), and verify
+# graceful SIGTERM shutdown (exit 0). CI runs this after the unit tests;
+# it also works locally: scripts/server_smoke.sh [port]
 set -euo pipefail
 
 PORT="${1:-18080}"
@@ -13,6 +14,7 @@ trap 'rm -rf "$TMP"; [[ -n "${SRV_PID:-}" ]] && kill "$SRV_PID" 2>/dev/null || t
 echo "==> building"
 go build -o "$TMP/medshield-server" ./cmd/medshield-server
 go run ./cmd/medprotect gen -rows 2000 -seed 4 -out "$TMP/data.csv"
+go run ./cmd/medprotect gen -rows 200 -seed 9 -out "$TMP/delta.csv"
 
 echo "==> starting server on :$PORT"
 "$TMP/medshield-server" -addr "127.0.0.1:$PORT" -quiet 2>"$TMP/server.log" &
@@ -50,13 +52,40 @@ r = json.load(open(f"{tmp}/protect_resp.json"))
 assert r["version"] == "v1", r["version"]
 assert r["stats"]["rows"] == 2000, r["stats"]
 assert r["stats"]["bits_embedded"] > 0, r["stats"]
+assert r["plan"]["rows"] == 2000 and r["plan"]["bins"], "plan lacks bin record"
 print("    protect stats:", r["stats"])
-json.dump({"table": r["table"], "provenance": r["provenance"],
+
+import csv
+delta = list(csv.reader(open(f"{tmp}/delta.csv")))
+hdr, rows = delta[0], delta[1:]
+kinds = {"ssn": "identifying", "age": "quasi-numeric", "zip_code": "quasi-categorical",
+         "doctor": "quasi-categorical", "symptom": "quasi-categorical",
+         "prescription": "quasi-categorical"}
+json.dump({"table": {"columns": [{"name": h, "kind": kinds[h]} for h in hdr], "rows": rows},
+           "plan": r["plan"],
+           "key": {"secret": "ci smoke secret", "eta": 10}},
+          open(f"{tmp}/append.json", "w"))
+EOF
+
+echo "==> POST /v1/append"
+curl -sf -X POST --data "@$TMP/append.json" "http://127.0.0.1:$PORT/v1/append" -o "$TMP/append_resp.json"
+python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+a = json.load(open(f"{tmp}/append_resp.json"))
+assert a["version"] == "v1", a["version"]
+assert a["stats"]["rows"] == 200, a["stats"]
+assert a["stats"]["total_rows"] == 2200, a["stats"]
+print("    append stats:", a["stats"])
+r = json.load(open(f"{tmp}/protect_resp.json"))
+union = {"columns": r["table"]["columns"],
+         "rows": r["table"]["rows"] + a["table"]["rows"]}
+json.dump({"table": union, "provenance": r["provenance"],
            "key": {"secret": "ci smoke secret", "eta": 10}},
           open(f"{tmp}/detect.json", "w"))
 EOF
 
-echo "==> POST /v1/detect"
+echo "==> POST /v1/detect (over the appended union)"
 curl -sf -X POST --data "@$TMP/detect.json" "http://127.0.0.1:$PORT/v1/detect" -o "$TMP/detect_resp.json"
 python3 - "$TMP" <<'EOF'
 import json, sys
