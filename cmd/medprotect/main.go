@@ -13,6 +13,8 @@
 //	medprotect detect   -in suspect.csv -prov prov.json -secret S [-workers W]
 //	medprotect attack   -in protected.csv -out attacked.csv -prov prov.json -kind alter|add|delete|rangedelete|generalize -frac F [-col C] [-levels L] -seed S
 //	medprotect dispute  -in disputed.csv -prov prov.json -secret S
+//	medprotect fingerprint -in data.csv -k K -eta E -secret S -recipients a,b,c -outdir DIR -registry reg.json [-workers W]
+//	medprotect traceback   -in suspect.csv -registry reg.json -secret S [-workers W]
 //	medprotect trees    -dir DIR
 //
 // protect -plan (or the standalone plan subcommand) writes the
@@ -20,6 +22,13 @@
 // binning frontiers and watermark parameters. append protects a new
 // batch of rows under a saved plan — no binning search — and advances
 // the plan's published bin record in place, so nightly batches chain.
+//
+// fingerprint protects one source table for several recipients at once
+// (one binning search, one marked copy per recipient, each under a
+// recipient-salted mark and key derived from the master secret) and
+// registers every copy in a recipient registry. traceback runs
+// detection for all registered recipients against a leaked table and
+// names the best-matching recipient.
 package main
 
 import (
@@ -29,6 +38,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/core"
@@ -56,6 +67,10 @@ func main() {
 		err = cmdAttack(os.Args[2:])
 	case "dispute":
 		err = cmdDispute(os.Args[2:])
+	case "fingerprint":
+		err = cmdFingerprint(os.Args[2:])
+	case "traceback":
+		err = cmdTraceback(os.Args[2:])
 	case "trees":
 		err = cmdTrees(os.Args[2:])
 	case "-h", "--help", "help":
@@ -72,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: medprotect <gen|protect|plan|append|detect|attack|dispute|trees> [flags]
+	fmt.Fprintln(os.Stderr, `usage: medprotect <gen|protect|plan|append|detect|attack|dispute|fingerprint|traceback|trees> [flags]
 run "medprotect <subcommand> -h" for flags`)
 }
 
@@ -441,6 +456,140 @@ func cmdDispute(args []string) error {
 		if !v.Valid {
 			fmt.Printf("  reason: %s\n", v.Reason)
 		}
+	}
+	return nil
+}
+
+func cmdFingerprint(args []string) error {
+	fs := flag.NewFlagSet("fingerprint", flag.ExitOnError)
+	in := fs.String("in", "data.csv", "input CSV (builtin schema)")
+	k := fs.Int("k", 20, "k-anonymity parameter")
+	eta := fs.Uint64("eta", 75, "watermark selection parameter η")
+	secret := fs.String("secret", "", "owner master secret passphrase (required)")
+	recipients := fs.String("recipients", "", "comma-separated recipient IDs (required)")
+	outdir := fs.String("outdir", "fingerprinted", "output directory for per-recipient CSVs")
+	regPath := fs.String("registry", "recipients.json", "recipient registry path (records appended)")
+	autoEps := fs.Bool("auto-epsilon", true, "apply the §6 conservative ε")
+	workers := fs.Int("workers", 0, "worker goroutines for the pipeline (0 = all cores, 1 = sequential)")
+	_ = fs.Parse(args)
+	if *secret == "" {
+		return fmt.Errorf("fingerprint: -secret is required")
+	}
+	ids := splitIDs(*recipients)
+	if len(ids) == 0 {
+		return fmt.Errorf("fingerprint: -recipients is required (comma-separated IDs)")
+	}
+
+	tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+	if err != nil {
+		return err
+	}
+	fw, err := medshield.NewFromConfig(medshield.BuiltinTrees(), medshield.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	recs := make([]medshield.Recipient, len(ids))
+	for i, id := range ids {
+		recs[i] = medshield.Recipient{ID: id, Key: medshield.RecipientKey(*secret, id, *eta)}
+	}
+	results, err := fw.Fingerprint(tbl, recs)
+	if err != nil {
+		return err
+	}
+	reg, err := medshield.OpenRegistry(*regPath)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		return err
+	}
+	// Write every copy first, then register the batch atomically: a
+	// mid-run failure must not leave some recipients durably registered
+	// for copies that were never released.
+	records := make([]medshield.RecipientRecord, len(results))
+	for i, res := range results {
+		path := filepath.Join(*outdir, res.RecipientID+".csv")
+		if err := medshield.SaveCSVFile(path, res.Protected.Table); err != nil {
+			return err
+		}
+		records[i] = medshield.RecipientRecordOf(res.RecipientID, recs[i].Key, res.Protected.Plan)
+		records[i].CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		fmt.Printf("recipient %s: %d tuples marked, %d cells changed -> %s (key fp %s)\n",
+			res.RecipientID, res.Protected.Embed.TuplesSelected, res.Protected.Embed.CellsChanged,
+			path, res.KeyFingerprint)
+	}
+	if err := reg.PutAll(records); err != nil {
+		return err
+	}
+	first := results[0].Protected
+	fmt.Printf("fingerprinted %d tuples for %d recipients: k=%d (ε=%d), one binning search, avg info loss %.1f%%\n",
+		tbl.NumRows(), len(results), first.Provenance.K, first.Provenance.Epsilon, first.Binning.AvgLoss*100)
+	fmt.Printf("registry -> %s (keep it with the master secret; traceback needs both)\n", *regPath)
+	return nil
+}
+
+func splitIDs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if id := strings.TrimSpace(part); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func cmdTraceback(args []string) error {
+	fs := flag.NewFlagSet("traceback", flag.ExitOnError)
+	in := fs.String("in", "suspect.csv", "suspected leaked CSV copy")
+	regPath := fs.String("registry", "recipients.json", "recipient registry path")
+	secret := fs.String("secret", "", "owner master secret passphrase (required)")
+	workers := fs.Int("workers", 0, "worker goroutines for detection (0 = all cores, 1 = sequential)")
+	_ = fs.Parse(args)
+	if *secret == "" {
+		return fmt.Errorf("traceback: -secret is required")
+	}
+
+	tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+	if err != nil {
+		return err
+	}
+	reg, err := medshield.OpenRegistry(*regPath)
+	if err != nil {
+		return err
+	}
+	records := reg.List()
+	if len(records) == 0 {
+		return fmt.Errorf("traceback: registry %s holds no recipients; run `medprotect fingerprint` first", *regPath)
+	}
+	cands, skipped, err := medshield.TracebackCandidates(records, *secret)
+	if err != nil {
+		return err
+	}
+	for _, id := range skipped {
+		fmt.Fprintf(os.Stderr, "warning: skipping recipient %q — the secret does not match its registered key (foreign or stale record)\n", id)
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(),
+		medshield.WithK(max(records[0].Plan.K, 1)), medshield.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	tb, err := fw.Traceback(tbl, cands)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traceback over %d rows against %d registered recipients:\n", tbl.NumRows(), len(cands))
+	for rank, v := range tb.Verdicts {
+		status := " "
+		if v.Match {
+			status = "*"
+		}
+		fmt.Printf("%s %2d. %-24s match %5.1f%% (loss %5.1f%%, confidence %.2f, %d votes)\n",
+			status, rank+1, v.RecipientID, v.MatchRatio*100, v.MarkLoss*100, v.Confidence, v.VotesCast)
+	}
+	if tb.Culprit != "" {
+		fmt.Printf("verdict: the leaked copy carries the mark of %q\n", tb.Culprit)
+	} else {
+		fmt.Println("verdict: no registered recipient's mark is present")
 	}
 	return nil
 }

@@ -262,3 +262,86 @@ func TestCLIErrors(t *testing.T) {
 		t.Error("corrupt provenance accepted")
 	}
 }
+
+func TestCLIFingerprintTraceback(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	outdir := filepath.Join(dir, "copies")
+	reg := filepath.Join(dir, "recipients.json")
+	leaked := filepath.Join(dir, "leaked.csv")
+
+	if err := cmdGen([]string{"-rows", "1500", "-seed", "8", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdFingerprint([]string{
+		"-in", data, "-k", "15", "-eta", "25", "-secret", "fleet secret",
+		"-recipients", "hospital-a, hospital-b,hospital-c",
+		"-outdir", outdir, "-registry", reg,
+	}); err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	for _, id := range []string{"hospital-a", "hospital-b", "hospital-c"} {
+		if _, err := os.Stat(filepath.Join(outdir, id+".csv")); err != nil {
+			t.Fatalf("missing copy for %s: %v", id, err)
+		}
+	}
+	store, err := medshield.OpenRegistry(reg)
+	if err != nil {
+		t.Fatalf("registry unreadable: %v", err)
+	}
+	if store.Len() != 3 {
+		t.Fatalf("registry holds %d records", store.Len())
+	}
+
+	// hospital-b's copy leaks; traceback over the registry names it.
+	src, err := os.ReadFile(filepath.Join(outdir, "hospital-b.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(leaked, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTraceback([]string{"-in", leaked, "-registry", reg, "-secret", "fleet secret"}); err != nil {
+		t.Fatalf("traceback: %v", err)
+	}
+
+	// Library-level check of the verdict (the CLI prints it).
+	cands, skipped, err := medshield.TracebackCandidates(store.List(), "fleet secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("unexpected skipped records: %v", skipped)
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := medshield.LoadCSVFile(leaked, medshield.BuiltinSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := fw.Traceback(tbl, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Culprit != "hospital-b" {
+		t.Fatalf("culprit = %q, want hospital-b", tb.Culprit)
+	}
+
+	// Wrong secret is refused before any detection runs.
+	if err := cmdTraceback([]string{"-in", leaked, "-registry", reg, "-secret", "wrong"}); err == nil {
+		t.Error("wrong master secret accepted")
+	}
+	// Empty registry is refused.
+	if err := cmdTraceback([]string{"-in", leaked, "-registry", filepath.Join(dir, "none.json"), "-secret", "s"}); err == nil {
+		t.Error("empty registry accepted")
+	}
+	// Missing flags are refused.
+	if err := cmdFingerprint([]string{"-in", data, "-recipients", "x"}); err == nil {
+		t.Error("fingerprint without secret accepted")
+	}
+	if err := cmdFingerprint([]string{"-in", data, "-secret", "s"}); err == nil {
+		t.Error("fingerprint without recipients accepted")
+	}
+}

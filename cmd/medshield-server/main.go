@@ -1,16 +1,24 @@
 // Command medshield-server exposes the protection pipeline as an HTTP
 // service speaking the internal/api v1 wire contract:
 //
-//	POST /v1/protect  — bin + watermark a table (CSV-or-rows payload)
-//	POST /v1/detect   — recover the mark from a suspected copy
-//	POST /v1/dispute  — arbitrate ownership claims (§5.4)
-//	GET  /v1/healthz  — liveness + capacity
+//	POST /v1/protect      — bin + watermark a table (CSV-or-rows payload)
+//	POST /v1/plan         — binning search only (dry run)
+//	POST /v1/append       — protect a delta batch under a frozen plan
+//	POST /v1/detect       — recover the mark from a suspected copy
+//	POST /v1/dispute      — arbitrate ownership claims (§5.4)
+//	POST /v1/fingerprint  — protect one table for N recipients, register them
+//	POST /v1/traceback    — rank registered recipients against a leaked copy
+//	GET/POST/DELETE /v1/recipients[/{id}] — recipient registry CRUD-lite
+//	GET  /v1/healthz      — liveness + capacity
 //
 // Every request runs under a per-request deadline (-request-timeout) and
 // a bounded in-flight semaphore (-max-inflight, sized off -workers by
-// default); SIGINT/SIGTERM drain in-flight requests before exit.
+// default); connection hygiene is bounded by -read-timeout and
+// -idle-timeout; SIGINT/SIGTERM drain in-flight requests before exit.
+// The recipient registry persists to -registry (JSON, atomic writes) or
+// lives in memory when the flag is empty.
 //
-//	medshield-server -addr :8080 -k 20 -workers 0 -request-timeout 60s
+//	medshield-server -addr :8080 -k 20 -workers 0 -request-timeout 60s -registry recipients.json
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/server"
 )
 
@@ -43,8 +52,11 @@ func run() error {
 		autoEps        = flag.Bool("auto-epsilon", true, "default: compute the conservative §6 slack automatically")
 		workers        = flag.Int("workers", 0, "pipeline worker count per request (0 = all cores, 1 = sequential)")
 		requestTimeout = flag.Duration("request-timeout", 60*time.Second, "per-request deadline")
+		readTimeout    = flag.Duration("read-timeout", 5*time.Minute, "max duration for reading an entire request, body included (0 = unlimited)")
+		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time before a connection is closed (0 = unlimited)")
 		maxInflight    = flag.Int("max-inflight", 0, "max concurrently served pipeline requests (0 = sized off workers)")
 		maxBody        = flag.Int64("max-body-bytes", 64<<20, "request body size cap in bytes")
+		registryPath   = flag.String("registry", "", "recipient registry JSON path for fingerprint/traceback (empty = in-memory, lost on exit)")
 		quiet          = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	flag.Parse()
@@ -54,11 +66,16 @@ func run() error {
 	if *quiet {
 		reqLogger = nil
 	}
+	reg, err := registry.Open(*registryPath)
+	if err != nil {
+		return err
+	}
 	svc, err := server.New(server.Config{
 		Defaults:       core.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers},
 		RequestTimeout: *requestTimeout,
 		MaxInflight:    *maxInflight,
 		MaxBodyBytes:   *maxBody,
+		Registry:       reg,
 		Logger:         reqLogger,
 	})
 	if err != nil {
@@ -68,9 +85,15 @@ func run() error {
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: svc.Handler(),
-		// Generous read/write bounds; the real per-request budget is the
-		// service's request timeout, which also covers semaphore wait.
+		// The per-request budget is the service's request timeout (which
+		// also covers semaphore wait); the connection-level timeouts
+		// below bound what that budget cannot see. Without IdleTimeout a
+		// keep-alive client pins its connection (and a file descriptor)
+		// forever; ReadTimeout bounds slow-loris body uploads that would
+		// otherwise hold a handler goroutine indefinitely.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

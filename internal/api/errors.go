@@ -35,6 +35,8 @@ const (
 	CodeDeadlineExceeded = "deadline_exceeded" // per-request deadline hit
 	CodeOverloaded       = "overloaded"        // in-flight request limit reached
 	CodePayloadTooLarge  = "payload_too_large" // request body exceeds the server cap
+	CodeNotFound         = "not_found"         // addressed resource (e.g. a recipient) absent
+	CodeConflict         = "conflict"          // write refused: it would clobber live state (e.g. re-registering a recipient with a new mark)
 	CodeInternal         = "internal"          // anything unclassified
 )
 

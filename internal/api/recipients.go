@@ -1,0 +1,134 @@
+package api
+
+import (
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// This file defines the multi-recipient fingerprinting / leak-traceback
+// half of the wire contract: POST /v1/fingerprint marks one source
+// table for N recipients and registers them, the /v1/recipients
+// CRUD-lite reads and prunes the registry, and POST /v1/traceback runs
+// detection for every registered recipient against a suspect table and
+// ranks the verdicts. Registry records travel as the registry.Record
+// JSON — wire format and on-disk format are the same document, so a
+// record can be exported from one service and imported into another
+// verbatim.
+
+// SecretHeader carries the owner's master secret on registry-record
+// requests (GET/DELETE /v1/recipients/{id}, POST /v1/recipients). The
+// server re-derives the addressed record's key from it and compares
+// fingerprints: registry records are server-held owner state, so
+// reading a full record or mutating one requires proof of the secret.
+// The summary list (GET /v1/recipients) stays open — it carries no
+// plans and mutates nothing.
+const SecretHeader = "X-Medshield-Secret"
+
+// RecipientRef names one recipient in a fingerprint request.
+type RecipientRef struct {
+	ID string `json:"id"`
+}
+
+// FingerprintRequest asks the service to protect one table for N
+// recipients. Per-recipient keys are derived server-side from the
+// master secret and each recipient ID (the same derivation the owner
+// uses for traceback); only the key fingerprints are retained.
+type FingerprintRequest struct {
+	Table      Table          `json:"table"`
+	Secret     string         `json:"secret"`
+	Eta        uint64         `json:"eta"`
+	Recipients []RecipientRef `json:"recipients"`
+	Options    *Options       `json:"options,omitempty"`
+	Output     string         `json:"output,omitempty"` // OutputRows (default) | OutputCSV
+}
+
+// FingerprintRecipient is one recipient's slice of the response.
+type FingerprintRecipient struct {
+	ID             string          `json:"id"`
+	KeyFingerprint string          `json:"key_fingerprint"`
+	Table          Table           `json:"table"`
+	Provenance     core.Provenance `json:"provenance"`
+	TuplesSelected int             `json:"tuples_selected"`
+	BitsEmbedded   int             `json:"bits_embedded"`
+	CellsChanged   int             `json:"cells_changed"`
+}
+
+// FingerprintResponse returns every recipient's marked copy. The
+// recipients are also registered in the service's registry for later
+// traceback.
+type FingerprintResponse struct {
+	Version    string                 `json:"version"`
+	Recipients []FingerprintRecipient `json:"recipients"`
+	Stats      PlanStats              `json:"stats"`
+}
+
+// TracebackRequest asks whose registered copy a suspect table carries.
+// Keys are re-derived from the master secret per registered recipient
+// and verified against the stored fingerprints.
+type TracebackRequest struct {
+	Table   Table    `json:"table"`
+	Secret  string   `json:"secret"`
+	Options *Options `json:"options,omitempty"`
+}
+
+// TracebackVerdict mirrors core.TracebackVerdict with wire-stable
+// names.
+type TracebackVerdict struct {
+	RecipientID string  `json:"recipient_id"`
+	Mark        string  `json:"mark"`
+	MarkLoss    float64 `json:"mark_loss"`
+	MatchRatio  float64 `json:"match_ratio"`
+	Match       bool    `json:"match"`
+	Confidence  float64 `json:"confidence"`
+	VotesCast   int     `json:"votes_cast"`
+}
+
+// TracebackResponse reports the ranked verdicts, best match first.
+// Skipped lists registered recipients the supplied secret could not
+// verify (foreign imports, stale records) — they were excluded from the
+// verdicts rather than failing the traceback.
+type TracebackResponse struct {
+	Version  string             `json:"version"`
+	Verdicts []TracebackVerdict `json:"verdicts"`
+	Culprit  string             `json:"culprit,omitempty"`
+	Matches  int                `json:"matches"`
+	Skipped  []string           `json:"skipped,omitempty"`
+}
+
+// RecipientSummary is the list view of one registry record:
+// operational fields only. The key fingerprint and mark are
+// deliberately absent — the list endpoint is unauthenticated, and a
+// fingerprint is an offline verification oracle for the master secret
+// (see the README security note); both travel only in the full record,
+// which requires the secret.
+type RecipientSummary struct {
+	ID          string `json:"id"`
+	Eta         uint64 `json:"eta"`
+	Duplication int    `json:"duplication"`
+	Rows        int    `json:"rows"`
+	CreatedAt   string `json:"created_at,omitempty"`
+}
+
+// SummaryOf projects a registry record to its list view.
+func SummaryOf(r registry.Record) RecipientSummary {
+	return RecipientSummary{
+		ID:          r.RecipientID,
+		Eta:         r.Eta,
+		Duplication: r.Duplication,
+		Rows:        r.Plan.Rows,
+		CreatedAt:   r.CreatedAt,
+	}
+}
+
+// RecipientsResponse is the GET /v1/recipients body.
+type RecipientsResponse struct {
+	Version    string             `json:"version"`
+	Recipients []RecipientSummary `json:"recipients"`
+}
+
+// RecipientResponse is the GET /v1/recipients/{id} body (and the POST
+// import echo): the full registry record, plan included.
+type RecipientResponse struct {
+	Version   string          `json:"version"`
+	Recipient registry.Record `json:"recipient"`
+}

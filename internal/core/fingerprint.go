@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/crypt"
+	"repro/internal/ownership"
+	"repro/internal/relation"
+)
+
+// Recipient names one party a marked copy is outsourced to, together
+// with the key set that copy is embedded under. Keys are usually derived
+// from the owner's master secret with crypt.RecipientWatermarkKey, which
+// shares the selection key K1 across recipients so a later traceback
+// pays the suspect-table selection scan once for all of them.
+type Recipient struct {
+	// ID is the stable recipient identifier (a hospital code, a partner
+	// name). It salts the recipient's mark and addresses the registry.
+	ID string
+	// Key is the recipient copy's watermarking key set.
+	Key crypt.WatermarkKey
+}
+
+// FingerprintResult is one recipient's outcome of FingerprintContext.
+type FingerprintResult struct {
+	// RecipientID echoes the request.
+	RecipientID string
+	// KeyFingerprint is the non-secret digest of the recipient's key —
+	// what the recipient registry stores to later verify a re-derived
+	// key against.
+	KeyFingerprint string
+	// Protected is the recipient's marked copy: its table carries the
+	// recipient-salted mark F(v, recipientID) under the recipient's key,
+	// and its Plan/Provenance are what traceback detects against.
+	Protected *Protected
+}
+
+// RecipientPlan derives one recipient's plan from a base plan: the same
+// frozen frontiers, statistic and watermark parameters, with the mark
+// replaced by the recipient-salted commitment F(v, recipientID). The
+// base plan's same-process search state is shared, so applying N
+// recipient plans to the planned table repeats no binning work.
+func RecipientPlan(base *Plan, recipientID string) (*Plan, error) {
+	if base == nil {
+		return nil, fmt.Errorf("core: nil plan: %w", ErrBadProvenance)
+	}
+	if recipientID == "" {
+		return nil, fmt.Errorf("core: empty recipient ID: %w", ErrBadConfig)
+	}
+	baseMark, err := bitstr.FromString(base.Mark)
+	if err != nil {
+		return nil, fmt.Errorf("core: plan mark: %w: %w", err, ErrBadProvenance)
+	}
+	mark, err := ownership.MarkFromStatisticSalted(base.V, base.Quantum, baseMark.Len(), recipientID)
+	if err != nil {
+		return nil, fmt.Errorf("core: deriving recipient mark: %w: %w", err, ErrBadProvenance)
+	}
+	rp := *base
+	rp.Mark = mark.String()
+	return &rp, nil
+}
+
+// Fingerprint is FingerprintContext under the background context.
+func (f *Framework) Fingerprint(tbl *relation.Table, recipients []Recipient) ([]FingerprintResult, error) {
+	return f.FingerprintContext(context.Background(), tbl, recipients)
+}
+
+// FingerprintContext protects one source table for N recipients — the
+// paper's motivating outsourcing scenario, where the owner hands a
+// marked copy to every partner and later asks whose copy a leak came
+// from. The binning search runs once (PlanContext); each recipient then
+// gets its own ApplyContext pass embedding the recipient-salted mark
+// F(v, recipientID) under the recipient's key. All copies share the
+// frontiers, the encrypted identifiers and the published bin record —
+// only the watermark differs — so any copy remains detectable and
+// appendable under its own plan.
+//
+// Register each result (internal/registry) to enable TracebackContext
+// on a leaked table later.
+func (f *Framework) FingerprintContext(ctx context.Context, tbl *relation.Table, recipients []Recipient) ([]FingerprintResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(recipients) == 0 {
+		return nil, fmt.Errorf("core: no recipients: %w", ErrBadConfig)
+	}
+	seen := make(map[string]bool, len(recipients))
+	for i, r := range recipients {
+		if r.ID == "" {
+			return nil, fmt.Errorf("core: recipient %d has an empty ID: %w", i, ErrBadConfig)
+		}
+		if seen[r.ID] {
+			return nil, fmt.Errorf("core: duplicate recipient ID %q: %w", r.ID, ErrBadConfig)
+		}
+		seen[r.ID] = true
+		if err := r.Key.Validate(); err != nil {
+			return nil, fmt.Errorf("core: recipient %q: %w: %w", r.ID, err, ErrBadKey)
+		}
+	}
+
+	plan, err := f.PlanContext(ctx, tbl, recipients[0].Key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FingerprintResult, 0, len(recipients))
+	for _, r := range recipients {
+		rp, err := RecipientPlan(plan, r.ID)
+		if err != nil {
+			return nil, err
+		}
+		prot, err := f.ApplyContext(ctx, tbl, rp, r.Key)
+		if err != nil {
+			return nil, fmt.Errorf("core: fingerprinting for recipient %q: %w", r.ID, err)
+		}
+		out = append(out, FingerprintResult{
+			RecipientID:    r.ID,
+			KeyFingerprint: r.Key.Fingerprint(),
+			Protected:      prot,
+		})
+	}
+	return out, nil
+}

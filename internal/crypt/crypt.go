@@ -25,8 +25,11 @@ import (
 	"crypto/subtle"
 	"encoding/base64"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
+	"sync"
 )
 
 // Errors returned by Decrypt.
@@ -38,6 +41,14 @@ var (
 // PRF is the keyed hash H of the paper. It is safe for concurrent use.
 type PRF struct {
 	key []byte
+	// macs pools keyed HMAC states: hmac.New re-hashes the key into the
+	// inner/outer pads on every call (~2 extra compressions plus several
+	// allocations), which dominates hot loops that evaluate H once per
+	// tuple (watermark selection, position addressing). A pooled state is
+	// Reset between uses — crypto/hmac restores the precomputed pads from
+	// their marshaled form, so the output is bit-identical to a fresh
+	// HMAC while skipping the key schedule.
+	macs sync.Pool
 }
 
 // NewPRF returns a PRF keyed with key. The key may be any length; it is
@@ -45,20 +56,25 @@ type PRF struct {
 func NewPRF(key []byte) *PRF {
 	k := make([]byte, len(key))
 	copy(k, key)
-	return &PRF{key: k}
+	p := &PRF{key: k}
+	p.macs.New = func() any { return hmac.New(sha256.New, p.key) }
+	return p
 }
 
 // Sum returns HMAC-SHA256(key, parts[0] || 0x00 || parts[1] || 0x00 ...).
 // Parts are length-prefixed to avoid ambiguity between concatenations.
 func (p *PRF) Sum(parts ...[]byte) []byte {
-	mac := hmac.New(sha256.New, p.key)
+	mac := p.macs.Get().(hash.Hash)
 	var lenBuf [8]byte
 	for _, part := range parts {
 		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(part)))
 		mac.Write(lenBuf[:])
 		mac.Write(part)
 	}
-	return mac.Sum(nil)
+	out := mac.Sum(nil)
+	mac.Reset()
+	p.macs.Put(mac)
+	return out
 }
 
 // Uint64 interprets the first 8 bytes of Sum(parts...) as a big-endian
@@ -201,6 +217,38 @@ func NewWatermarkKeyFromSecret(secret string, eta uint64) WatermarkKey {
 		Eta: eta,
 		Enc: root.Sum([]byte("enc")),
 	}
+}
+
+// RecipientWatermarkKey derives the per-recipient key set used when one
+// source table is fingerprinted for several recipients. K1 (tuple
+// selection), Eta and Enc (identifier encryption) are shared with the
+// owner's NewWatermarkKeyFromSecret key — all copies select the same
+// tuples and encrypt identifiers identically, which lets leak traceback
+// pay the selection scan once across every candidate and keeps the §5.4
+// decryption story owner-wide — while K2 (position addressing) is salted
+// with the recipient ID, so each copy carries its bits at
+// recipient-specific wmd positions. Deterministic: the owner re-derives
+// any recipient's key from the master secret and the recipient ID.
+func RecipientWatermarkKey(secret, recipientID string, eta uint64) WatermarkKey {
+	root := NewPRF([]byte(secret))
+	return WatermarkKey{
+		K1:  root.Sum([]byte("k1")),
+		K2:  root.Sum([]byte("k2"), []byte(recipientID)),
+		Eta: eta,
+		Enc: root.Sum([]byte("enc")),
+	}
+}
+
+// Fingerprint returns a short non-secret digest of the key material
+// (K1, K2 and Enc; Eta travels in clear next to it). A recipient
+// registry stores it so a later traceback can verify that the key it
+// derived or was handed matches the key the copy was actually marked
+// with — without the registry ever holding key bytes.
+func (k WatermarkKey) Fingerprint() string {
+	fp := NewPRF([]byte("medshield/keyfp/v1"))
+	var eta [8]byte
+	binary.BigEndian.PutUint64(eta[:], k.Eta)
+	return hex.EncodeToString(fp.Sum(k.K1, k.K2, k.Enc, eta[:])[:16])
 }
 
 // Validate reports whether the key material is usable.

@@ -1,0 +1,65 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRecipientWatermarkKeyDerivation(t *testing.T) {
+	owner := NewWatermarkKeyFromSecret("secret", 75)
+	a := RecipientWatermarkKey("secret", "hospital-a", 75)
+	b := RecipientWatermarkKey("secret", "hospital-b", 75)
+
+	// K1 and Enc are shared with the owner key (shared selection scan,
+	// owner-wide decryption); K2 is recipient-specific.
+	if !bytes.Equal(a.K1, owner.K1) || !bytes.Equal(b.K1, owner.K1) {
+		t.Error("recipient keys must share the owner's K1")
+	}
+	if !bytes.Equal(a.Enc, owner.Enc) || !bytes.Equal(b.Enc, owner.Enc) {
+		t.Error("recipient keys must share the owner's Enc")
+	}
+	if bytes.Equal(a.K2, b.K2) || bytes.Equal(a.K2, owner.K2) {
+		t.Error("recipient K2 must be distinct per recipient and from the owner")
+	}
+
+	// Deterministic re-derivation.
+	a2 := RecipientWatermarkKey("secret", "hospital-a", 75)
+	if !bytes.Equal(a.K2, a2.K2) || a.Eta != a2.Eta {
+		t.Error("recipient key derivation is not deterministic")
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("derived key invalid: %v", err)
+	}
+}
+
+func TestWatermarkKeyFingerprint(t *testing.T) {
+	a := RecipientWatermarkKey("secret", "hospital-a", 75)
+	b := RecipientWatermarkKey("secret", "hospital-b", 75)
+	if a.Fingerprint() == "" || len(a.Fingerprint()) != 32 {
+		t.Errorf("fingerprint %q: want 32 hex chars", a.Fingerprint())
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint is not deterministic")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("distinct keys share a fingerprint")
+	}
+	etaVariant := a
+	etaVariant.Eta = 76
+	if a.Fingerprint() == etaVariant.Fingerprint() {
+		t.Error("eta change must change the fingerprint")
+	}
+}
+
+// TestPRFPooledStateIdentical guards the HMAC-state pooling: repeated
+// and interleaved Sum calls must stay bit-identical to a fresh HMAC.
+func TestPRFPooledStateIdentical(t *testing.T) {
+	p := NewPRF([]byte("pool-key"))
+	first := p.Sum([]byte("a"), []byte("bb"))
+	for i := 0; i < 100; i++ {
+		p.Sum([]byte("interleaved"), []byte{byte(i)})
+		if got := p.Sum([]byte("a"), []byte("bb")); !bytes.Equal(got, first) {
+			t.Fatalf("iteration %d: pooled Sum diverged", i)
+		}
+	}
+}

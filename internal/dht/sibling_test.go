@@ -1,0 +1,45 @@
+package dht
+
+import "testing"
+
+// TestSiblingRankMatchesSortedSiblings pins the precomputed rank/count
+// tables against the sorting definition they replace in the detection
+// hot path, over every node of a representative tree.
+func TestSiblingRankMatchesSortedSiblings(t *testing.T) {
+	tree, err := NewCategorical("role", Spec{
+		Value: "any",
+		Children: []Spec{
+			{Value: "clinical", Children: []Spec{
+				{Value: "doctor"}, {Value: "nurse"}, {Value: "surgeon"},
+			}},
+			{Value: "admin", Children: []Spec{
+				{Value: "clerk"}, {Value: "manager"},
+			}},
+			{Value: "solo"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := NodeID(0); int(id) < tree.Size(); id++ {
+		sorted := tree.SortedSiblings(id)
+		if got, want := tree.NumSiblings(id), len(sorted); got != want {
+			t.Errorf("node %s: NumSiblings = %d, want %d", tree.Value(id), got, want)
+		}
+		if got, want := tree.SiblingRank(id), indexOf(id, sorted); got != want {
+			t.Errorf("node %s: SiblingRank = %d, want %d", tree.Value(id), got, want)
+		}
+	}
+	if tree.NumSiblings(tree.Root()) != 1 || tree.SiblingRank(tree.Root()) != 0 {
+		t.Error("root must be its own sole sibling at rank 0")
+	}
+}
+
+func indexOf(id NodeID, s []NodeID) int {
+	for i, v := range s {
+		if v == id {
+			return i
+		}
+	}
+	return -1
+}

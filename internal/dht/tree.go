@@ -51,7 +51,13 @@ type Tree struct {
 	leaves  []NodeID // in left-to-right construction order
 	// numLeavesUnder[i] = number of leaves in the subtree rooted at i.
 	numLeavesUnder []int
-	height         int
+	// sibRank[i] = index of node i among SortedSiblings(i); sibCount[i] =
+	// len(Siblings(i)). Precomputed by finish so per-tuple detection
+	// walks read the parity of a node's canonical sibling position
+	// without sorting (or allocating) per call.
+	sibRank  []int32
+	sibCount []int32
+	height   int
 }
 
 // Spec is a declarative description of a categorical tree, used both by
@@ -257,7 +263,25 @@ func (t *Tree) finish() {
 			t.leaves = append(t.leaves, t.nodes[i].ID)
 		}
 	}
+	t.sibRank = make([]int32, len(t.nodes))
+	t.sibCount = make([]int32, len(t.nodes))
+	t.sibCount[0] = 1 // the root is its own sole sibling
+	for i := range t.nodes {
+		sorted := t.SortedChildren(t.nodes[i].ID)
+		for rank, c := range sorted {
+			t.sibRank[c] = int32(rank)
+			t.sibCount[c] = int32(len(sorted))
+		}
+	}
 }
+
+// SiblingRank returns the index of id within SortedSiblings(id) without
+// sorting or allocating — the canonical position whose parity carries
+// one detection bit per level.
+func (t *Tree) SiblingRank(id NodeID) int { return int(t.sibRank[id]) }
+
+// NumSiblings returns len(Siblings(id)) (including id itself) in O(1).
+func (t *Tree) NumSiblings(id NodeID) int { return int(t.sibCount[id]) }
 
 // Attr returns the attribute name the tree describes.
 func (t *Tree) Attr() string { return t.attr }

@@ -29,10 +29,32 @@ import (
 	"repro/internal/watermark"
 )
 
+// maxIdentDigits caps the digit string numericOf parses. float64 holds
+// every integer up to 2^53 (~9.0e15) exactly; concatenating more than 15
+// digits would round the value, so two identifiers differing only in
+// their tail could silently collapse to the same float — skewing the
+// mean v the mark commits to in a platform- and length-dependent way.
+// Truncating to the first 15 digits is deterministic and lossless.
+const maxIdentDigits = 15
+
+// MinNumericFraction is the smallest fraction of identifying values that
+// must parse as numeric for IdentStatistic to be meaningful. A mean over
+// a sliver of the column would commit the mark to a statistic dominated
+// by whatever subset happened to contain digits — an unstable anchor an
+// attacker could shift by deleting a handful of rows.
+const MinNumericFraction = 0.5
+
+// ErrNonNumericIdentifiers marks an identifying column whose numeric
+// fraction is below MinNumericFraction (or zero); callers classify with
+// errors.Is.
+var ErrNonNumericIdentifiers = fmt.Errorf("ownership: identifying values are not sufficiently numeric")
+
 // IdentStatistic computes v: the mean of the numeric interpretations of
 // the clear-text identifying values (digits extracted from formats like
-// "123-45-6789"). Values without digits are skipped; it errors if nothing
-// is numeric.
+// "123-45-6789", capped at maxIdentDigits for exact float64 arithmetic).
+// It errors (wrapping ErrNonNumericIdentifiers) when fewer than
+// MinNumericFraction of the values are numeric — a mean over a small
+// accidental subset would be a meaningless commitment.
 func IdentStatistic(cleartexts []string) (float64, error) {
 	var sum float64
 	n := 0
@@ -45,7 +67,11 @@ func IdentStatistic(cleartexts []string) (float64, error) {
 		n++
 	}
 	if n == 0 {
-		return 0, fmt.Errorf("ownership: no numeric identifying values")
+		return 0, fmt.Errorf("%w: no numeric values among %d", ErrNonNumericIdentifiers, len(cleartexts))
+	}
+	if frac := float64(n) / float64(len(cleartexts)); frac < MinNumericFraction {
+		return 0, fmt.Errorf("%w: only %d of %d values (%.0f%%) are numeric, need >= %.0f%%",
+			ErrNonNumericIdentifiers, n, len(cleartexts), frac*100, MinNumericFraction*100)
 	}
 	return sum / float64(n), nil
 }
@@ -55,6 +81,9 @@ func numericOf(s string) (float64, bool) {
 	for _, r := range s {
 		if r >= '0' && r <= '9' {
 			digits.WriteRune(r)
+			if digits.Len() == maxIdentDigits {
+				break
+			}
 		}
 	}
 	if digits.Len() == 0 {
@@ -71,6 +100,16 @@ func numericOf(s string) (float64, bool) {
 // mark from the statistic v. Rounding quantizes v so that attack-induced
 // drift below quantum maps to the same mark the owner committed to.
 func MarkFromStatistic(v float64, quantum float64, markLen int) (bitstr.Bits, error) {
+	return MarkFromStatisticSalted(v, quantum, markLen, "")
+}
+
+// MarkFromStatisticSalted is F with a recipient salt: the multi-recipient
+// fingerprinting extension derives each outsourced copy's mark as
+// F(v, recipientID), so a leaked copy identifies its recipient by which
+// registered mark its votes reconstruct, while every mark stays a
+// one-way commitment to the same verifiable statistic v. An empty salt
+// is exactly MarkFromStatistic — the single-recipient §5.4 mark.
+func MarkFromStatisticSalted(v float64, quantum float64, markLen int, salt string) (bitstr.Bits, error) {
 	if markLen < 1 {
 		return bitstr.Bits{}, fmt.Errorf("ownership: markLen must be >= 1")
 	}
@@ -79,7 +118,12 @@ func MarkFromStatistic(v float64, quantum float64, markLen int) (bitstr.Bits, er
 	}
 	q := int64(math.Round(v / quantum))
 	prf := crypt.NewPRF([]byte("ownership/F/v1"))
-	digest := prf.Sum([]byte(strconv.FormatInt(q, 10)))
+	var digest []byte
+	if salt == "" {
+		digest = prf.Sum([]byte(strconv.FormatInt(q, 10)))
+	} else {
+		digest = prf.Sum([]byte(strconv.FormatInt(q, 10)), []byte(salt))
+	}
 	return bitstr.FromBytes(digest, markLen)
 }
 

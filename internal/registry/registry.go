@@ -1,0 +1,377 @@
+// Package registry is the owner-side recipient registry for
+// multi-recipient fingerprinting: one record per outsourced copy,
+// holding everything (besides the master secret) a later leak traceback
+// needs — the recipient ID, the non-secret fingerprint of the copy's
+// key, the recipient-salted mark and the frozen protection plan.
+//
+// The store is JSON-on-disk with atomic temp+rename writes (a crash
+// mid-write never corrupts the registry) and is safe for concurrent
+// use. A store opened with an empty path is in-memory only — useful for
+// tests and for service deployments that treat the registry as
+// ephemeral.
+//
+// File format (FormatVersion 1):
+//
+//	{
+//	  "registry_version": 1,
+//	  "recipients": [
+//	    {
+//	      "recipient_id": "hospital-a",
+//	      "eta": 75,
+//	      "key_fingerprint": "b59c...",   // crypt.WatermarkKey.Fingerprint
+//	      "mark": "01101...",             // F(v, recipient_id)
+//	      "duplication": 4,
+//	      "created_at": "2026-07-30T12:00:00Z",
+//	      "plan": { ... core.Plan JSON ... }
+//	    }
+//	  ]
+//	}
+//
+// Records are sorted by recipient ID; loading rejects unknown versions,
+// duplicate IDs and invalid plans (a half-understood registry must not
+// silently drive detection).
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/crypt"
+)
+
+// FormatVersion is the registry file format version.
+const FormatVersion = 1
+
+// ErrConflict marks a Put that would replace an existing recipient's
+// record with a different mark or key: the released copy carrying the
+// old mark would become untraceable. Delete the old record explicitly
+// (or register under a fresh ID) to proceed.
+var ErrConflict = errors.New("registry: recipient already registered with a different mark or key")
+
+// Record is one registered recipient.
+type Record struct {
+	// RecipientID is the stable recipient identifier; it salted the
+	// copy's mark and keys this record.
+	RecipientID string `json:"recipient_id"`
+	// Eta is the selection parameter η the copy was marked under
+	// (non-secret; the key re-derivation needs it).
+	Eta uint64 `json:"eta"`
+	// KeyFingerprint is the non-secret digest of the recipient's key
+	// set. Traceback verifies a re-derived key against it before
+	// trusting any verdict.
+	KeyFingerprint string `json:"key_fingerprint"`
+	// Mark and Duplication mirror the plan's watermark parameters for
+	// at-a-glance reading; they must agree with Plan.
+	Mark        string `json:"mark"`
+	Duplication int    `json:"duplication"`
+	// CreatedAt is an informational RFC3339 timestamp ("" when unknown).
+	CreatedAt string `json:"created_at,omitempty"`
+	// Plan is the recipient copy's effective protection plan — a
+	// superset of the provenance record detection needs, so the same
+	// registry also serves incremental appends to a recipient's copy.
+	Plan core.Plan `json:"plan"`
+}
+
+// Validate checks the record's internal consistency.
+func (r Record) Validate() error {
+	if r.RecipientID == "" {
+		return fmt.Errorf("registry: record has an empty recipient ID")
+	}
+	if r.KeyFingerprint == "" {
+		return fmt.Errorf("registry: recipient %q: empty key fingerprint", r.RecipientID)
+	}
+	if err := r.Plan.Validate(); err != nil {
+		return fmt.Errorf("registry: recipient %q: %w", r.RecipientID, err)
+	}
+	if r.Mark != r.Plan.Mark {
+		return fmt.Errorf("registry: recipient %q: record mark does not match its plan", r.RecipientID)
+	}
+	if r.Duplication != r.Plan.Duplication {
+		return fmt.Errorf("registry: recipient %q: record duplication does not match its plan", r.RecipientID)
+	}
+	return nil
+}
+
+// RecordOf builds the registry record for one fingerprinted copy.
+func RecordOf(recipientID string, key crypt.WatermarkKey, plan core.Plan) Record {
+	return Record{
+		RecipientID:    recipientID,
+		Eta:            key.Eta,
+		KeyFingerprint: key.Fingerprint(),
+		Mark:           plan.Mark,
+		Duplication:    plan.Duplication,
+		Plan:           plan,
+	}
+}
+
+// Candidate converts a record plus the recipient's key into a traceback
+// candidate, verifying the key against the stored fingerprint.
+func (r Record) Candidate(key crypt.WatermarkKey) (core.Candidate, error) {
+	if key.Fingerprint() != r.KeyFingerprint {
+		return core.Candidate{}, fmt.Errorf(
+			"registry: recipient %q: key does not match the registered fingerprint (wrong secret, or the record was registered under a foreign key): %w",
+			r.RecipientID, core.ErrKeyMismatch)
+	}
+	return core.Candidate{ID: r.RecipientID, Provenance: r.Plan.Provenance, Key: key}, nil
+}
+
+// CandidatesFromSecret re-derives every record's key from the owner's
+// master secret (crypt.RecipientWatermarkKey — the derivation
+// fingerprinting used) and verifies each against the stored
+// fingerprint. Records the secret does not verify are skipped and
+// reported (second return) rather than failing the whole set — one
+// foreign or stale record must not block tracing every other recipient.
+// Only when the secret verifies nothing does it error with
+// core.ErrKeyMismatch: that is a wrong secret, not a mixed registry.
+func CandidatesFromSecret(recs []Record, secret string) ([]core.Candidate, []string, error) {
+	out := make([]core.Candidate, 0, len(recs))
+	var skipped []string
+	for _, r := range recs {
+		cand, err := r.Candidate(crypt.RecipientWatermarkKey(secret, r.RecipientID, r.Eta))
+		if err != nil {
+			skipped = append(skipped, r.RecipientID)
+			continue
+		}
+		out = append(out, cand)
+	}
+	if len(out) == 0 && len(recs) > 0 {
+		return nil, skipped, fmt.Errorf(
+			"registry: the secret verifies none of the %d registered recipients (wrong master secret?): %w",
+			len(recs), core.ErrKeyMismatch)
+	}
+	return out, skipped, nil
+}
+
+// Store is the concurrent-safe recipient registry.
+type Store struct {
+	mu   sync.RWMutex
+	path string // "" = in-memory only
+	recs map[string]Record
+}
+
+// New returns an empty in-memory store (nothing is ever persisted).
+func New() *Store {
+	return &Store{recs: make(map[string]Record)}
+}
+
+// Open loads the registry at path, or returns an empty store bound to
+// path when the file does not exist yet (it is created on the first
+// Put). An empty path is New().
+func Open(path string) (*Store, error) {
+	s := New()
+	s.path = path
+	if path == "" {
+		return s, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("registry: decoding %s: %w", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("registry: trailing data after document in %s", path)
+	}
+	if doc.Version != FormatVersion {
+		return nil, fmt.Errorf("registry: %s has format version %d, want %d", path, doc.Version, FormatVersion)
+	}
+	for _, r := range doc.Recipients {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("registry: %s: %w", path, err)
+		}
+		if _, dup := s.recs[r.RecipientID]; dup {
+			return nil, fmt.Errorf("registry: %s: duplicate recipient %q", path, r.RecipientID)
+		}
+		s.recs[r.RecipientID] = r
+	}
+	return s, nil
+}
+
+// Path returns the backing file path ("" for an in-memory store).
+func (s *Store) Path() string { return s.path }
+
+// Len returns the number of registered recipients.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// Get returns the record for id.
+func (s *Store) Get(id string) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.recs[id]
+	return r, ok
+}
+
+// List returns every record sorted by recipient ID.
+func (s *Store) List() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Record, 0, len(s.recs))
+	for _, r := range s.recs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RecipientID < out[j].RecipientID })
+	return out
+}
+
+// Put validates and inserts a record, persisting the store. Re-putting
+// an identical (mark, key) record for an existing recipient is an
+// idempotent update; replacing it with a *different* mark or key is
+// refused with ErrConflict — silently overwriting would orphan the
+// already-released copy (its leak could no longer be traced). Delete
+// the old record first to force the replacement.
+func (s *Store) Put(rec Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, had := s.recs[rec.RecipientID]
+	if had && (prev.Mark != rec.Mark || prev.KeyFingerprint != rec.KeyFingerprint) {
+		return fmt.Errorf(
+			"registry: recipient %q is already registered with a different mark/key; delete the old record first (replacing it would make the released copy untraceable): %w",
+			rec.RecipientID, ErrConflict)
+	}
+	s.recs[rec.RecipientID] = rec
+	if err := s.persistLocked(); err != nil {
+		// Keep memory and disk in agreement on failure.
+		if had {
+			s.recs[rec.RecipientID] = prev
+		} else {
+			delete(s.recs, rec.RecipientID)
+		}
+		return err
+	}
+	return nil
+}
+
+// PutAll registers a batch atomically: every record is validated and
+// conflict-checked against the store (and the batch itself) before any
+// is inserted, and the store persists once — a fingerprint run either
+// registers all its recipients or none, never a prefix. The same
+// ErrConflict rule as Put applies per record.
+func (s *Store) PutAll(recs []Record) error {
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.RecipientID] {
+			return fmt.Errorf("registry: duplicate recipient %q in batch", r.RecipientID)
+		}
+		seen[r.RecipientID] = true
+		if prev, had := s.recs[r.RecipientID]; had && (prev.Mark != r.Mark || prev.KeyFingerprint != r.KeyFingerprint) {
+			return fmt.Errorf(
+				"registry: recipient %q is already registered with a different mark/key; delete the old record first (replacing it would make the released copy untraceable): %w",
+				r.RecipientID, ErrConflict)
+		}
+	}
+	type prevState struct {
+		rec Record
+		had bool
+	}
+	prev := make(map[string]prevState, len(recs))
+	for _, r := range recs {
+		p, had := s.recs[r.RecipientID]
+		prev[r.RecipientID] = prevState{rec: p, had: had}
+		s.recs[r.RecipientID] = r
+	}
+	if err := s.persistLocked(); err != nil {
+		for id, p := range prev {
+			if p.had {
+				s.recs[id] = p.rec
+			} else {
+				delete(s.recs, id)
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+// Delete removes a record, persisting the store. It reports whether the
+// record existed.
+func (s *Store) Delete(id string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, had := s.recs[id]
+	if !had {
+		return false, nil
+	}
+	delete(s.recs, id)
+	if err := s.persistLocked(); err != nil {
+		s.recs[id] = prev
+		return false, err
+	}
+	return true, nil
+}
+
+type document struct {
+	Version    int      `json:"registry_version"`
+	Recipients []Record `json:"recipients"`
+}
+
+// persistLocked writes the registry atomically: temp file in the target
+// directory, sync, rename over path. Callers hold the write lock.
+func (s *Store) persistLocked() (err error) {
+	if s.path == "" {
+		return nil
+	}
+	doc := document{Version: FormatVersion, Recipients: make([]Record, 0, len(s.recs))}
+	for _, r := range s.recs {
+		doc.Recipients = append(doc.Recipients, r)
+	}
+	sort.Slice(doc.Recipients, func(i, j int) bool {
+		return doc.Recipients[i].RecipientID < doc.Recipients[j].RecipientID
+	})
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir, base := filepath.Dir(s.path), filepath.Base(s.path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = f.Chmod(0o600); err != nil {
+		return err
+	}
+	if _, err = f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path)
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/ontology"
 	"repro/internal/ownership"
 	"repro/internal/pool"
+	"repro/internal/registry"
 	"repro/internal/relation"
 	"repro/internal/watermark"
 )
@@ -53,6 +54,10 @@ type Config struct {
 	MaxInflight int
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// Registry is the recipient registry behind /v1/fingerprint,
+	// /v1/recipients and /v1/traceback; nil selects an in-memory store
+	// (records then live for the process only).
+	Registry *registry.Store
 	// Logger receives one line per served request; nil disables logging.
 	Logger *log.Logger
 }
@@ -96,6 +101,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = registry.New()
+	}
 	return &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}, nil
 }
 
@@ -108,6 +116,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/append", s.pipeline(s.handleAppend))
 	mux.HandleFunc("POST /v1/detect", s.pipeline(s.handleDetect))
 	mux.HandleFunc("POST /v1/dispute", s.pipeline(s.handleDispute))
+	mux.HandleFunc("POST /v1/fingerprint", s.pipeline(s.handleFingerprint))
+	mux.HandleFunc("POST /v1/traceback", s.pipeline(s.handleTraceback))
+	mux.HandleFunc("GET /v1/recipients", s.pipeline(s.handleRecipientsList))
+	mux.HandleFunc("POST /v1/recipients", s.pipeline(s.handleRecipientImport))
+	mux.HandleFunc("GET /v1/recipients/{id}", s.pipeline(s.handleRecipientGet))
+	mux.HandleFunc("DELETE /v1/recipients/{id}", s.pipeline(s.handleRecipientDelete))
 	return mux
 }
 
@@ -364,10 +378,239 @@ func (s *Server) handleDispute(w http.ResponseWriter, r *http.Request) (int, err
 	return http.StatusOK, nil
 }
 
+func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req api.FingerprintRequest
+	if err := api.DecodeJSON(r.Body, &req); err != nil {
+		return 0, badRequest(err)
+	}
+	switch req.Output {
+	case "", api.OutputRows, api.OutputCSV:
+	default:
+		return 0, badRequest(fmt.Errorf("unknown output format %q (want %q or %q)", req.Output, api.OutputRows, api.OutputCSV))
+	}
+	if req.Secret == "" || req.Eta == 0 {
+		return 0, badRequest(fmt.Errorf("fingerprint needs a non-empty secret and eta >= 1"))
+	}
+	if len(req.Recipients) == 0 {
+		return 0, badRequest(fmt.Errorf("fingerprint needs at least one recipient"))
+	}
+	if len(req.Recipients) > maxFingerprintRecipients {
+		// Each recipient materializes a full marked copy of the table in
+		// memory and in the response; an uncapped count is a memory
+		// amplifier, not a use case.
+		return 0, badRequest(fmt.Errorf("fingerprint accepts at most %d recipients per request, got %d", maxFingerprintRecipients, len(req.Recipients)))
+	}
+	fw, err := s.frameworkFor(req.Options)
+	if err != nil {
+		return 0, err
+	}
+	tbl, err := api.DecodeTable(req.Table)
+	if err != nil {
+		return 0, badRequest(err)
+	}
+	recipients := make([]core.Recipient, len(req.Recipients))
+	for i, ref := range req.Recipients {
+		recipients[i] = core.Recipient{
+			ID:  ref.ID,
+			Key: crypt.RecipientWatermarkKey(req.Secret, ref.ID, req.Eta),
+		}
+	}
+	results, err := fw.FingerprintContext(r.Context(), tbl, recipients)
+	if err != nil {
+		return 0, err
+	}
+	resp := api.FingerprintResponse{Version: api.Version, Recipients: make([]api.FingerprintRecipient, len(results))}
+	records := make([]registry.Record, len(results))
+	for i, res := range results {
+		outTbl, err := api.EncodeTable(res.Protected.Table, req.Output)
+		if err != nil {
+			return 0, badRequest(err)
+		}
+		records[i] = registry.RecordOf(res.RecipientID, recipients[i].Key, res.Protected.Plan)
+		records[i].CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		resp.Recipients[i] = api.FingerprintRecipient{
+			ID:             res.RecipientID,
+			KeyFingerprint: res.KeyFingerprint,
+			Table:          outTbl,
+			Provenance:     res.Protected.Provenance,
+			TuplesSelected: res.Protected.Embed.TuplesSelected,
+			BitsEmbedded:   res.Protected.Embed.BitsEmbedded,
+			CellsChanged:   res.Protected.Embed.CellsChanged,
+		}
+	}
+	// Atomic registration: either every recipient of this run lands in
+	// the registry or none does — a mid-batch conflict must not leave a
+	// prefix of records durably registered for copies the client never
+	// received.
+	if err := s.cfg.Registry.PutAll(records); err != nil {
+		return 0, err
+	}
+	if len(results) > 0 {
+		plan := results[0].Protected.Plan
+		resp.Stats = api.PlanStats{
+			Rows:       tbl.NumRows(),
+			K:          plan.K,
+			Epsilon:    plan.Epsilon,
+			EffectiveK: plan.EffectiveK,
+			AvgLoss:    plan.AvgLoss,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleTraceback(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req api.TracebackRequest
+	if err := api.DecodeJSON(r.Body, &req); err != nil {
+		return 0, badRequest(err)
+	}
+	if req.Secret == "" {
+		return 0, badRequest(fmt.Errorf("traceback needs the master secret"))
+	}
+	recs := s.cfg.Registry.List()
+	if len(recs) == 0 {
+		return 0, badRequest(fmt.Errorf("no recipients registered; run /v1/fingerprint or import records first"))
+	}
+	// Records the secret does not verify (foreign imports, stale
+	// entries) are skipped and reported, not fatal; a secret verifying
+	// nothing is a wrong secret (403).
+	cands, skipped, err := registry.CandidatesFromSecret(recs, req.Secret)
+	if err != nil {
+		return 0, err // wraps core.ErrKeyMismatch -> 403
+	}
+	if req.Options == nil {
+		req.Options = &api.Options{}
+	}
+	if req.Options.K == 0 {
+		// Traceback does not re-bin; K only has to satisfy validation.
+		req.Options.K = max(recs[0].Plan.K, 1)
+	}
+	fw, err := s.frameworkFor(req.Options)
+	if err != nil {
+		return 0, err
+	}
+	tbl, err := api.DecodeTable(req.Table)
+	if err != nil {
+		return 0, badRequest(err)
+	}
+	tb, err := fw.TracebackContext(r.Context(), tbl, cands)
+	if err != nil {
+		return 0, err
+	}
+	resp := api.TracebackResponse{
+		Version:  api.Version,
+		Verdicts: make([]api.TracebackVerdict, len(tb.Verdicts)),
+		Culprit:  tb.Culprit,
+		Matches:  tb.Matches,
+		Skipped:  skipped,
+	}
+	for i, v := range tb.Verdicts {
+		resp.Verdicts[i] = api.TracebackVerdict{
+			RecipientID: v.RecipientID,
+			Mark:        v.Mark,
+			MarkLoss:    v.MarkLoss,
+			MatchRatio:  v.MatchRatio,
+			Match:       v.Match,
+			Confidence:  v.Confidence,
+			VotesCast:   v.VotesCast,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleRecipientsList(w http.ResponseWriter, r *http.Request) (int, error) {
+	recs := s.cfg.Registry.List()
+	resp := api.RecipientsResponse{Version: api.Version, Recipients: make([]api.RecipientSummary, len(recs))}
+	for i, rec := range recs {
+		resp.Recipients[i] = api.SummaryOf(rec)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// verifyRecordSecret authorizes access to one registry record: the
+// caller must present the owner's master secret (api.SecretHeader) and
+// it must re-derive the record's registered key. The registry is
+// server-held owner state — unlike the stateless pipeline endpoints,
+// reading a full record (its plan) or mutating it without proof of the
+// secret would let any reachable client exfiltrate or destroy the
+// owner's traceback ability.
+func verifyRecordSecret(r *http.Request, rec registry.Record) error {
+	secret := r.Header.Get(api.SecretHeader)
+	if secret == "" {
+		return badRequest(fmt.Errorf("registry record access needs the master secret in the %s header", api.SecretHeader))
+	}
+	if crypt.RecipientWatermarkKey(secret, rec.RecipientID, rec.Eta).Fingerprint() != rec.KeyFingerprint {
+		return fmt.Errorf("server: secret does not match recipient %q's registered key: %w", rec.RecipientID, core.ErrKeyMismatch)
+	}
+	return nil
+}
+
+func (s *Server) handleRecipientGet(w http.ResponseWriter, r *http.Request) (int, error) {
+	id := r.PathValue("id")
+	rec, ok := s.cfg.Registry.Get(id)
+	if !ok {
+		return 0, notFound(fmt.Errorf("recipient %q is not registered", id))
+	}
+	if err := verifyRecordSecret(r, rec); err != nil {
+		return 0, err
+	}
+	writeJSON(w, http.StatusOK, api.RecipientResponse{Version: api.Version, Recipient: rec})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleRecipientDelete(w http.ResponseWriter, r *http.Request) (int, error) {
+	id := r.PathValue("id")
+	rec, ok := s.cfg.Registry.Get(id)
+	if !ok {
+		return 0, notFound(fmt.Errorf("recipient %q is not registered", id))
+	}
+	if err := verifyRecordSecret(r, rec); err != nil {
+		return 0, err
+	}
+	had, err := s.cfg.Registry.Delete(id)
+	if err != nil {
+		return 0, err
+	}
+	if !had {
+		return 0, notFound(fmt.Errorf("recipient %q is not registered", id))
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return http.StatusNoContent, nil
+}
+
+func (s *Server) handleRecipientImport(w http.ResponseWriter, r *http.Request) (int, error) {
+	var rec registry.Record
+	if err := api.DecodeJSON(r.Body, &rec); err != nil {
+		return 0, badRequest(err)
+	}
+	if err := rec.Validate(); err != nil {
+		return 0, badRequest(err)
+	}
+	// Importing requires the secret the record was fingerprinted under:
+	// it proves the caller owns the record and keeps foreign-secret
+	// records (which traceback could never verify) out of the registry.
+	if err := verifyRecordSecret(r, rec); err != nil {
+		return 0, err
+	}
+	if err := s.cfg.Registry.Put(rec); err != nil {
+		return 0, err
+	}
+	writeJSON(w, http.StatusCreated, api.RecipientResponse{Version: api.Version, Recipient: rec})
+	return http.StatusCreated, nil
+}
+
 // maxEnumLimit caps the per-request exhaustive-search override; the
 // default is binning.DefaultEnumLimit (4096) and anything far beyond it
 // is a denial-of-service lever, not a tuning knob.
 const maxEnumLimit = 1 << 16
+
+// maxFingerprintRecipients bounds one fingerprint request: each
+// recipient costs a full in-memory marked copy of the table plus its
+// encoding in the response, so the count is a memory-amplification
+// lever. Fleets larger than this should fingerprint in batches.
+const maxFingerprintRecipients = 32
 
 // prepare builds the per-request framework, table and key: overlay the
 // request options on the server defaults, construct (and so validate)
@@ -377,20 +620,7 @@ const maxEnumLimit = 1 << 16
 // pressure) and EnumLimit is bounded by maxEnumLimit.
 func (s *Server) prepare(t api.Table, k api.Key, opts *api.Options) (*core.Framework, *relation.Table, crypt.WatermarkKey, error) {
 	var zero crypt.WatermarkKey
-	cfg, err := opts.Apply(s.cfg.Defaults)
-	if err != nil {
-		return nil, nil, zero, badRequest(err)
-	}
-	if cores := pool.Resolve(0); cfg.Workers > cores {
-		cfg.Workers = cores
-	}
-	if cfg.Workers < 0 {
-		cfg.Workers = 1
-	}
-	if cfg.EnumLimit > maxEnumLimit {
-		return nil, nil, zero, badRequest(fmt.Errorf("enum_limit %d exceeds the server cap %d", cfg.EnumLimit, maxEnumLimit))
-	}
-	fw, err := core.New(s.cfg.Trees, cfg)
+	fw, err := s.frameworkFor(opts)
 	if err != nil {
 		return nil, nil, zero, err
 	}
@@ -404,6 +634,26 @@ func (s *Server) prepare(t api.Table, k api.Key, opts *api.Options) (*core.Frame
 	return fw, tbl, crypt.NewWatermarkKeyFromSecret(k.Secret, k.Eta), nil
 }
 
+// frameworkFor is the framework half of prepare, for endpoints (the
+// fingerprint/traceback pair) that derive per-recipient keys instead of
+// taking one api.Key.
+func (s *Server) frameworkFor(opts *api.Options) (*core.Framework, error) {
+	cfg, err := opts.Apply(s.cfg.Defaults)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if cores := pool.Resolve(0); cfg.Workers > cores {
+		cfg.Workers = cores
+	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 1
+	}
+	if cfg.EnumLimit > maxEnumLimit {
+		return nil, badRequest(fmt.Errorf("enum_limit %d exceeds the server cap %d", cfg.EnumLimit, maxEnumLimit))
+	}
+	return core.New(s.cfg.Trees, cfg)
+}
+
 // badRequestError tags request-shape problems so writeError maps them
 // to 400/bad_request without a core sentinel.
 type badRequestError struct{ err error }
@@ -412,6 +662,15 @@ func (e badRequestError) Error() string { return e.err.Error() }
 func (e badRequestError) Unwrap() error { return e.err }
 
 func badRequest(err error) error { return badRequestError{err: err} }
+
+// notFoundError tags registry misses so writeError maps them to
+// 404/not_found.
+type notFoundError struct{ err error }
+
+func (e notFoundError) Error() string { return e.err.Error() }
+func (e notFoundError) Unwrap() error { return e.err }
+
+func notFound(err error) error { return notFoundError{err: err} }
 
 // overloadedError tags capacity-wait timeouts so they surface as
 // 503/overloaded instead of the pipeline's deadline_exceeded.
@@ -425,6 +684,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) int {
 		code   string
 		status int
 		br     badRequestError
+		nf     notFoundError
 		ol     overloadedError
 		mbe    *http.MaxBytesError
 	)
@@ -433,6 +693,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) int {
 		code, status = api.CodeOverloaded, http.StatusServiceUnavailable
 	case errors.As(err, &mbe):
 		code, status = api.CodePayloadTooLarge, http.StatusRequestEntityTooLarge
+	case errors.As(err, &nf):
+		code, status = api.CodeNotFound, http.StatusNotFound
+	case errors.Is(err, registry.ErrConflict):
+		code, status = api.CodeConflict, http.StatusConflict
 	case errors.As(err, &br):
 		code, status = api.CodeBadRequest, http.StatusBadRequest
 	default:

@@ -62,28 +62,11 @@ func DetectContext(ctx context.Context, tbl *relation.Table, identCol string, co
 			return res, err
 		}
 	}
-	cols := sortColumns(columns)
-	plans := make([]detectPlan, len(cols))
-	for i, col := range cols {
-		spec := columns[col]
-		if err := spec.validate(col); err != nil {
-			return res, err
-		}
-		ci, err := tbl.Schema().Index(col)
-		if err != nil {
-			return res, err
-		}
-		// The detection walk per distinct value, not per row: an attacked
-		// 20k-row table typically holds a few dozen distinct values per
-		// watermarked column.
-		dict := tbl.DictValues(ci)
-		verdicts := make([]cellVerdict, len(dict))
-		for code, value := range dict {
-			bit, read, ok := detectCell(spec, value, p)
-			verdicts[code] = cellVerdict{bit: bit, read: read, ok: ok}
-		}
-		plans[i] = detectPlan{col: col, idx: ci, verdicts: verdicts}
+	plans, err := buildDetectPlans(ctx, tbl, columns, p)
+	if err != nil {
+		return res, err
 	}
+	cols := sortColumns(columns)
 	var vkeys *virtualKeys
 	if p.UseVirtualIdent {
 		idxs := make([]int, len(cols))
@@ -107,9 +90,10 @@ func DetectContext(ctx context.Context, tbl *relation.Table, identCol string, co
 	chunks := pool.Chunks(p.Workers, tbl.NumRows())
 	shardBoards := make([]*bitstr.VoteBoard, len(chunks))
 	shardStats := make([]DetectStats, len(chunks))
-	err := pool.ForEachChunkCtx(ctx, p.Workers, tbl.NumRows(), func(si, lo, hi int) error {
+	err = pool.ForEachChunkCtx(ctx, p.Workers, tbl.NumRows(), func(si, lo, hi int) error {
 		shardBoard := bitstr.NewVoteBoard(p.wmdLen())
 		shard := &shardStats[si]
+		var identBuf []byte // reused across rows; PRF calls do not retain it
 		for row := lo; row < hi; row++ {
 			if err := pool.CtxAt(ctx, row-lo); err != nil {
 				return err
@@ -118,7 +102,8 @@ func DetectContext(ctx context.Context, tbl *relation.Table, identCol string, co
 			if p.UseVirtualIdent {
 				ident = vkeys.identOf(tbl, row)
 			} else {
-				ident = []byte(tbl.CellAt(row, identIdx))
+				identBuf = append(identBuf[:0], tbl.CellAt(row, identIdx)...)
+				ident = identBuf
 			}
 			if !prf1.Selects(ident, p.Key.Eta) {
 				continue
@@ -159,6 +144,44 @@ func DetectContext(ctx context.Context, tbl *relation.Table, identCol string, co
 	return res, nil
 }
 
+// buildDetectPlans precomputes the per-column verdict tables: the
+// detection walk is a pure function of the cell value, so it runs once
+// per distinct dictionary entry and the row scan reduces to integer
+// lookups plus vote accumulation. Columns are built in parallel over the
+// worker pool — each table is written by exactly one worker and the
+// result slice is ordered by the canonical column order, so the outcome
+// is identical for every worker count.
+func buildDetectPlans(ctx context.Context, tbl *relation.Table, columns map[string]ColumnSpec, p Params) ([]detectPlan, error) {
+	cols := sortColumns(columns)
+	plans := make([]detectPlan, len(cols))
+	err := pool.ForEachCtx(ctx, p.Workers, len(cols), func(i int) error {
+		col := cols[i]
+		spec := columns[col]
+		if err := spec.validate(col); err != nil {
+			return err
+		}
+		ci, err := tbl.Schema().Index(col)
+		if err != nil {
+			return err
+		}
+		// The detection walk per distinct value, not per row: an attacked
+		// 20k-row table typically holds a few dozen distinct values per
+		// watermarked column.
+		dict := tbl.DictValues(ci)
+		verdicts := make([]cellVerdict, len(dict))
+		for code, value := range dict {
+			bit, read, ok := detectCell(spec, value, p)
+			verdicts[code] = cellVerdict{bit: bit, read: read, ok: ok}
+		}
+		plans[i] = detectPlan{col: col, idx: ci, verdicts: verdicts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return plans, nil
+}
+
 // detectCell recovers the per-cell bit by weighted majority over the
 // surviving levels. It returns ok=false when the cell contributes nothing
 // (unresolvable value, above the usage metrics, or no branching levels).
@@ -190,9 +213,10 @@ func detectCell(spec ColumnSpec, value string, p Params) (bit bool, bitsRead int
 
 	levelFromBottom := 0
 	for cur := id; cur != maxNode; cur = tree.Parent(cur) {
-		siblings := tree.SortedSiblings(cur)
-		if len(siblings) >= 2 {
-			idx := indexIn(cur, siblings)
+		// The precomputed sibling rank replaces a per-level
+		// SortedSiblings sort: only the parity of the canonical position
+		// matters here.
+		if tree.NumSiblings(cur) >= 2 {
 			w := 1.0
 			if p.WeightedVoting {
 				// Higher levels (closer to the maximal node) are harder
@@ -200,7 +224,7 @@ func detectCell(spec ColumnSpec, value string, p Params) (bit bool, bitsRead int
 				// their copies more.
 				w = float64(levelFromBottom + 1)
 			}
-			if idx&1 == 1 {
+			if tree.SiblingRank(cur)&1 == 1 {
 				one += w
 			} else {
 				zero += w

@@ -70,6 +70,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dht"
 	"repro/internal/ontology"
+	"repro/internal/registry"
 	"repro/internal/relation"
 )
 
@@ -96,6 +97,29 @@ type (
 	Detection = core.Detection
 	// Key is the secret watermarking key set (k1, k2, η, encryption key).
 	Key = crypt.WatermarkKey
+)
+
+// Multi-recipient fingerprinting and leak traceback types.
+type (
+	// Recipient names one outsourcing destination plus the key its copy
+	// is marked under (usually RecipientKey-derived).
+	Recipient = core.Recipient
+	// FingerprintResult is one recipient's marked copy and plan from
+	// Framework.FingerprintContext.
+	FingerprintResult = core.FingerprintResult
+	// TracebackCandidate is one registered recipient a suspect table is
+	// tested against by Framework.TracebackContext.
+	TracebackCandidate = core.Candidate
+	// Traceback is the ranked leak-traceback report.
+	Traceback = core.Traceback
+	// TracebackVerdict is one candidate's detection outcome.
+	TracebackVerdict = core.TracebackVerdict
+	// RecipientRecord is one recipient's registry entry: ID, key
+	// fingerprint, recipient mark and the copy's frozen plan.
+	RecipientRecord = registry.Record
+	// RecipientRegistry is the concurrent-safe JSON-on-disk (or
+	// in-memory) recipient store.
+	RecipientRegistry = registry.Store
 )
 
 // PlanVersion is the plan serialization format version ParsePlan
@@ -191,6 +215,39 @@ func NewFromConfig(trees map[string]*Tree, cfg Config) (*Framework, error) {
 // selection parameter η (roughly one tuple in eta carries mark bits).
 func NewKey(secret string, eta uint64) Key {
 	return crypt.NewWatermarkKeyFromSecret(secret, eta)
+}
+
+// RecipientKey derives the per-recipient key set for multi-recipient
+// fingerprinting from the owner's master secret: selection (K1) and
+// identifier encryption (Enc) are shared with NewKey(secret, eta), the
+// position-addressing key (K2) is salted with the recipient ID. The
+// owner re-derives any recipient's key on demand — the registry stores
+// only a fingerprint of it.
+func RecipientKey(secret, recipientID string, eta uint64) Key {
+	return crypt.RecipientWatermarkKey(secret, recipientID, eta)
+}
+
+// NewRegistry returns an empty in-memory recipient registry.
+func NewRegistry() *RecipientRegistry { return registry.New() }
+
+// OpenRegistry loads (or lazily creates) the JSON recipient registry at
+// path; writes are atomic temp+rename. An empty path is NewRegistry().
+func OpenRegistry(path string) (*RecipientRegistry, error) { return registry.Open(path) }
+
+// RecipientRecordOf builds the registry record for one fingerprinted
+// copy — store it with RecipientRegistry.Put.
+func RecipientRecordOf(recipientID string, key Key, plan Plan) RecipientRecord {
+	return registry.RecordOf(recipientID, key, plan)
+}
+
+// TracebackCandidates re-derives each registered recipient's key from
+// the master secret and verifies it against the stored fingerprint.
+// Records the secret cannot verify (foreign imports, stale entries) are
+// skipped and their IDs returned second — one bad record must not block
+// tracing the rest. A secret verifying no record at all errors with
+// ErrKeyMismatch.
+func TracebackCandidates(recs []RecipientRecord, secret string) ([]TracebackCandidate, []string, error) {
+	return registry.CandidatesFromSecret(recs, secret)
 }
 
 // BuiltinSchema returns the paper's evaluation schema

@@ -2,9 +2,11 @@
 # End-to-end smoke test of cmd/medshield-server: build the binary, start
 # it, hit /v1/healthz, protect a synthetic table over /v1/protect, append
 # a delta batch over /v1/append under the returned plan, detect the mark
-# over /v1/detect on the published union (must match), and verify
-# graceful SIGTERM shutdown (exit 0). CI runs this after the unit tests;
-# it also works locally: scripts/server_smoke.sh [port]
+# over /v1/detect on the published union (must match), fingerprint the
+# table for three recipients over /v1/fingerprint and trace one leaked
+# copy back to its recipient over /v1/traceback, and verify graceful
+# SIGTERM shutdown (exit 0). CI runs this after the unit tests; it also
+# works locally: scripts/server_smoke.sh [port]
 set -euo pipefail
 
 PORT="${1:-18080}"
@@ -93,6 +95,59 @@ tmp = sys.argv[1]
 r = json.load(open(f"{tmp}/detect_resp.json"))
 assert r["match"] is True, f"mark not detected over HTTP: {r}"
 print("    detect match:", r["match"], "loss:", r["mark_loss"])
+EOF
+
+python3 - "$TMP" <<'EOF'
+import csv, json, sys
+tmp = sys.argv[1]
+rows = list(csv.reader(open(f"{tmp}/data.csv")))
+hdr, data = rows[0], rows[1:]
+kinds = {"ssn": "identifying", "age": "quasi-numeric", "zip_code": "quasi-categorical",
+         "doctor": "quasi-categorical", "symptom": "quasi-categorical",
+         "prescription": "quasi-categorical"}
+req = {"table": {"columns": [{"name": h, "kind": kinds[h]} for h in hdr], "rows": data},
+       "secret": "ci smoke master secret", "eta": 10,
+       "recipients": [{"id": "hospital-a"}, {"id": "hospital-b"}, {"id": "hospital-c"}],
+       "options": {"k": 15}}
+json.dump(req, open(f"{tmp}/fingerprint.json", "w"))
+EOF
+
+echo "==> POST /v1/fingerprint (3 recipients)"
+curl -sf -X POST --data "@$TMP/fingerprint.json" "http://127.0.0.1:$PORT/v1/fingerprint" -o "$TMP/fingerprint_resp.json"
+python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+r = json.load(open(f"{tmp}/fingerprint_resp.json"))
+assert r["version"] == "v1", r["version"]
+ids = [x["id"] for x in r["recipients"]]
+assert ids == ["hospital-a", "hospital-b", "hospital-c"], ids
+assert all(x["bits_embedded"] > 0 for x in r["recipients"]), "a copy carries no bits"
+print("    fingerprinted:", ", ".join(f"{x['id']} (fp {x['key_fingerprint'][:8]}…)" for x in r["recipients"]))
+# hospital-b's copy "leaks": feed it back as the traceback suspect.
+json.dump({"table": r["recipients"][1]["table"], "secret": "ci smoke master secret"},
+          open(f"{tmp}/traceback.json", "w"))
+EOF
+
+echo "==> GET /v1/recipients"
+curl -sf "http://127.0.0.1:$PORT/v1/recipients" -o "$TMP/recipients.json"
+python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+r = json.load(open(f"{tmp}/recipients.json"))
+assert [x["id"] for x in r["recipients"]] == ["hospital-a", "hospital-b", "hospital-c"], r
+print("    registry holds", len(r["recipients"]), "recipients")
+EOF
+
+echo "==> POST /v1/traceback (leaked copy of hospital-b)"
+curl -sf -X POST --data "@$TMP/traceback.json" "http://127.0.0.1:$PORT/v1/traceback" -o "$TMP/traceback_resp.json"
+python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+r = json.load(open(f"{tmp}/traceback_resp.json"))
+assert r["culprit"] == "hospital-b", f"traceback named {r['culprit']!r}: {r['verdicts']}"
+assert r["verdicts"][0]["recipient_id"] == "hospital-b", r["verdicts"]
+assert r["matches"] == 1, r
+print("    culprit:", r["culprit"], "match ratio:", r["verdicts"][0]["match_ratio"])
 EOF
 
 echo "==> graceful shutdown"
