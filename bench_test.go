@@ -5,10 +5,14 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -283,6 +287,124 @@ func TestAppendFasterThanReprotect(t *testing.T) {
 
 	if appendDur*5 > reprotectDur {
 		t.Errorf("append 2k = %v vs re-protect 22k = %v; want >= 5x speedup", appendDur, reprotectDur)
+	}
+}
+
+// ---- streaming data plane (million-row scale) ---------------------------
+
+// BenchmarkProtect200k is the 10x-scale cousin of BenchmarkProtect20k:
+// full pipeline (binning search + transform + embed) over 200,000 rows.
+// -benchmem's bytes/op is the interesting number — the search and the
+// in-memory transform both scale with the table.
+func BenchmarkProtect200k(b *testing.B) {
+	tbl := benchTable(b, 200000)
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon())
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := medshield.NewKey("bench", 75)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Protect(tbl, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// streamBenchFixture generates rows synthetic tuples and freezes a plan
+// over them; the streaming benchmarks replay that plan through
+// ApplyStream, whose working set is one segment, not the table.
+func streamBenchFixture(tb testing.TB, rows int) (*medshield.Framework, *relation.Table, *medshield.Plan, medshield.Key) {
+	tb.Helper()
+	tbl, err := datagen.Generate(datagen.Config{Rows: rows, Seed: 1, Correlate: true, ZipfS: 1.2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	key := medshield.NewKey("bench", 75)
+	plan, err := fw.Plan(tbl, key)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fw, tbl, plan, key
+}
+
+// BenchmarkApplyStream1M executes a frozen plan over one million rows
+// segment-at-a-time (DefaultChunk rows per segment, protected CSV to
+// io.Discard). bytes/op stays bounded by the segment size no matter the
+// table — TestApplyStreamBoundedMemory turns that into a hard gate.
+func BenchmarkApplyStream1M(b *testing.B) {
+	fw, tbl, plan, key := streamBenchFixture(b, 1000000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.ApplyStream(context.Background(), tbl.Segments(0), plan, key, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestApplyStreamBoundedMemory is the memory gate of the streaming data
+// plane: ApplyStream over one million rows must not grow the heap by
+// more than a fixed budget over the fixture baseline. A regression to
+// whole-table buffering (materializing the protected table or its CSV,
+// each >100 MB at this scale) trips it; the budget leaves ~4x headroom
+// over the measured segment-bounded peak for GC timing noise.
+func TestApplyStreamBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-row fixture in -short mode")
+	}
+	fw, tbl, plan, key := streamBenchFixture(t, 1000000)
+
+	// The fixture table (~100 MiB live) stays resident, so at the default
+	// GOGC=100 the collector would happily let the heap double before
+	// collecting — masking exactly the growth this test polices. A tight
+	// GC target keeps sampled peaks close to live memory.
+	defer debug.SetGCPercent(debug.SetGCPercent(20))
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	res, err := fw.ApplyStream(context.Background(), tbl.Segments(0), plan, key, io.Discard)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 1000000 {
+		t.Fatalf("streamed rows = %d", res.Rows)
+	}
+
+	const budget = 64 << 20
+	grew := int64(peak.Load()) - int64(base.HeapAlloc)
+	t.Logf("ApplyStream over 1M rows: heap peak %d MiB over the %d MiB baseline (budget %d MiB)",
+		grew>>20, base.HeapAlloc>>20, int64(budget)>>20)
+	if grew > budget {
+		t.Errorf("ApplyStream heap grew %d MiB over baseline, budget %d MiB — streaming has regressed toward whole-table buffering",
+			grew>>20, int64(budget)>>20)
 	}
 }
 

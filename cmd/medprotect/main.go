@@ -9,7 +9,8 @@
 //	medprotect gen      -rows N -seed S -out data.csv
 //	medprotect protect  -in data.csv -k K -eta E -secret S -out protected.csv -prov prov.json [-plan plan.json] [-workers W]
 //	medprotect plan     -in data.csv -k K -eta E -secret S -plan plan.json [-workers W]
-//	medprotect append   -in delta.csv -plan plan.json -secret S -out delta-protected.csv [-base protected.csv] [-workers W]
+//	medprotect apply    -in data.csv -plan plan.json -secret S -out protected.csv [-prov prov.json] [-stream] [-chunk N] [-workers W]
+//	medprotect append   -in delta.csv -plan plan.json -secret S -out delta-protected.csv [-base protected.csv] [-stream] [-chunk N] [-workers W]
 //	medprotect detect   -in suspect.csv -prov prov.json -secret S [-workers W]
 //	medprotect attack   -in protected.csv -out attacked.csv -prov prov.json -kind alter|add|delete|rangedelete|generalize -frac F [-col C] [-levels L] -seed S
 //	medprotect dispute  -in disputed.csv -prov prov.json -secret S
@@ -19,9 +20,13 @@
 //
 // protect -plan (or the standalone plan subcommand) writes the
 // protection plan: a superset of the provenance record that freezes the
-// binning frontiers and watermark parameters. append protects a new
-// batch of rows under a saved plan — no binning search — and advances
-// the plan's published bin record in place, so nightly batches chain.
+// binning frontiers and watermark parameters. apply executes a saved
+// plan on a table (the transform half of protect, no search) and fills
+// in its published bin record; append protects a new batch of rows
+// under a saved plan and advances the plan's bin record in place, so
+// nightly batches chain. Both take -stream to process the CSV
+// segment-at-a-time — peak memory bounded by -chunk rows instead of the
+// table size, with byte-identical output.
 //
 // fingerprint protects one source table for several recipients at once
 // (one binning search, one marked copy per recipient, each under a
@@ -32,9 +37,13 @@
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -59,6 +68,8 @@ func main() {
 		err = cmdProtect(os.Args[2:])
 	case "plan":
 		err = cmdPlan(os.Args[2:])
+	case "apply":
+		err = cmdApply(os.Args[2:])
 	case "append":
 		err = cmdAppend(os.Args[2:])
 	case "detect":
@@ -87,7 +98,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: medprotect <gen|protect|plan|append|detect|attack|dispute|fingerprint|traceback|trees> [flags]
+	fmt.Fprintln(os.Stderr, `usage: medprotect <gen|protect|plan|apply|append|detect|attack|dispute|fingerprint|traceback|trees> [flags]
 run "medprotect <subcommand> -h" for flags`)
 }
 
@@ -230,6 +241,192 @@ func cmdPlan(args []string) error {
 	return nil
 }
 
+// streamToFile is SaveCSVFile's atomicity for a streamed producer: write
+// writes the document to a temporary file in the target directory, which
+// is synced and renamed over path only on success. A mid-stream failure
+// never leaves a truncated table at path.
+func streamToFile(path string, write func(w io.Writer) error) (err error) {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	mode := os.FileMode(0o644)
+	if st, statErr := os.Stat(path); statErr == nil {
+		mode = st.Mode().Perm()
+	}
+	if err = f.Chmod(mode); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// countCSVRows counts the data records of a CSV file (header excluded)
+// without materializing the table — the streamed append's stand-in for
+// LoadCSVFile().NumRows() in its base/plan consistency guard.
+func countCSVRows(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(bufio.NewReader(f))
+	cr.ReuseRecord = true
+	n := -1 // the header record
+	for {
+		if _, err := cr.Read(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return 0, fmt.Errorf("counting rows of %s: %w", path, err)
+		}
+		n++
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("counting rows of %s: empty file (missing header)", path)
+	}
+	return n, nil
+}
+
+// appendCSVBody appends the data records of src (its header skipped) to
+// dst in place — the bounded-memory base extension of a streamed append.
+func appendCSVBody(dst, src string) (err error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	br := bufio.NewReader(in)
+	// The builtin schema's column names contain no quotes or newlines, so
+	// the header is exactly the first line.
+	if _, err := br.ReadString('\n'); err != nil {
+		return fmt.Errorf("skipping header of %s: %w", src, err)
+	}
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if _, err = io.Copy(out, br); err != nil {
+		return err
+	}
+	return out.Sync()
+}
+
+// cmdApply executes a saved plan on a table: the transform half of
+// protect (suppression replay, generalization, watermarking) with no
+// binning search, filling the plan's published bin record in place.
+// -stream processes the CSV segment-at-a-time under bounded memory with
+// byte-identical output.
+func cmdApply(args []string) error {
+	fs := flag.NewFlagSet("apply", flag.ExitOnError)
+	in := fs.String("in", "data.csv", "input CSV (builtin schema)")
+	planPath := fs.String("plan", "plan.json", "saved plan path (from plan or protect -plan; bin record filled in place)")
+	secret := fs.String("secret", "", "owner secret passphrase (required)")
+	eta := fs.Uint64("eta", 75, "η used at planning time")
+	out := fs.String("out", "protected.csv", "protected CSV path")
+	provPath := fs.String("prov", "", "optional provenance output path (subset of the plan)")
+	stream := fs.Bool("stream", false, "process the table segment-at-a-time (bounded memory, identical output)")
+	chunk := fs.Int("chunk", 0, "streaming segment size in rows (0 = default)")
+	workers := fs.Int("workers", 0, "worker goroutines for the transform (0 = all cores, 1 = sequential)")
+	_ = fs.Parse(args)
+	if *secret == "" {
+		return fmt.Errorf("apply: -secret is required")
+	}
+
+	plan, err := loadPlan(*planPath)
+	if err != nil {
+		return err
+	}
+	fw, err := medshield.NewFromConfig(medshield.BuiltinTrees(),
+		medshield.Config{K: plan.K, Workers: *workers, Chunk: *chunk})
+	if err != nil {
+		return err
+	}
+	key := medshield.NewKey(*secret, *eta)
+
+	var (
+		applied               medshield.Plan
+		rows, marked, changed int
+	)
+	if *stream {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sr, err := medshield.NewSegmentReader(f, medshield.BuiltinSchema(), fw.Config().Chunk)
+		if err != nil {
+			return err
+		}
+		var res *medshield.Streamed
+		if err := streamToFile(*out, func(w io.Writer) error {
+			var serr error
+			res, serr = fw.ApplyStream(context.Background(), sr, plan, key, w)
+			return serr
+		}); err != nil {
+			return err
+		}
+		applied, rows, marked, changed = res.Plan, res.Rows, res.Embed.TuplesSelected, res.Embed.CellsChanged
+	} else {
+		tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+		if err != nil {
+			return err
+		}
+		p, err := fw.Apply(tbl, plan, key)
+		if err != nil {
+			return err
+		}
+		if err := medshield.SaveCSVFile(*out, p.Table); err != nil {
+			return err
+		}
+		applied, rows, marked, changed = p.Plan, p.Table.NumRows(), p.Embed.TuplesSelected, p.Embed.CellsChanged
+	}
+	if err := writePlan(*planPath, &applied); err != nil {
+		return err
+	}
+	if *provPath != "" {
+		data, err := json.MarshalIndent(applied.Provenance, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*provPath, data, 0o600); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("applied the plan to %d tuples: k=%d (effective k=%d), %d marked, %d cells changed\n",
+		rows, applied.K, applied.EffectiveK, marked, changed)
+	fmt.Printf("table -> %s, plan's bin record filled in %s (appends can chain now)\n", *out, *planPath)
+	if *provPath != "" {
+		fmt.Printf("provenance -> %s\n", *provPath)
+	}
+	return nil
+}
+
 func cmdAppend(args []string) error {
 	fs := flag.NewFlagSet("append", flag.ExitOnError)
 	in := fs.String("in", "delta.csv", "delta CSV (new clear-text rows, builtin schema)")
@@ -238,10 +435,15 @@ func cmdAppend(args []string) error {
 	eta := fs.Uint64("eta", 75, "η used at protection time")
 	out := fs.String("out", "delta-protected.csv", "protected delta CSV path")
 	base := fs.String("base", "", "optional published CSV to append the protected delta to, in place")
+	stream := fs.Bool("stream", false, "process the delta segment-at-a-time (bounded memory, identical output)")
+	chunk := fs.Int("chunk", 0, "streaming segment size in rows (0 = default)")
 	workers := fs.Int("workers", 0, "worker goroutines for the transform (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
 	if *secret == "" {
 		return fmt.Errorf("append: -secret is required")
+	}
+	if *stream {
+		return appendStreamed(*in, *planPath, *secret, *eta, *out, *base, *chunk, *workers)
 	}
 
 	delta, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
@@ -302,6 +504,71 @@ func cmdAppend(args []string) error {
 	fmt.Printf("delta -> %s, plan advanced in %s (union now %d tuples)\n", *out, *planPath, app.Plan.Rows)
 	if *base != "" {
 		fmt.Printf("published table %s extended in place\n", *base)
+	}
+	return nil
+}
+
+// appendStreamed is cmdAppend's -stream mode: the delta never
+// materializes (segment-at-a-time through AppendStream) and the base
+// extension is an in-place file append of the protected delta's records,
+// so peak memory is bounded by the chunk regardless of either table's
+// size. The write order and half-state guard mirror the in-memory path.
+func appendStreamed(in, planPath, secret string, eta uint64, out, base string, chunk, workers int) error {
+	plan, err := loadPlan(planPath)
+	if err != nil {
+		return err
+	}
+	// Same consistency guard as the in-memory path, by streaming count:
+	// a base that disagrees with the plan's published row record means an
+	// earlier append half-finished.
+	if base != "" {
+		rows, err := countCSVRows(base)
+		if err != nil {
+			return err
+		}
+		if rows != plan.Rows {
+			return fmt.Errorf(
+				"append: %s holds %d rows but %s records %d published rows; base and plan are out of sync (a previous append may have partially failed) — reconcile them before appending",
+				base, rows, planPath, plan.Rows)
+		}
+	}
+	fw, err := medshield.NewFromConfig(medshield.BuiltinTrees(),
+		medshield.Config{K: plan.K, Workers: workers, Chunk: chunk})
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sr, err := medshield.NewSegmentReader(f, medshield.BuiltinSchema(), fw.Config().Chunk)
+	if err != nil {
+		return err
+	}
+	var res *medshield.Streamed
+	if err := streamToFile(out, func(w io.Writer) error {
+		var serr error
+		res, serr = fw.AppendStream(context.Background(), sr, plan, medshield.NewKey(secret, eta), w)
+		return serr
+	}); err != nil {
+		return err
+	}
+	if err := writePlan(planPath, &res.Plan); err != nil {
+		return err
+	}
+	if base != "" {
+		if err := appendCSVBody(base, out); err != nil {
+			return fmt.Errorf(
+				"append: plan %s is already advanced but extending %s failed: %w — reconcile by appending the rows of %s to it",
+				planPath, base, err, out)
+		}
+	}
+	fmt.Printf("appended %d tuples under the plan: %d marked, %d cells changed, %d new bin(s), %d suppressed\n",
+		res.Rows, res.Embed.TuplesSelected, res.Embed.CellsChanged, res.NewBins, res.Suppressed)
+	fmt.Printf("delta -> %s, plan advanced in %s (union now %d tuples)\n", out, planPath, res.Plan.Rows)
+	if base != "" {
+		fmt.Printf("published table %s extended in place\n", base)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -230,6 +231,129 @@ func TestCLIPlanAppend(t *testing.T) {
 	}); err == nil {
 		t.Error("append under a search-only plan accepted")
 	}
+}
+
+// TestCLIApplyStream exercises the apply subcommand in both modes and
+// the streamed append: the -stream paths must produce byte-identical
+// files to the in-memory ones — table, plan and extended base alike.
+func TestCLIApplyStream(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data.csv")
+	deltaCSV := filepath.Join(dir, "delta.csv")
+	if err := cmdGen([]string{"-rows", "2000", "-seed", "7", "-out", data}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdGen([]string{"-rows", "250", "-seed", "8", "-out", deltaCSV}); err != nil {
+		t.Fatalf("gen delta: %v", err)
+	}
+	dry := filepath.Join(dir, "dry.json")
+	if err := cmdPlan([]string{
+		"-in", data, "-k", "15", "-eta", "40", "-secret", "cli apply secret", "-plan", dry,
+	}); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	copyFile := func(dst, src string) {
+		t.Helper()
+		doc, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst, doc, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEqual := func(what, a, b string) {
+		t.Helper()
+		da, err := os.ReadFile(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := os.ReadFile(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(da) != string(db) {
+			t.Errorf("%s: streamed output differs from in-memory (%s vs %s)", what, a, b)
+		}
+	}
+
+	// apply, in-memory vs streamed, over separate plan copies.
+	planMem := filepath.Join(dir, "plan-mem.json")
+	planStream := filepath.Join(dir, "plan-stream.json")
+	copyFile(planMem, dry)
+	copyFile(planStream, dry)
+	outMem := filepath.Join(dir, "protected-mem.csv")
+	outStream := filepath.Join(dir, "protected-stream.csv")
+	prov := filepath.Join(dir, "prov.json")
+	if err := cmdApply([]string{
+		"-in", data, "-plan", planMem, "-secret", "cli apply secret", "-eta", "40", "-out", outMem,
+	}); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if err := cmdApply([]string{
+		"-in", data, "-plan", planStream, "-secret", "cli apply secret", "-eta", "40",
+		"-out", outStream, "-prov", prov, "-stream", "-chunk", "256",
+	}); err != nil {
+		t.Fatalf("apply -stream: %v", err)
+	}
+	mustEqual("protected table", outMem, outStream)
+	mustEqual("filled plan", planMem, planStream)
+	filled, err := medshield.ParsePlan(mustRead(t, planStream))
+	if err != nil {
+		t.Fatalf("filled plan invalid: %v", err)
+	}
+	if filled.Rows != 2000 || len(filled.Bins) == 0 {
+		t.Fatalf("apply did not fill the bin record: rows=%d bins=%d", filled.Rows, len(filled.Bins))
+	}
+	var provDoc map[string]any
+	if err := json.Unmarshal(mustRead(t, prov), &provDoc); err != nil {
+		t.Fatalf("apply -prov wrote invalid JSON: %v", err)
+	}
+
+	// append, in-memory vs streamed, each extending its own base copy.
+	deltaMem := filepath.Join(dir, "delta-mem.csv")
+	deltaStream := filepath.Join(dir, "delta-stream.csv")
+	if err := cmdAppend([]string{
+		"-in", deltaCSV, "-plan", planMem, "-secret", "cli apply secret", "-eta", "40",
+		"-out", deltaMem, "-base", outMem,
+	}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := cmdAppend([]string{
+		"-in", deltaCSV, "-plan", planStream, "-secret", "cli apply secret", "-eta", "40",
+		"-out", deltaStream, "-base", outStream, "-stream", "-chunk", "64",
+	}); err != nil {
+		t.Fatalf("append -stream: %v", err)
+	}
+	mustEqual("protected delta", deltaMem, deltaStream)
+	mustEqual("advanced plan", planMem, planStream)
+	mustEqual("extended base", outMem, outStream)
+
+	// The streamed append keeps the out-of-sync guard: a stale plan (the
+	// dry one claims 2000 published rows, none appended) is refused.
+	copyFile(planStream, dry)
+	if err := cmdAppend([]string{
+		"-in", deltaCSV, "-plan", planStream, "-secret", "cli apply secret", "-eta", "40",
+		"-out", deltaStream, "-base", outStream, "-stream",
+	}); err == nil || !strings.Contains(err.Error(), "out of sync") {
+		t.Errorf("streamed append with stale plan: %v, want out-of-sync refusal", err)
+	}
+
+	// Config validation surfaces through the CLI: chunk < 1 is rejected.
+	if err := cmdApply([]string{
+		"-in", data, "-plan", planMem, "-secret", "s", "-out", outStream, "-stream", "-chunk", "-3",
+	}); err == nil || !strings.Contains(err.Error(), "Chunk") {
+		t.Errorf("negative chunk accepted: %v", err)
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 func TestCLIErrors(t *testing.T) {

@@ -3,6 +3,7 @@
 //
 //	POST /v1/protect      — bin + watermark a table (CSV-or-rows payload)
 //	POST /v1/plan         — binning search only (dry run)
+//	POST /v1/apply        — execute a frozen plan on a table (no search)
 //	POST /v1/append       — protect a delta batch under a frozen plan
 //	POST /v1/detect       — recover the mark from a suspected copy
 //	POST /v1/dispute      — arbitrate ownership claims (§5.4)
@@ -18,7 +19,15 @@
 // The recipient registry persists to -registry (JSON, atomic writes) or
 // lives in memory when the flag is empty.
 //
-//	medshield-server -addr :8080 -k 20 -workers 0 -request-timeout 60s -registry recipients.json
+// /v1/apply and /v1/append additionally speak a streaming text/csv mode
+// (metadata in headers, statistics in trailers) that processes tables
+// segment-at-a-time far beyond -max-body-bytes under bounded memory —
+// see internal/api's stream contract.
+//
+// -pprof serves net/http/pprof on a second, loopback-only listener so
+// profiles never share the public address:
+//
+//	medshield-server -addr :8080 -k 20 -workers 0 -request-timeout 60s -registry recipients.json -pprof 127.0.0.1:6060
 package main
 
 import (
@@ -27,7 +36,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +68,7 @@ func run() error {
 		maxInflight    = flag.Int("max-inflight", 0, "max concurrently served pipeline requests (0 = sized off workers)")
 		maxBody        = flag.Int64("max-body-bytes", 64<<20, "request body size cap in bytes")
 		registryPath   = flag.String("registry", "", "recipient registry JSON path for fingerprint/traceback (empty = in-memory, lost on exit)")
+		pprofAddr      = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (empty = disabled)")
 		quiet          = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	flag.Parse()
@@ -100,6 +112,24 @@ func run() error {
 	defer stop()
 
 	errCh := make(chan error, 1)
+	if *pprofAddr != "" {
+		ln, err := pprofListener(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		// The profile endpoints run on their own server + mux: they must
+		// never ride the public address (heap dumps and CPU profiles are
+		// operator-only), and using the default http.DefaultServeMux would
+		// invite exactly that by accident.
+		pprofSrv := &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+		defer pprofSrv.Close()
+		go func() {
+			logger.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+			if err := pprofSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errCh <- fmt.Errorf("pprof: %w", err)
+			}
+		}()
+	}
 	go func() {
 		logger.Printf("listening on %s (k=%d workers=%d timeout=%s inflight=%d)",
 			*addr, *k, *workers, *requestTimeout, *maxInflight)
@@ -124,4 +154,30 @@ func run() error {
 	}
 	logger.Printf("drained")
 	return nil
+}
+
+// pprofListener binds the -pprof address, refusing anything that is not
+// loopback: the profile endpoints expose heap contents and must stay
+// operator-local.
+func pprofListener(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-pprof %q: %w", addr, err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return nil, fmt.Errorf("-pprof %q: refusing a non-loopback address (use 127.0.0.1:PORT or [::1]:PORT)", addr)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// pprofMux registers the net/http/pprof handlers on a private mux —
+// the same routes the package puts on http.DefaultServeMux at init.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPprofListenerLoopbackOnly(t *testing.T) {
+	for _, addr := range []string{"127.0.0.1:0", "[::1]:0", "localhost:0"} {
+		ln, err := pprofListener(addr)
+		if err != nil {
+			t.Errorf("pprofListener(%q): %v", addr, err)
+			continue
+		}
+		ln.Close()
+	}
+	for _, addr := range []string{":6060", "0.0.0.0:6060", "192.168.1.4:6060", "example.com:6060", "6060"} {
+		if ln, err := pprofListener(addr); err == nil {
+			ln.Close()
+			t.Errorf("pprofListener(%q) accepted a non-loopback bind", addr)
+		}
+	}
+}
+
+func TestPprofMuxServesIndex(t *testing.T) {
+	srv := httptest.NewServer(pprofMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list profiles")
+	}
+}

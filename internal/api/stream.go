@@ -1,0 +1,190 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// This file defines the streaming half of the wire contract: a text/csv
+// request/response mode for POST /v1/apply and POST /v1/append. The
+// request body is one CSV document (header + records) consumed
+// segment-at-a-time — the server never buffers the table — and the
+// response body is the protected CSV, emitted incrementally. Everything
+// that is not cell data rides in headers (request metadata) and HTTP
+// trailers (run statistics and the effective/advanced plan, which only
+// exist once the stream has drained).
+//
+// Because the response streams, a failure discovered mid-body (a
+// source-side CSV error, or an end-of-stream verdict like plan drift)
+// cannot change the already-committed 200 status. Such failures are
+// reported in the ErrorTrailer instead, and the emitted CSV must be
+// discarded. Streaming clients MUST check ErrorTrailer before trusting
+// the body; failures detected before the first byte keep the ordinary
+// status + ErrorResponse envelope.
+//
+// The JSON mode of the same endpoints (and every other endpoint) is
+// untouched; pick the mode with the request Content-Type.
+
+// ContentTypeCSV selects the streaming mode on /v1/apply and /v1/append.
+const ContentTypeCSV = "text/csv"
+
+// Request headers of the streaming mode. The watermark secret rides the
+// existing SecretHeader. Headers are size-limited by the HTTP server
+// (net/http defaults to 1 MiB for all headers combined); a plan too
+// large to travel as a header must use the JSON mode.
+const (
+	// PlanHeader carries the plan as one line of JSON (the ParsePlan
+	// format, compact — headers cannot hold newlines). As a response
+	// trailer, it carries the effective (apply) or advanced (append)
+	// plan the same way.
+	PlanHeader = "X-Medshield-Plan"
+	// SchemaHeader carries the CSV body's schema as a JSON array of
+	// Column objects, e.g. [{"name":"ssn","kind":"identifying"},...].
+	SchemaHeader = "X-Medshield-Schema"
+	// EtaHeader carries the watermark selection parameter η in decimal.
+	EtaHeader = "X-Medshield-Eta"
+	// OptionsHeader optionally carries an Options object as JSON.
+	OptionsHeader = "X-Medshield-Options"
+	// ChunkHeader optionally overrides the segment size (rows per
+	// segment) in decimal.
+	ChunkHeader = "X-Medshield-Chunk"
+)
+
+// Response trailers of the streaming mode.
+const (
+	// StatsTrailer carries the run summary as a JSON StreamStats.
+	StatsTrailer = "X-Medshield-Stats"
+	// ErrorTrailer carries a JSON Error when the run failed after the
+	// response body had started; absent on success.
+	ErrorTrailer = "X-Medshield-Error"
+)
+
+// StreamStats is the streaming run summary (StatsTrailer).
+type StreamStats struct {
+	Rows           int `json:"rows"`
+	Segments       int `json:"segments"`
+	TuplesSelected int `json:"tuples_selected"`
+	BitsEmbedded   int `json:"bits_embedded"`
+	CellsChanged   int `json:"cells_changed"`
+	NewBins        int `json:"new_bins"`
+	Suppressed     int `json:"suppressed"`
+}
+
+// StreamStatsOf projects a streaming result to its wire summary.
+func StreamStatsOf(res *core.Streamed) StreamStats {
+	return StreamStats{
+		Rows:           res.Rows,
+		Segments:       res.Segments,
+		TuplesSelected: res.Embed.TuplesSelected,
+		BitsEmbedded:   res.Embed.BitsEmbedded,
+		CellsChanged:   res.Embed.CellsChanged,
+		NewBins:        res.NewBins,
+		Suppressed:     res.Suppressed,
+	}
+}
+
+// ApplyRequest is the JSON mode of POST /v1/apply: execute a saved plan
+// on a table — the transform half of protect, with no binning search.
+type ApplyRequest struct {
+	Table   Table     `json:"table"`
+	Plan    core.Plan `json:"plan"`
+	Key     Key       `json:"key"`
+	Options *Options  `json:"options,omitempty"`
+	Output  string    `json:"output,omitempty"` // OutputRows (default) | OutputCSV
+}
+
+// ApplyResponse returns the protected table, the provenance record and
+// the effective plan (its published bin record filled in — retain it
+// for /v1/append).
+type ApplyResponse struct {
+	Version    string          `json:"version"`
+	Table      Table           `json:"table"`
+	Provenance core.Provenance `json:"provenance"`
+	Plan       core.Plan       `json:"plan"`
+	Stats      ProtectStats    `json:"stats"`
+}
+
+// DecodeSchemaHeader parses SchemaHeader into a validated schema.
+func DecodeSchemaHeader(h string) (*relation.Schema, error) {
+	if strings.TrimSpace(h) == "" {
+		return nil, fmt.Errorf("api: streaming request needs the %s header (JSON column array)", SchemaHeader)
+	}
+	var cols []Column
+	if err := json.Unmarshal([]byte(h), &cols); err != nil {
+		return nil, fmt.Errorf("api: %s: %w", SchemaHeader, err)
+	}
+	out := make([]relation.Column, len(cols))
+	for i, c := range cols {
+		kind, err := ParseKind(c.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("api: %s: column %q: %w", SchemaHeader, c.Name, err)
+		}
+		out[i] = relation.Column{Name: c.Name, Kind: kind}
+	}
+	return relation.NewSchema(out)
+}
+
+// DecodePlanHeader parses and validates PlanHeader via core.ParsePlan.
+func DecodePlanHeader(h string) (*core.Plan, error) {
+	if strings.TrimSpace(h) == "" {
+		return nil, fmt.Errorf("api: streaming request needs the %s header (plan JSON on one line)", PlanHeader)
+	}
+	plan, err := core.ParsePlan([]byte(h))
+	if err != nil {
+		return nil, fmt.Errorf("api: %s: %w", PlanHeader, err)
+	}
+	return plan, nil
+}
+
+// EncodePlanHeader renders a plan as the single-line JSON PlanHeader
+// carries (MarshalPlan indents, which headers cannot hold).
+func EncodePlanHeader(plan *core.Plan) (string, error) {
+	data, err := json.Marshal(plan)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// DecodeOptionsHeader parses the optional OptionsHeader; empty means no
+// overrides (nil).
+func DecodeOptionsHeader(h string) (*Options, error) {
+	if strings.TrimSpace(h) == "" {
+		return nil, nil
+	}
+	var opts Options
+	if err := json.Unmarshal([]byte(h), &opts); err != nil {
+		return nil, fmt.Errorf("api: %s: %w", OptionsHeader, err)
+	}
+	return &opts, nil
+}
+
+// DecodeEtaHeader parses the required EtaHeader.
+func DecodeEtaHeader(h string) (uint64, error) {
+	if strings.TrimSpace(h) == "" {
+		return 0, fmt.Errorf("api: streaming request needs the %s header", EtaHeader)
+	}
+	eta, err := strconv.ParseUint(strings.TrimSpace(h), 10, 64)
+	if err != nil || eta == 0 {
+		return 0, fmt.Errorf("api: %s: want a decimal >= 1, got %q", EtaHeader, h)
+	}
+	return eta, nil
+}
+
+// DecodeChunkHeader parses the optional ChunkHeader; 0 means "server
+// default".
+func DecodeChunkHeader(h string) (int, error) {
+	if strings.TrimSpace(h) == "" {
+		return 0, nil
+	}
+	chunk, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || chunk < 1 {
+		return 0, fmt.Errorf("api: %s: want a decimal >= 1, got %q", ChunkHeader, h)
+	}
+	return chunk, nil
+}

@@ -523,7 +523,12 @@ func multiExhaustive(
 	return out, *stats, nil
 }
 
-func multiGreedy(
+// multiGreedyRescan is the row-rescan reference ascent: every iteration
+// re-derives the violating members with a full-table scan. It remains
+// the fallback for degenerate tree sets whose joint NodeID radix
+// overflows uint64, and the differential oracle the incremental ascent
+// (multiGreedy) is tested against.
+func multiGreedyRescan(
 	ctx context.Context,
 	cols []string,
 	mingends, maxgends map[string]dht.GenSet,

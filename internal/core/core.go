@@ -80,6 +80,12 @@ type Config struct {
 	// detection all shard their work across it (0 = GOMAXPROCS,
 	// 1 = sequential). Outputs are identical for every worker count.
 	Workers int
+	// Chunk is the row count of one streaming segment — the unit the
+	// service and CLI layers feed ApplyStream/AppendStream, and the
+	// bound on the streaming data plane's resident row set. New defaults
+	// 0 to relation.DefaultChunk and rejects values below 1. Output is
+	// byte-identical for every chunk size.
+	Chunk int
 }
 
 // ColumnProvenance records one column's frontiers in portable form.
@@ -140,6 +146,12 @@ func New(trees map[string]*dht.Tree, cfg Config) (*Framework, error) {
 	}
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("core: K must be >= 1, got %d: %w", cfg.K, ErrBadConfig)
+	}
+	if cfg.Chunk == 0 {
+		cfg.Chunk = relation.DefaultChunk
+	}
+	if cfg.Chunk < 1 {
+		return nil, fmt.Errorf("core: Chunk must be >= 1: %w", ErrBadConfig)
 	}
 	if cfg.MarkBits == 0 {
 		cfg.MarkBits = 20

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/anonymity"
+	"repro/internal/crypt"
+	"repro/internal/ontology"
+	"repro/internal/relation"
+)
+
+// tableCSV renders a table exactly as the streaming writers do.
+func tableCSV(t *testing.T, tbl *relation.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestApplyStreamMatchesApply pins the tentpole guarantee: the streamed
+// apply emits CSV byte-identical to the in-memory ApplyContext's table,
+// for every chunk size and worker count, and returns the same effective
+// plan.
+func TestApplyStreamMatchesApply(t *testing.T) {
+	tbl := testData(t, 4000)
+	key := crypt.NewWatermarkKeyFromSecret("owner", 25)
+	for _, workers := range []int{1, 2, 8} {
+		fw, err := New(ontology.Trees(), Config{K: 15, AutoEpsilon: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := fw.PlanContext(context.Background(), tbl, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := fw.Apply(tbl, plan, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tableCSV(t, p.Table)
+		for _, chunk := range []int{1, 7, 512, 4000, 9000} {
+			var got bytes.Buffer
+			res, err := fw.ApplyStream(context.Background(), tbl.Segments(chunk), plan, key, &got)
+			if err != nil {
+				t.Fatalf("workers=%d chunk=%d: %v", workers, chunk, err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("workers=%d chunk=%d: streamed CSV differs from in-memory apply", workers, chunk)
+			}
+			if res.Rows != p.Table.NumRows() {
+				t.Fatalf("rows = %d, want %d", res.Rows, p.Table.NumRows())
+			}
+			if res.Plan.Rows != p.Plan.Rows || res.Plan.BoundaryPermutation != p.Plan.BoundaryPermutation {
+				t.Fatalf("effective plan diverged: rows %d/%d perm %v/%v",
+					res.Plan.Rows, p.Plan.Rows, res.Plan.BoundaryPermutation, p.Plan.BoundaryPermutation)
+			}
+			if len(res.Plan.Bins) != len(p.Plan.Bins) {
+				t.Fatalf("bin record: %d bins streamed, %d in-memory", len(res.Plan.Bins), len(p.Plan.Bins))
+			}
+			for bin, n := range p.Plan.Bins {
+				if res.Plan.Bins[bin] != n {
+					t.Fatalf("bin %q: %d streamed, %d in-memory", bin, res.Plan.Bins[bin], n)
+				}
+			}
+			if res.Embed != p.Embed {
+				t.Fatalf("embed stats diverged: %+v vs %+v", res.Embed, p.Embed)
+			}
+			if res.BinStats != p.BinStats {
+				t.Fatalf("bin stats diverged: %+v vs %+v", res.BinStats, p.BinStats)
+			}
+		}
+	}
+}
+
+// TestApplyStreamFromCSV drives the full streaming data plane: CSV in
+// (SegmentReader), CSV out, no materialized table — and the output
+// still matches the in-memory path.
+func TestApplyStreamFromCSV(t *testing.T) {
+	fw := testFramework(t)
+	tbl := testData(t, 3000)
+	key := crypt.NewWatermarkKeyFromSecret("owner", 25)
+	plan, err := fw.PlanContext(context.Background(), tbl, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := fw.Apply(tbl, plan, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableCSV(t, p.Table)
+
+	input := tableCSV(t, tbl)
+	sr, err := relation.NewSegmentReader(bytes.NewReader(input), tbl.Schema(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if _, err := fw.ApplyStream(context.Background(), sr, plan, key, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatal("CSV-to-CSV stream differs from in-memory apply")
+	}
+}
+
+// TestAppendStreamMatchesAppend pins the append twin: same emitted CSV,
+// same advanced plan, same thin-bin verdict as AppendContext.
+func TestAppendStreamMatchesAppend(t *testing.T) {
+	all := testData(t, 5000)
+	base, err := all.Slice(0, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := all.Slice(4000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := crypt.NewWatermarkKeyFromSecret("owner", 25)
+	for _, workers := range []int{1, 2, 8} {
+		fw, err := New(ontology.Trees(), Config{K: 15, AutoEpsilon: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prot, err := fw.Protect(base, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := fw.Append(delta, &prot.Plan, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tableCSV(t, app.Table)
+		for _, chunk := range []int{64, 333, 1000} {
+			var got bytes.Buffer
+			res, err := fw.AppendStream(context.Background(), delta.Segments(chunk), &prot.Plan, key, &got)
+			if err != nil {
+				t.Fatalf("workers=%d chunk=%d: %v", workers, chunk, err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("workers=%d chunk=%d: streamed CSV differs from in-memory append", workers, chunk)
+			}
+			if res.NewBins != app.NewBins || res.Plan.Rows != app.Plan.Rows {
+				t.Fatalf("verdicts diverged: newBins %d/%d rows %d/%d",
+					res.NewBins, app.NewBins, res.Plan.Rows, app.Plan.Rows)
+			}
+			if len(res.Plan.Bins) != len(app.Plan.Bins) {
+				t.Fatalf("advanced bin record: %d bins streamed, %d in-memory", len(res.Plan.Bins), len(app.Plan.Bins))
+			}
+			for bin, n := range app.Plan.Bins {
+				if res.Plan.Bins[bin] != n {
+					t.Fatalf("bin %q: %d streamed, %d in-memory", bin, res.Plan.Bins[bin], n)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendStreamPlanDrift checks the deferred end-of-stream verdict:
+// a batch that would publish a thin new bin fails with ErrPlanDrift and
+// the exact verdict text AppendContext issues — even when the thin
+// bin's rows were spread across segments.
+func TestAppendStreamPlanDrift(t *testing.T) {
+	fw, prot, delta, key := appendFixture(t, 4000, 25)
+	plan := prot.Plan
+	app, err := fw.Append(delta, &plan, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one thin delta bin from the published record, so the batch
+	// appears to open a fresh, under-populated value combination.
+	deltaBins, err := anonymity.Bins(app.Table, delta.Schema().QuasiColumns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	thinBin := ""
+	for _, bin := range sortedKeys(deltaBins) {
+		if deltaBins[bin] < plan.K {
+			thinBin = bin
+			break
+		}
+	}
+	if thinBin == "" {
+		t.Fatal("every delta bin holds >= k rows; enlarge the delta to find a thin one")
+	}
+	doctored := plan
+	doctored.Bins = make(map[string]int, len(plan.Bins))
+	for bin, n := range plan.Bins {
+		if bin != thinBin {
+			doctored.Bins[bin] = n
+		}
+	}
+	_, wantErr := fw.Append(delta, &doctored, key)
+	if !errors.Is(wantErr, ErrPlanDrift) {
+		t.Fatalf("in-memory append: %v, want ErrPlanDrift", wantErr)
+	}
+	var got bytes.Buffer
+	_, err = fw.AppendStream(context.Background(), delta.Segments(97), &doctored, key, &got)
+	if !errors.Is(err, ErrPlanDrift) {
+		t.Fatalf("streamed append: %v, want ErrPlanDrift", err)
+	}
+	if err.Error() != wantErr.Error() {
+		t.Fatalf("verdict text diverged:\n  stream: %v\n  memory: %v", err, wantErr)
+	}
+}
+
+// TestApplyStreamValidation covers the cheap up-front failures.
+func TestApplyStreamValidation(t *testing.T) {
+	fw := testFramework(t)
+	tbl := testData(t, 100)
+	key := crypt.NewWatermarkKeyFromSecret("owner", 25)
+	if _, err := fw.ApplyStream(context.Background(), tbl.Segments(0), nil, key, io.Discard); !errors.Is(err, ErrBadProvenance) {
+		t.Fatalf("nil plan: %v", err)
+	}
+	if _, err := fw.ApplyStream(context.Background(), nil, nil, key, io.Discard); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil source: %v", err)
+	}
+	plan, err := fw.PlanContext(context.Background(), tbl, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.ApplyStream(context.Background(), tbl.Segments(0), plan, crypt.WatermarkKey{}, io.Discard); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("empty key: %v", err)
+	}
+	if _, err := fw.AppendStream(context.Background(), tbl.Segments(0), plan, key, io.Discard); !errors.Is(err, ErrBadProvenance) {
+		t.Fatalf("append under unapplied plan: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fw.ApplyStream(ctx, tbl.Segments(0), plan, key, io.Discard); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: %v", err)
+	}
+}
+
+// TestConfigChunkValidation pins the streaming segment-size knob:
+// 0 defaults, explicit values pass through, below-1 is ErrBadConfig.
+func TestConfigChunkValidation(t *testing.T) {
+	fw, err := New(ontology.Trees(), Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fw.Config().Chunk; got != relation.DefaultChunk {
+		t.Errorf("defaulted Chunk = %d, want %d", got, relation.DefaultChunk)
+	}
+	fw, err = New(ontology.Trees(), Config{K: 5, Chunk: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fw.Config().Chunk; got != 123 {
+		t.Errorf("Chunk = %d, want 123", got)
+	}
+	_, err = New(ontology.Trees(), Config{K: 5, Chunk: -1})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Errorf("Chunk=-1: err = %v, want ErrBadConfig", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "Chunk") {
+		t.Errorf("error does not name Chunk: %v", err)
+	}
+}

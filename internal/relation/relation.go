@@ -750,21 +750,9 @@ func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("relation: reading header: %w", err)
 	}
-	if len(header) != schema.NumColumns() {
-		return nil, fmt.Errorf("relation: header has %d columns, schema has %d", len(header), schema.NumColumns())
-	}
-	perm := make([]int, len(header)) // perm[csvCol] = schemaCol
-	seen := make(map[string]bool)
-	for i, name := range header {
-		si, err := schema.Index(name)
-		if err != nil {
-			return nil, fmt.Errorf("relation: unexpected CSV column %q", name)
-		}
-		if seen[name] {
-			return nil, fmt.Errorf("relation: duplicate CSV column %q", name)
-		}
-		seen[name] = true
-		perm[i] = si
+	perm, err := headerPerm(header, schema) // perm[csvCol] = schemaCol
+	if err != nil {
+		return nil, err
 	}
 	t := NewTable(schema)
 	for lineNo := 2; ; lineNo++ {

@@ -1,0 +1,277 @@
+package relation
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func segSchema() *Schema {
+	return MustSchema(
+		Column{Name: "ssn", Kind: Identifying},
+		Column{Name: "age", Kind: QuasiNumeric},
+		Column{Name: "doctor", Kind: QuasiCategorical},
+		Column{Name: "note", Kind: Other},
+	)
+}
+
+// collectSegments drains a segment reader into a fresh table, returning
+// the reassembled table and the segment row counts.
+func collectSegments(t *testing.T, sr *SegmentReader) (*Table, []int) {
+	t.Helper()
+	out := NewTable(sr.schema)
+	var sizes []int
+	for {
+		seg, err := sr.Next()
+		if err == io.EOF {
+			return out, sizes
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		sizes = append(sizes, seg.NumRows())
+		if err := out.AppendTable(seg); err != nil {
+			t.Fatalf("AppendTable: %v", err)
+		}
+	}
+}
+
+func tablesEqual(t *testing.T, got, want *Table) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("rows = %d, want %d", got.NumRows(), want.NumRows())
+	}
+	for i := 0; i < want.NumRows(); i++ {
+		for ci := 0; ci < want.Schema().NumColumns(); ci++ {
+			if g, w := got.CellAt(i, ci), want.CellAt(i, ci); g != w {
+				t.Fatalf("row %d col %d: %q, want %q", i, ci, g, w)
+			}
+		}
+	}
+}
+
+func TestSegmentReaderMatchesReadCSV(t *testing.T) {
+	const input = "doctor,ssn,note,age\n" + // permuted header
+		"Nurse,s1,a,34\n" +
+		"\"Sur,geon\",s2,\"multi\nline\",67\n" +
+		"Nurse,s3,\"qu\"\"ote\",34\n" +
+		"Clerk,s4,后藤さん,9\n" +
+		"Nurse,s5,,34\n"
+	want, err := ReadCSV(strings.NewReader(input), segSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 2, 3, 5, 100, 0} {
+		sr, err := NewSegmentReader(strings.NewReader(input), segSchema(), chunk)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		got, sizes := collectSegments(t, sr)
+		tablesEqual(t, got, want)
+		if sr.Rows() != want.NumRows() {
+			t.Fatalf("chunk %d: Rows() = %d, want %d", chunk, sr.Rows(), want.NumRows())
+		}
+		for _, n := range sizes {
+			limit := chunk
+			if limit <= 0 {
+				limit = DefaultChunk
+			}
+			if n > limit {
+				t.Fatalf("chunk %d: segment of %d rows", chunk, n)
+			}
+		}
+	}
+}
+
+// TestSegmentReaderSharedDicts pins the cross-segment dictionary
+// contract: a value seen in two segments carries the same code in both,
+// and a consumer interning into one segment cannot disturb the shared
+// backing other segments read.
+func TestSegmentReaderSharedDicts(t *testing.T) {
+	const input = "ssn,age,doctor,note\n" +
+		"s1,34,Nurse,a\n" +
+		"s2,67,Surgeon,b\n" +
+		"s3,34,Nurse,c\n" +
+		"s4,9,Clerk,d\n"
+	sr, err := NewSegmentReader(strings.NewReader(input), segSchema(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg1, err := sr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ageIdx, _ := segSchema().Index("age")
+	code34 := seg1.CodeAt(0, ageIdx)
+
+	// Interning a new value into seg1 must copy, not grow the shared dict.
+	seg1.SetCellAt(1, ageIdx, "999")
+
+	seg2, err := sr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seg2.CodeAt(0, ageIdx); got != code34 {
+		t.Fatalf("age code for repeated value = %d in segment 2, want %d", got, code34)
+	}
+	for _, v := range seg2.DictValues(ageIdx) {
+		if v == "999" {
+			t.Fatal("consumer-interned value leaked into the shared dictionary")
+		}
+	}
+	// seg1 still reads correctly after the reader interned more values.
+	if got := seg1.CellAt(0, ageIdx); got != "34" {
+		t.Fatalf("segment 1 cell = %q after later ingest, want \"34\"", got)
+	}
+	if got := seg1.CellAt(1, ageIdx); got != "999" {
+		t.Fatalf("segment 1 interned cell = %q, want \"999\"", got)
+	}
+}
+
+func TestSegmentWriterMatchesWriteCSV(t *testing.T) {
+	const input = "ssn,age,doctor,note\n" +
+		"s1,34,Nurse,\"a\nb\"\n" +
+		"s2,67,\"Sur,geon\",b\n" +
+		"s3,34,Nurse,c\n" +
+		"s4,9,Clerk,d\n" +
+		"s5,67,Nurse,e\n"
+	tbl, err := ReadCSV(strings.NewReader(input), segSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole bytes.Buffer
+	if err := tbl.WriteCSV(&whole); err != nil {
+		t.Fatal(err)
+	}
+	for _, split := range [][]int{{5}, {1, 4}, {2, 2, 1}, {3, 0, 2}} {
+		var streamed bytes.Buffer
+		sw := NewSegmentWriter(&streamed, tbl.Schema())
+		lo := 0
+		for _, n := range split {
+			seg, err := tbl.Slice(lo, lo+n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo += n
+			if err := sw.WriteSegment(seg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(streamed.Bytes(), whole.Bytes()) {
+			t.Fatalf("split %v: streamed CSV differs from WriteCSV", split)
+		}
+	}
+}
+
+func TestSegmentWriterEmptyStream(t *testing.T) {
+	empty := NewTable(segSchema())
+	var whole bytes.Buffer
+	if err := empty.WriteCSV(&whole); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	sw := NewSegmentWriter(&streamed, segSchema())
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), whole.Bytes()) {
+		t.Fatalf("empty stream = %q, want %q", streamed.String(), whole.String())
+	}
+}
+
+func TestSegmentReaderErrors(t *testing.T) {
+	if _, err := NewSegmentReader(strings.NewReader("ssn,ssn,doctor,note\n"), segSchema(), 2); err == nil {
+		t.Fatal("duplicate header column accepted")
+	}
+	if _, err := NewSegmentReader(strings.NewReader("ssn,age,doctor,bogus\n"), segSchema(), 2); err == nil {
+		t.Fatal("unknown header column accepted")
+	}
+	if _, err := NewSegmentReader(strings.NewReader(""), segSchema(), 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+
+	// A ragged record mid-stream fails with ReadCSV's line numbering and
+	// the failure is sticky.
+	const bad = "ssn,age,doctor,note\ns1,34,Nurse,a\nonly,two\n"
+	sr, err := NewSegmentReader(strings.NewReader(bad), segSchema(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sr.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("ragged record error = %v, want line 3", err)
+	}
+	if _, err2 := sr.Next(); !errors.Is(err2, err) && err2 == nil {
+		t.Fatal("error is not sticky")
+	}
+}
+
+// FuzzSegmentIngest asserts the streaming contract on arbitrary
+// documents: whenever ReadCSV accepts an input, segmented ingest at any
+// chunk size must accept it too and reassemble to the identical table —
+// records split across segment boundaries (quoted newlines, multi-byte
+// runes, trailing partial rows) included.
+func FuzzSegmentIngest(f *testing.F) {
+	f.Add("ssn,age,doctor,note\ns1,34,Nurse,a\ns2,67,Surgeon,b\ns3,9,Clerk,c\n", 2)
+	f.Add("doctor,ssn,note,age\nNurse,s1,a,34\n", 1)
+	f.Add("ssn,age,doctor,note\n\"s,1\",\"3\n4\",\"Nu\"\"rse\",\"\"\n\"s\n2\",5,N,x\n", 1)
+	f.Add("ssn,age,doctor,note\nс1,34,Ärztin,後藤\nс2,34,Ärztin,後藤\n", 1)
+	f.Add("ssn,age,doctor,note\r\ns1,34,Nurse,a\r\ns2,5,N,b", 3)
+	f.Add("ssn,age,doctor,note\ns1,,,\n,,,\n", 7)
+	f.Add("", 4)
+	f.Fuzz(func(t *testing.T, input string, chunk int) {
+		if chunk < 0 {
+			chunk = -chunk
+		}
+		chunk %= 6 // exercise tiny segments and the <=0 default path
+		schema := segSchema()
+		want, wantErr := ReadCSV(strings.NewReader(input), schema)
+
+		sr, err := NewSegmentReader(strings.NewReader(input), schema, chunk)
+		if err != nil {
+			if wantErr == nil {
+				t.Fatalf("segment reader rejected input ReadCSV accepts: %v", err)
+			}
+			return
+		}
+		got := NewTable(schema)
+		var segErr error
+		for {
+			seg, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				segErr = err
+				break
+			}
+			if err := got.AppendTable(seg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if wantErr != nil {
+			if segErr == nil {
+				t.Fatalf("segmented ingest accepted input ReadCSV rejects: %v", wantErr)
+			}
+			return
+		}
+		if segErr != nil {
+			t.Fatalf("segmented ingest failed on accepted input: %v", segErr)
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Fatalf("rows = %d, want %d", got.NumRows(), want.NumRows())
+		}
+		for i := 0; i < want.NumRows(); i++ {
+			for ci := 0; ci < schema.NumColumns(); ci++ {
+				if g, w := got.CellAt(i, ci), want.CellAt(i, ci); g != w {
+					t.Fatalf("row %d col %d: %q, want %q", i, ci, g, w)
+				}
+			}
+		}
+	})
+}

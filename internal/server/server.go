@@ -1,10 +1,14 @@
 // Package server is the HTTP service layer over the protection
 // pipeline: request-scoped handlers for POST /v1/protect, /v1/plan,
-// /v1/append, /v1/detect and /v1/dispute plus GET /v1/healthz, speaking
-// the internal/api wire contract. The plan/append pair turns the
-// service into an incremental-ingestion endpoint: protect once, retain
-// the returned plan, and POST each nightly batch to /v1/append (409
-// plan_drift asks for a re-plan). Every request runs under a per-request deadline and inside
+// /v1/apply, /v1/append, /v1/detect and /v1/dispute plus GET
+// /v1/healthz, speaking the internal/api wire contract. The plan/append
+// pair turns the service into an incremental-ingestion endpoint:
+// protect once, retain the returned plan, and POST each nightly batch
+// to /v1/append (409 plan_drift asks for a re-plan). /v1/apply and
+// /v1/append also speak a text/csv streaming mode (see stream.go):
+// the CSV body is protected segment-at-a-time under per-segment byte
+// accounting, so million-row tables pass through in bounded memory.
+// Every request runs under a per-request deadline and inside
 // a bounded in-flight semaphore sized off the worker configuration, so
 // a burst of heavy protect calls queues instead of oversubscribing the
 // machine; cancellation (client disconnect, deadline) propagates through
@@ -113,7 +117,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/protect", s.pipeline(s.handleProtect))
 	mux.HandleFunc("POST /v1/plan", s.pipeline(s.handlePlan))
-	mux.HandleFunc("POST /v1/append", s.pipeline(s.handleAppend))
+	mux.HandleFunc("POST /v1/apply", s.streamPipeline(s.handleApply))
+	mux.HandleFunc("POST /v1/append", s.streamPipeline(s.handleAppend))
 	mux.HandleFunc("POST /v1/detect", s.pipeline(s.handleDetect))
 	mux.HandleFunc("POST /v1/dispute", s.pipeline(s.handleDispute))
 	mux.HandleFunc("POST /v1/fingerprint", s.pipeline(s.handleFingerprint))
@@ -130,12 +135,28 @@ func (s *Server) Handler() http.Handler {
 // logging. Handlers return (status, error) and write nothing on error —
 // the wrapper owns the error envelope.
 func (s *Server) pipeline(h func(w http.ResponseWriter, r *http.Request) (int, error)) http.HandlerFunc {
+	return s.envelope(h, false)
+}
+
+// streamPipeline is the envelope of the endpoints with a text/csv
+// streaming mode (/v1/apply, /v1/append): identical except that a CSV
+// body skips the whole-body MaxBytesReader — the stream is metered per
+// segment instead (meteredSegments), so tables larger than MaxBodyBytes
+// pass while peak buffering stays bounded by it. JSON bodies on the
+// same routes keep the whole-body cap.
+func (s *Server) streamPipeline(h func(w http.ResponseWriter, r *http.Request) (int, error)) http.HandlerFunc {
+	return s.envelope(h, true)
+}
+
+func (s *Server) envelope(h func(w http.ResponseWriter, r *http.Request) (int, error), streaming bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		if !(streaming && isCSVRequest(r)) {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
 
 		status := http.StatusOK
 		select {
@@ -240,6 +261,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) (int, error)
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) (int, error) {
+	if isCSVRequest(r) {
+		return s.handleAppendCSV(w, r)
+	}
 	var req api.AppendRequest
 	if err := api.DecodeJSON(r.Body, &req); err != nil {
 		return 0, badRequest(err)
@@ -679,29 +703,33 @@ type overloadedError struct{ err error }
 func (e overloadedError) Error() string { return e.err.Error() }
 func (e overloadedError) Unwrap() error { return e.err }
 
-func (s *Server) writeError(w http.ResponseWriter, err error) int {
+// classify maps an error to its wire code and status: the server's own
+// tagged wrappers first, then the pipeline sentinels via api.Classify.
+func (s *Server) classify(err error) (code string, status int) {
 	var (
-		code   string
-		status int
-		br     badRequestError
-		nf     notFoundError
-		ol     overloadedError
-		mbe    *http.MaxBytesError
+		br  badRequestError
+		nf  notFoundError
+		ol  overloadedError
+		mbe *http.MaxBytesError
 	)
 	switch {
 	case errors.As(err, &ol):
-		code, status = api.CodeOverloaded, http.StatusServiceUnavailable
+		return api.CodeOverloaded, http.StatusServiceUnavailable
 	case errors.As(err, &mbe):
-		code, status = api.CodePayloadTooLarge, http.StatusRequestEntityTooLarge
+		return api.CodePayloadTooLarge, http.StatusRequestEntityTooLarge
 	case errors.As(err, &nf):
-		code, status = api.CodeNotFound, http.StatusNotFound
+		return api.CodeNotFound, http.StatusNotFound
 	case errors.Is(err, registry.ErrConflict):
-		code, status = api.CodeConflict, http.StatusConflict
+		return api.CodeConflict, http.StatusConflict
 	case errors.As(err, &br):
-		code, status = api.CodeBadRequest, http.StatusBadRequest
+		return api.CodeBadRequest, http.StatusBadRequest
 	default:
-		code, status = api.Classify(err)
+		return api.Classify(err)
 	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) int {
+	code, status := s.classify(err)
 	writeJSON(w, status, api.ErrorResponse{Error: api.Error{Code: code, Message: err.Error()}})
 	return status
 }

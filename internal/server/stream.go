@@ -1,0 +1,269 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/relation"
+)
+
+// This file is the streaming data plane of the service: the text/csv
+// request/response mode of POST /v1/apply and /v1/append. The CSV body
+// is consumed segment-at-a-time through relation.SegmentReader — the
+// table is never materialized — and the protected CSV streams back
+// incrementally, so the endpoints handle tables far beyond MaxBodyBytes
+// under bounded memory. MaxBytesReader cannot meter such a body without
+// defeating it (it caps the whole stream), so the cap moves to
+// per-segment accounting: every segment's wire bytes must fit
+// MaxBodyBytes, which bounds the server's buffer exactly like the JSON
+// mode's whole-body cap does.
+//
+// Failures after the first response byte cannot change the committed
+// 200 status; they are reported in the api.ErrorTrailer and the partial
+// CSV must be discarded (see the internal/api stream contract).
+
+// maxStreamChunk caps the requested rows-per-segment: a giant chunk
+// would turn "streaming" back into whole-table buffering.
+const maxStreamChunk = 1 << 20
+
+// isCSVRequest reports whether the request selects the streaming mode.
+func isCSVRequest(r *http.Request) bool {
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && mt == api.ContentTypeCSV
+}
+
+// countingReader counts wire bytes consumed from the request body.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// meteredSegments wraps a SegmentReader with MaxBytesReader-style
+// accounting, per segment: if one segment's records span more wire
+// bytes than the limit, the stream fails with *http.MaxBytesError (the
+// same 413 the JSON mode's whole-body cap produces).
+type meteredSegments struct {
+	sr    *relation.SegmentReader
+	cr    *countingReader
+	limit int64
+	mark  int64
+}
+
+func (m *meteredSegments) Schema() *relation.Schema { return m.sr.Schema() }
+
+func (m *meteredSegments) Next() (*relation.Table, error) {
+	seg, err := m.sr.Next()
+	if consumed := m.cr.n - m.mark; consumed > m.limit {
+		return nil, &http.MaxBytesError{Limit: m.limit}
+	}
+	m.mark = m.cr.n
+	return seg, err
+}
+
+// flushingWriter counts response bytes (to tell "nothing committed yet"
+// from "mid-stream") and flushes after every write so protected
+// segments reach the client as they are produced.
+type flushingWriter struct {
+	w  http.ResponseWriter
+	rc *http.ResponseController
+	n  int64
+}
+
+func (f *flushingWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	f.n += int64(n)
+	if err == nil {
+		_ = f.rc.Flush() // ErrNotSupported just means buffered delivery
+	}
+	return n, err
+}
+
+// streamSetup is the decoded header metadata of one streaming request.
+type streamSetup struct {
+	fw   *core.Framework
+	plan *core.Plan
+	key  crypt.WatermarkKey
+	src  *meteredSegments
+}
+
+// decodeStreamRequest builds the framework, plan, key and metered
+// segment source from the request headers and body. Everything here
+// runs before the first response byte, so failures keep the ordinary
+// error envelope.
+func (s *Server) decodeStreamRequest(r *http.Request) (*streamSetup, error) {
+	plan, err := api.DecodePlanHeader(r.Header.Get(api.PlanHeader))
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	schema, err := api.DecodeSchemaHeader(r.Header.Get(api.SchemaHeader))
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	secret := r.Header.Get(api.SecretHeader)
+	if secret == "" {
+		return nil, badRequest(fmt.Errorf("streaming request needs the secret in the %s header", api.SecretHeader))
+	}
+	eta, err := api.DecodeEtaHeader(r.Header.Get(api.EtaHeader))
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	opts, err := api.DecodeOptionsHeader(r.Header.Get(api.OptionsHeader))
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	chunk, err := api.DecodeChunkHeader(r.Header.Get(api.ChunkHeader))
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if opts == nil {
+		opts = &api.Options{}
+	}
+	if opts.K == 0 {
+		// The run executes under the plan's frozen K; the framework K
+		// only has to satisfy validation.
+		opts.K = max(plan.K, 1)
+	}
+	fw, err := s.frameworkFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	if chunk == 0 {
+		chunk = fw.Config().Chunk
+	}
+	if chunk > maxStreamChunk {
+		return nil, badRequest(fmt.Errorf("%s %d exceeds the server cap %d", api.ChunkHeader, chunk, maxStreamChunk))
+	}
+	cr := &countingReader{r: r.Body}
+	sr, err := relation.NewSegmentReader(cr, schema, chunk)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return &streamSetup{
+		fw:   fw,
+		plan: plan,
+		key:  crypt.NewWatermarkKeyFromSecret(secret, eta),
+		src:  &meteredSegments{sr: sr, cr: cr, limit: s.cfg.MaxBodyBytes},
+	}, nil
+}
+
+// runStream drives one streaming pipeline run and owns the split error
+// contract: before the first body byte, errors return to the envelope
+// (ordinary status + JSON error); after it, they land in ErrorTrailer.
+func (s *Server) runStream(
+	w http.ResponseWriter, r *http.Request,
+	run func(ctx context.Context, out io.Writer) (*core.Streamed, error),
+) (int, error) {
+	w.Header().Set("Content-Type", api.ContentTypeCSV)
+	w.Header().Set("Trailer", api.StatsTrailer+", "+api.PlanHeader+", "+api.ErrorTrailer)
+	rc := http.NewResponseController(w)
+	// The run reads the request body while the response streams; without
+	// full duplex, net/http closes the unread body at the first write.
+	_ = rc.EnableFullDuplex()
+	out := &flushingWriter{w: w, rc: rc}
+	res, err := run(r.Context(), out)
+	if err == nil {
+		var planJSON string
+		if planJSON, err = api.EncodePlanHeader(&res.Plan); err == nil {
+			stats, _ := json.Marshal(api.StreamStatsOf(res))
+			w.Header().Set(api.StatsTrailer, string(stats))
+			w.Header().Set(api.PlanHeader, planJSON)
+			return http.StatusOK, nil
+		}
+	}
+	if out.n == 0 {
+		// Nothing committed: hand the error to the envelope, which owns
+		// the status code and JSON body.
+		w.Header().Del("Trailer")
+		w.Header().Del("Content-Type")
+		return 0, err
+	}
+	code, _ := s.classify(err)
+	body, _ := json.Marshal(api.Error{Code: code, Message: err.Error()})
+	w.Header().Set(api.ErrorTrailer, string(body))
+	s.logf("stream %s failed mid-body: %v", r.URL.Path, err)
+	return http.StatusOK, nil
+}
+
+// handleApply serves POST /v1/apply: execute a saved plan on a table —
+// the transform half of protect, no binning search. text/csv selects
+// the streaming mode; JSON bodies take the buffered mode.
+func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) (int, error) {
+	if isCSVRequest(r) {
+		set, err := s.decodeStreamRequest(r)
+		if err != nil {
+			return 0, err
+		}
+		return s.runStream(w, r, func(ctx context.Context, out io.Writer) (*core.Streamed, error) {
+			return set.fw.ApplyStream(ctx, set.src, set.plan, set.key, out)
+		})
+	}
+	var req api.ApplyRequest
+	if err := api.DecodeJSON(r.Body, &req); err != nil {
+		return 0, badRequest(err)
+	}
+	switch req.Output {
+	case "", api.OutputRows, api.OutputCSV:
+	default:
+		return 0, badRequest(fmt.Errorf("unknown output format %q (want %q or %q)", req.Output, api.OutputRows, api.OutputCSV))
+	}
+	if req.Options == nil {
+		req.Options = &api.Options{}
+	}
+	if req.Options.K == 0 {
+		req.Options.K = max(req.Plan.K, 1)
+	}
+	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
+	if err != nil {
+		return 0, err
+	}
+	prot, err := fw.ApplyContext(r.Context(), tbl, &req.Plan, key)
+	if err != nil {
+		return 0, err
+	}
+	outTbl, err := api.EncodeTable(prot.Table, req.Output)
+	if err != nil {
+		return 0, badRequest(err)
+	}
+	writeJSON(w, http.StatusOK, api.ApplyResponse{
+		Version:    api.Version,
+		Table:      outTbl,
+		Provenance: prot.Provenance,
+		Plan:       prot.Plan,
+		Stats: api.ProtectStats{
+			Rows:           prot.Table.NumRows(),
+			TuplesSelected: prot.Embed.TuplesSelected,
+			BitsEmbedded:   prot.Embed.BitsEmbedded,
+			CellsChanged:   prot.Embed.CellsChanged,
+			EffectiveK:     prot.Plan.EffectiveK,
+			Epsilon:        prot.Provenance.Epsilon,
+			AvgLoss:        prot.Plan.AvgLoss,
+		},
+	})
+	return http.StatusOK, nil
+}
+
+// handleAppendCSV is the streaming mode of POST /v1/append: the CSV
+// body is the delta batch, the response body the protected delta, and
+// the advanced plan rides the PlanHeader trailer.
+func (s *Server) handleAppendCSV(w http.ResponseWriter, r *http.Request) (int, error) {
+	set, err := s.decodeStreamRequest(r)
+	if err != nil {
+		return 0, err
+	}
+	return s.runStream(w, r, func(ctx context.Context, out io.Writer) (*core.Streamed, error) {
+		return set.fw.AppendStream(ctx, set.src, set.plan, set.key, out)
+	})
+}

@@ -99,6 +99,28 @@ type (
 	Key = crypt.WatermarkKey
 )
 
+// Streaming data-plane types: Framework.ApplyStream and
+// Framework.AppendStream protect tables segment-at-a-time with peak
+// memory bounded by the segment size (Config.Chunk / WithChunk), and
+// their CSV output is byte-identical to the in-memory Apply/Append.
+type (
+	// Segments is the streaming table source the Stream entry points
+	// consume: NewSegmentReader (CSV ingest) and Table.Segments (an
+	// in-memory table) both satisfy it.
+	Segments = core.Segments
+	// Streamed is a streaming run's outcome: statistics plus the
+	// effective/advanced plan; the protected rows went to the writer.
+	Streamed = core.Streamed
+	// SegmentReader ingests a CSV document as a sequence of bounded
+	// table segments sharing one dictionary.
+	SegmentReader = relation.SegmentReader
+	// SegmentWriter emits table segments as one CSV document.
+	SegmentWriter = relation.SegmentWriter
+)
+
+// DefaultChunk is the default streaming segment size in rows.
+const DefaultChunk = relation.DefaultChunk
+
 // Multi-recipient fingerprinting and leak traceback types.
 type (
 	// Recipient names one outsourcing destination plus the key its copy
@@ -274,6 +296,19 @@ func NewSchema(cols []Column) (*Schema, error) { return relation.NewSchema(cols)
 
 // ReadCSV loads a table whose CSV header matches the schema's columns.
 func ReadCSV(r io.Reader, schema *Schema) (*Table, error) { return relation.ReadCSV(r, schema) }
+
+// NewSegmentReader opens a streaming CSV ingest over r: successive Next
+// calls yield bounded table segments of up to chunk rows (0 =
+// DefaultChunk) suitable for Framework.ApplyStream/AppendStream.
+func NewSegmentReader(r io.Reader, schema *Schema, chunk int) (*SegmentReader, error) {
+	return relation.NewSegmentReader(r, schema, chunk)
+}
+
+// NewSegmentWriter returns a streaming CSV emitter over w; feed it the
+// segments of a table to produce the same bytes Table.WriteCSV would.
+func NewSegmentWriter(w io.Writer, schema *Schema) *SegmentWriter {
+	return relation.NewSegmentWriter(w, schema)
+}
 
 // LoadCSVFile is ReadCSV over a file path.
 func LoadCSVFile(path string, schema *Schema) (*Table, error) {

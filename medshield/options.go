@@ -78,6 +78,12 @@ func WithNoColumnSalt() Option { return func(c *Config) { c.NoColumnSalt = true 
 // worker count.
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 
+// WithChunk sets the streaming segment size in rows (0 = DefaultChunk)
+// used by ApplyStream/AppendStream and Table.Segments. Peak streaming
+// memory scales with the chunk; output bytes do not depend on it.
+// Values below 1 are rejected at construction (ErrBadConfig).
+func WithChunk(rows int) Option { return func(c *Config) { c.Chunk = rows } }
+
 // WithConfig overlays a complete Config — the bridge for callers that
 // deserialize an effective configuration (e.g. the HTTP service applying
 // request overrides on server defaults) or migrate from the v1

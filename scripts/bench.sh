@@ -2,12 +2,14 @@
 # bench.sh — record the pipeline's perf trajectory across PRs.
 #
 # Runs the 20k-row Protect / Detect / MultiBin benchmarks plus the
-# incremental-ingestion pair (Append2k vs Reprotect22k) and the
+# incremental-ingestion pair (Append2k vs Reprotect22k), the
 # multi-recipient traceback (Traceback50: one 20k suspect against 50
-# registered recipients) with -benchmem and appends one labelled entry
-# (best-of-N ns/op, plus B/op and allocs/op) per benchmark to
-# BENCH_pipeline.json at the repo root, so representation regressions
-# show up as a diff in review.
+# registered recipients) and the streaming data plane pair
+# (Protect200k for scale, ApplyStream1M for the segment-at-a-time
+# million-row path — its bytes_op is the bounded-memory claim) with
+# -benchmem and appends one labelled entry (best-of-N ns/op, plus B/op
+# and allocs/op) per benchmark to BENCH_pipeline.json at the repo root,
+# so representation regressions show up as a diff in review.
 #
 # Usage: scripts/bench.sh [label]
 #   label   entry label (default: git describe of HEAD)
@@ -19,7 +21,7 @@ cd "$(dirname "$0")/.."
 LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}"
 COUNT="${COUNT:-3}"
 OUT="BENCH_pipeline.json"
-PATTERN='BenchmarkProtect20k$|BenchmarkDetect20k$|BenchmarkMultiBinGreedy$|BenchmarkAppend2k$|BenchmarkReprotect22k$|BenchmarkTraceback50$'
+PATTERN='BenchmarkProtect20k$|BenchmarkDetect20k$|BenchmarkMultiBinGreedy$|BenchmarkAppend2k$|BenchmarkReprotect22k$|BenchmarkTraceback50$|BenchmarkProtect200k$|BenchmarkApplyStream1M$'
 
 RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" .)"
 echo "$RAW"
