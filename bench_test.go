@@ -5,10 +5,14 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -16,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/attack"
 	"repro/internal/binning"
 	"repro/internal/core"
@@ -23,8 +28,10 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dht"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/ontology"
 	"repro/internal/relation"
+	"repro/internal/server"
 	"repro/internal/watermark"
 	"repro/medshield"
 )
@@ -639,6 +646,86 @@ func BenchmarkTraceback50(b *testing.B) {
 		}
 		if tbk.Culprit != cands[0].ID {
 			b.Fatalf("culprit = %q", tbk.Culprit)
+		}
+	}
+}
+
+// ---- async job layer ---------------------------------------------------
+
+// BenchmarkJobThroughput pushes b.N small protect jobs through the full
+// async path — HTTP submit, queue, 4-worker pool, result encoding —
+// then waits for the queue to drain, so ns/op is the per-job cost of
+// the job layer plus a 500-row protect. scripts/bench.sh records it in
+// BENCH_pipeline.json next to the sync pipeline numbers.
+func BenchmarkJobThroughput(b *testing.B) {
+	tbl := benchTable(b, 500)
+	wire, err := api.EncodeTable(tbl, api.OutputCSV)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(api.ProtectRequest{
+		Table:  wire,
+		Key:    api.Key{Secret: "bench", Eta: 75},
+		Output: api.OutputCSV,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := server.New(server.Config{
+		Defaults: core.Config{K: 20, AutoEpsilon: true},
+		Jobs:     jobs.Config{Workers: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = svc.Close(ctx)
+	}()
+
+	getJob := func(id string) api.JobResponse {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var jr api.JobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			b.Fatal(err)
+		}
+		return jr
+	}
+
+	b.ResetTimer()
+	ids := make([]string, b.N)
+	for i := range ids {
+		resp, err := http.Post(ts.URL+"/v1/jobs/protect", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var jr api.JobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit: status %d", resp.StatusCode)
+		}
+		ids[i] = jr.Job.ID
+	}
+	for _, id := range ids {
+		for {
+			jr := getJob(id)
+			if jr.Job.State.Terminal() {
+				if jr.Job.State != jobs.StateSucceeded {
+					b.Fatalf("job %s ended %s: %s", id, jr.Job.State, jr.Job.Error)
+				}
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
 	}
 }

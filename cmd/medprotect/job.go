@@ -1,0 +1,368 @@
+package main
+
+// The job subcommands are the async counterpart of the HTTP service:
+// submit a sync endpoint's JSON request document as a queued job, then
+// poll, tail or cancel it.
+//
+//	medprotect job submit -server URL -kind protect -body req.json [-key K] [-webhook URL] [-wait] [-result out.json]
+//	medprotect job submit -server URL -kind protect -in data.csv -secret S -eta E [-k K] ...
+//	medprotect job status -server URL -id j-xxx [-result out.json]
+//	medprotect job wait   -server URL -id j-xxx [-result out.json] [-timeout D]
+//	medprotect job cancel -server URL -id j-xxx
+//	medprotect job list   -server URL [-kind protect] [-state succeeded]
+//
+// submit either posts -body verbatim (any kind; "-" reads stdin) or,
+// for the protect/plan kinds, builds the request from a CSV table and
+// key flags. wait tails the job's SSE event stream, printing progress,
+// and falls back to polling if the stream drops.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/jobs"
+	"repro/medshield"
+)
+
+func cmdJob(args []string) error {
+	if len(args) < 1 {
+		return errors.New(`job needs a subcommand: submit|status|wait|cancel|list`)
+	}
+	switch args[0] {
+	case "submit":
+		return cmdJobSubmit(args[1:])
+	case "status":
+		return cmdJobStatus(args[1:])
+	case "wait":
+		return cmdJobWait(args[1:])
+	case "cancel":
+		return cmdJobCancel(args[1:])
+	case "list":
+		return cmdJobList(args[1:])
+	default:
+		return fmt.Errorf("unknown job subcommand %q (want submit|status|wait|cancel|list)", args[0])
+	}
+}
+
+func cmdJobSubmit(args []string) error {
+	fs := flag.NewFlagSet("job submit", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "medshield-server base URL")
+	kind := fs.String("kind", "protect", "job kind: protect|plan|apply|fingerprint|traceback")
+	body := fs.String("body", "", `request document path (the sync endpoint's JSON body; "-" = stdin)`)
+	in := fs.String("in", "", "build a protect/plan request from this CSV table instead of -body")
+	secret := fs.String("secret", "", "watermark secret (with -in)")
+	eta := fs.Uint64("eta", 50, "fraction parameter (with -in)")
+	k := fs.Int("k", 0, "k-anonymity override (with -in; 0 = server default)")
+	output := fs.String("output", "csv", "result table format with -in: rows|csv")
+	idemKey := fs.String("key", "", "idempotency key (resubmits return the existing job)")
+	webhook := fs.String("webhook", "", "completion webhook URL (HMAC-signed with the job's secret)")
+	wait := fs.Bool("wait", false, "tail the job until it finishes")
+	result := fs.String("result", "", "write the result document here once succeeded (implies -wait)")
+	_ = fs.Parse(args)
+
+	var doc []byte
+	var err error
+	switch {
+	case *body != "" && *in != "":
+		return errors.New("-body and -in are mutually exclusive")
+	case *body == "-":
+		doc, err = io.ReadAll(os.Stdin)
+	case *body != "":
+		doc, err = os.ReadFile(*body)
+	case *in != "":
+		doc, err = buildTableRequest(*kind, *in, *secret, *eta, *k, *output)
+	default:
+		return errors.New("job submit needs -body or -in")
+	}
+	if err != nil {
+		return err
+	}
+
+	req, err := http.NewRequest(http.MethodPost, *server+"/v1/jobs/"+*kind, bytes.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if *idemKey != "" {
+		req.Header.Set(api.IdempotencyKeyHeader, *idemKey)
+	}
+	if *webhook != "" {
+		req.Header.Set(api.WebhookHeader, *webhook)
+	}
+	var resp api.JobResponse
+	if err := doJSON(req, &resp); err != nil {
+		return err
+	}
+	printJob(resp.Job)
+	if !*wait && *result == "" {
+		return nil
+	}
+	return waitAndReport(*server, resp.Job.ID, *result, 0)
+}
+
+// buildTableRequest assembles a protect or plan request document from a
+// CSV table and key flags — the common case that shouldn't require
+// hand-writing JSON.
+func buildTableRequest(kind, in, secret string, eta uint64, k int, output string) ([]byte, error) {
+	if kind != "protect" && kind != "plan" {
+		return nil, fmt.Errorf("-in builds protect/plan requests only; submit kind %q with -body", kind)
+	}
+	if secret == "" {
+		return nil, errors.New("-in needs -secret")
+	}
+	tbl, err := medshield.LoadCSVFile(in, medshield.BuiltinSchema())
+	if err != nil {
+		return nil, err
+	}
+	wire, err := api.EncodeTable(tbl, api.OutputCSV)
+	if err != nil {
+		return nil, err
+	}
+	var opts *api.Options
+	if k > 0 {
+		opts = &api.Options{K: k}
+	}
+	key := api.Key{Secret: secret, Eta: eta}
+	if kind == "plan" {
+		return json.Marshal(api.PlanRequest{Table: wire, Key: key, Options: opts})
+	}
+	return json.Marshal(api.ProtectRequest{Table: wire, Key: key, Options: opts, Output: output})
+}
+
+func cmdJobStatus(args []string) error {
+	fs := flag.NewFlagSet("job status", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "medshield-server base URL")
+	id := fs.String("id", "", "job ID")
+	result := fs.String("result", "", "write the result document here (succeeded jobs)")
+	_ = fs.Parse(args)
+	if *id == "" {
+		return errors.New("job status needs -id")
+	}
+	resp, err := fetchJob(*server, *id)
+	if err != nil {
+		return err
+	}
+	printJob(resp.Job)
+	return maybeWriteResult(resp, *result)
+}
+
+func cmdJobWait(args []string) error {
+	fs := flag.NewFlagSet("job wait", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "medshield-server base URL")
+	id := fs.String("id", "", "job ID")
+	result := fs.String("result", "", "write the result document here once succeeded")
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+	_ = fs.Parse(args)
+	if *id == "" {
+		return errors.New("job wait needs -id")
+	}
+	return waitAndReport(*server, *id, *result, *timeout)
+}
+
+func cmdJobCancel(args []string) error {
+	fs := flag.NewFlagSet("job cancel", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "medshield-server base URL")
+	id := fs.String("id", "", "job ID")
+	_ = fs.Parse(args)
+	if *id == "" {
+		return errors.New("job cancel needs -id")
+	}
+	req, err := http.NewRequest(http.MethodDelete, *server+"/v1/jobs/"+*id, nil)
+	if err != nil {
+		return err
+	}
+	var resp api.JobResponse
+	if err := doJSON(req, &resp); err != nil {
+		return err
+	}
+	printJob(resp.Job)
+	return nil
+}
+
+func cmdJobList(args []string) error {
+	fs := flag.NewFlagSet("job list", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "medshield-server base URL")
+	kind := fs.String("kind", "", "filter by kind")
+	state := fs.String("state", "", "filter by state")
+	limit := fs.Int("limit", 50, "page size")
+	offset := fs.Int("offset", 0, "page offset")
+	_ = fs.Parse(args)
+	url := fmt.Sprintf("%s/v1/jobs?kind=%s&state=%s&limit=%d&offset=%d", *server, *kind, *state, *limit, *offset)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	var resp api.JobsListResponse
+	if err := doJSON(req, &resp); err != nil {
+		return err
+	}
+	fmt.Printf("%d job(s), showing %d (offset %d)\n", resp.Total, len(resp.Jobs), resp.Offset)
+	for _, j := range resp.Jobs {
+		printJob(j)
+	}
+	return nil
+}
+
+// waitAndReport tails the job's SSE stream until a terminal state,
+// falling back to polling when the stream is unavailable or drops.
+func waitAndReport(server, id, resultPath string, timeout time.Duration) error {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("job %s still not finished after %s", id, timeout)
+		}
+		if done, err := tailEvents(server, id); err == nil && done {
+			break
+		}
+		// Stream unavailable or cut mid-job: poll once, then retry the
+		// stream from a fresh snapshot.
+		resp, err := fetchJob(server, id)
+		if err != nil {
+			return err
+		}
+		if resp.Job.State.Terminal() {
+			break
+		}
+		time.Sleep(time.Second)
+	}
+	resp, err := fetchJob(server, id)
+	if err != nil {
+		return err
+	}
+	printJob(resp.Job)
+	if err := maybeWriteResult(resp, resultPath); err != nil {
+		return err
+	}
+	switch resp.Job.State {
+	case jobs.StateSucceeded:
+		return nil
+	default:
+		return fmt.Errorf("job %s ended %s: %s", id, resp.Job.State, resp.Job.Error)
+	}
+}
+
+// tailEvents streams one SSE connection, printing progress, and reports
+// whether a terminal state event arrived before the stream ended.
+func tailEvents(server, id string) (terminal bool, err error) {
+	resp, err := http.Get(server + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("events stream: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			switch event {
+			case jobs.EventProgress:
+				var p jobs.Progress
+				if json.Unmarshal([]byte(data), &p) == nil {
+					if p.Total > 0 {
+						fmt.Fprintf(os.Stderr, "  %s %d/%d\n", p.Stage, p.Done, p.Total)
+					} else {
+						fmt.Fprintf(os.Stderr, "  %s %d\n", p.Stage, p.Done)
+					}
+				}
+			case jobs.EventState:
+				var snap jobs.Snapshot
+				if json.Unmarshal([]byte(data), &snap) == nil {
+					fmt.Fprintf(os.Stderr, "  state: %s\n", snap.State)
+					if snap.State.Terminal() {
+						return true, nil
+					}
+				}
+			}
+			event, data = "", ""
+		}
+	}
+	return false, sc.Err()
+}
+
+func fetchJob(server, id string) (api.JobResponse, error) {
+	req, err := http.NewRequest(http.MethodGet, server+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return api.JobResponse{}, err
+	}
+	var resp api.JobResponse
+	if err := doJSON(req, &resp); err != nil {
+		return api.JobResponse{}, err
+	}
+	return resp, nil
+}
+
+// doJSON executes the request and decodes a 2xx JSON response, mapping
+// error envelopes to readable errors.
+func doJSON(req *http.Request, v any) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var envelope api.ErrorResponse
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error.Message != "" {
+			return fmt.Errorf("%s: %s (%s)", resp.Status, envelope.Error.Message, envelope.Error.Code)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	return json.Unmarshal(raw, v)
+}
+
+func maybeWriteResult(resp api.JobResponse, path string) error {
+	if path == "" {
+		return nil
+	}
+	if resp.Job.State != jobs.StateSucceeded {
+		return fmt.Errorf("job %s has no result (state %s)", resp.Job.ID, resp.Job.State)
+	}
+	if err := os.WriteFile(path, append(bytes.Clone(resp.Result), '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote result to %s\n", path)
+	return nil
+}
+
+func printJob(j jobs.Snapshot) {
+	line := fmt.Sprintf("%s  %-11s %-9s attempts %d/%d", j.ID, j.Kind, j.State, j.Attempts, j.MaxAttempts)
+	if j.Progress.Stage != "" {
+		if j.Progress.Total > 0 {
+			line += fmt.Sprintf("  [%s %d/%d]", j.Progress.Stage, j.Progress.Done, j.Progress.Total)
+		} else {
+			line += fmt.Sprintf("  [%s %d]", j.Progress.Stage, j.Progress.Done)
+		}
+	}
+	if j.Error != "" {
+		line += "  error: " + j.Error
+	}
+	if j.Webhook != "" {
+		line += fmt.Sprintf("  webhook: %s (delivered=%t, %d attempts)", j.Webhook, j.WebhookOK, len(j.Deliveries))
+	}
+	fmt.Println(line)
+}

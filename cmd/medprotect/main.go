@@ -17,6 +17,7 @@
 //	medprotect fingerprint -in data.csv -k K -eta E -secret S -recipients a,b,c -outdir DIR -registry reg.json [-workers W]
 //	medprotect traceback   -in suspect.csv -registry reg.json -secret S [-workers W]
 //	medprotect trees    -dir DIR
+//	medprotect job      submit|status|wait|cancel|list -server URL ... (async jobs against medshield-server)
 //
 // protect -plan (or the standalone plan subcommand) writes the
 // protection plan: a superset of the provenance record that freezes the
@@ -84,6 +85,8 @@ func main() {
 		err = cmdTraceback(os.Args[2:])
 	case "trees":
 		err = cmdTrees(os.Args[2:])
+	case "job":
+		err = cmdJob(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -98,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: medprotect <gen|protect|plan|apply|append|detect|attack|dispute|fingerprint|traceback|trees> [flags]
+	fmt.Fprintln(os.Stderr, `usage: medprotect <gen|protect|plan|apply|append|detect|attack|dispute|fingerprint|traceback|trees|job> [flags]
 run "medprotect <subcommand> -h" for flags`)
 }
 

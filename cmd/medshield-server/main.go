@@ -10,14 +10,29 @@
 //	POST /v1/fingerprint  — protect one table for N recipients, register them
 //	POST /v1/traceback    — rank registered recipients against a leaked copy
 //	GET/POST/DELETE /v1/recipients[/{id}] — recipient registry CRUD-lite
-//	GET  /v1/healthz      — liveness + capacity
+//	GET  /healthz, /v1/healthz — liveness + capacity
+//	GET  /readyz          — readiness (503 once draining)
+//	POST /v1/jobs/{kind}  — submit protect/plan/apply/fingerprint/traceback async
+//	GET  /v1/jobs[/{id}]  — list / poll jobs; DELETE cancels
+//	GET  /v1/jobs/{id}/events — SSE progress stream
 //
 // Every request runs under a per-request deadline (-request-timeout) and
 // a bounded in-flight semaphore (-max-inflight, sized off -workers by
 // default); connection hygiene is bounded by -read-timeout and
-// -idle-timeout; SIGINT/SIGTERM drain in-flight requests before exit.
-// The recipient registry persists to -registry (JSON, atomic writes) or
-// lives in memory when the flag is empty.
+// -idle-timeout. The probe and job routes bypass the semaphore: job
+// submission answers 202 in milliseconds while the -job-workers pool
+// grinds through the queue, with retries (-job-max-attempts), SSE
+// progress and HMAC-signed completion webhooks.
+//
+// SIGINT/SIGTERM shut down in stages: readiness flips (load balancers
+// stop routing) and job submissions are refused, in-flight HTTP
+// requests drain, then running jobs are cancelled back to the queued
+// state and the job store is flushed — with -jobs they resume on the
+// next boot. The recipient registry persists to -registry and the job
+// queue to -jobs (both JSON, atomic writes), or live in memory when the
+// flags are empty. NOTE: job requests embed owner secrets, so the -jobs
+// file (mode 0600) holds secrets at rest; omit the flag to keep them
+// memory-only.
 //
 // /v1/apply and /v1/append additionally speak a streaming text/csv mode
 // (metadata in headers, statistics in trailers) that processes tables
@@ -45,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/registry"
 	"repro/internal/server"
 )
@@ -68,6 +84,10 @@ func run() error {
 		maxInflight    = flag.Int("max-inflight", 0, "max concurrently served pipeline requests (0 = sized off workers)")
 		maxBody        = flag.Int64("max-body-bytes", 64<<20, "request body size cap in bytes")
 		registryPath   = flag.String("registry", "", "recipient registry JSON path for fingerprint/traceback (empty = in-memory, lost on exit)")
+		jobsPath       = flag.String("jobs", "", "durable job store JSON path (empty = in-memory; queued/running jobs then die with the process)")
+		jobWorkers     = flag.Int("job-workers", 0, "async job pool size (0 = 2)")
+		jobAttempts    = flag.Int("job-max-attempts", 0, "max run attempts per job before the dead-letter state (0 = 3)")
+		jobTimeout     = flag.Duration("job-attempt-timeout", 0, "per-attempt deadline for async jobs (0 = 15m)")
 		pprofAddr      = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (empty = disabled)")
 		quiet          = flag.Bool("quiet", false, "disable per-request logging")
 	)
@@ -82,13 +102,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	jobStore, err := jobs.Open(*jobsPath)
+	if err != nil {
+		return err
+	}
 	svc, err := server.New(server.Config{
 		Defaults:       core.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers},
 		RequestTimeout: *requestTimeout,
 		MaxInflight:    *maxInflight,
 		MaxBodyBytes:   *maxBody,
 		Registry:       reg,
-		Logger:         reqLogger,
+		Jobs: jobs.Config{
+			Store:          jobStore,
+			Workers:        *jobWorkers,
+			MaxAttempts:    *jobAttempts,
+			AttemptTimeout: *jobTimeout,
+		},
+		Logger: reqLogger,
 	})
 	if err != nil {
 		return err
@@ -144,12 +174,20 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests up to
-	// one request-timeout, then give up.
-	logger.Printf("shutting down")
+	// Graceful shutdown, in stages: (1) flip readiness and refuse new
+	// job submissions so load balancers stop routing here; (2) stop
+	// accepting connections and drain in-flight HTTP requests up to one
+	// request-timeout; (3) cancel running jobs with the drain cause —
+	// they fail cleanly back to the queued state, no attempt consumed —
+	// and flush the job store so a durable queue resumes on next boot.
+	logger.Printf("shutting down: draining")
+	svc.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *requestTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := svc.Close(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	logger.Printf("drained")

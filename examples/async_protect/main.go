@@ -1,0 +1,204 @@
+// Async protect: push a 200,000-row table through the durable job
+// layer instead of a blocking /v1/protect call — submit returns in
+// milliseconds with a job ID, progress streams over SSE while the
+// worker pool grinds, and a signed webhook announces completion to a
+// local listener that verifies the HMAC signature before trusting it.
+//
+// Everything runs in-process (the medshield server and the webhook
+// receiver are httptest servers), so the example needs no ports or
+// external setup: go run ./examples/async_protect
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/server"
+	"repro/medshield"
+)
+
+const masterSecret = "st-olaf hospital secret 2026"
+
+func main() {
+	// The webhook receiver: a hospital-side listener that accepts the
+	// completion callback only if the HMAC-SHA256 signature (keyed with
+	// the job's own master secret) checks out. An unsigned or tampered
+	// callback is rejected — ownership of the secret is what
+	// authenticates the server.
+	delivered := make(chan jobs.Snapshot, 1)
+	receiver := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sig := r.Header.Get(jobs.SignatureHeader)
+		if !jobs.VerifySignature(masterSecret, body, sig) {
+			log.Printf("webhook: REJECTED unverifiable signature %q", sig)
+			http.Error(w, "bad signature", http.StatusForbidden)
+			return
+		}
+		var snap jobs.Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Printf("webhook: verified %s delivery #%s for %s → state %s\n",
+			jobs.SignatureHeader, r.Header.Get(jobs.DeliveryHeader),
+			r.Header.Get(jobs.JobIDHeader), snap.State)
+		delivered <- snap
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer receiver.Close()
+
+	// The medshield server with a 4-worker async pool. In production
+	// this is cmd/medshield-server with -jobs queue.json for a durable,
+	// crash-surviving queue; in-memory is fine for a demo.
+	svc, err := server.New(server.Config{
+		Defaults: core.Config{K: 20, AutoEpsilon: true},
+		Jobs:     jobs.Config{Workers: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Close(ctx)
+	}()
+
+	// A 200k-row synthetic clinical table — far beyond what a caller
+	// wants to sit on a blocking HTTP request for.
+	table, err := medshield.GenerateSyntheticData(200000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire, err := api.EncodeTable(table, api.OutputCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqBody, err := json.Marshal(api.ProtectRequest{
+		Table:  wire,
+		Key:    api.Key{Secret: masterSecret, Eta: 75},
+		Output: api.OutputCSV,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitting protect job: %d rows (%.1f MB request)\n",
+		table.NumRows(), float64(len(reqBody))/(1<<20))
+
+	// Submit. The idempotency key makes retries safe: a nightly cron
+	// that fires twice gets the same job back, not a second run.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs/protect", bytes.NewReader(reqBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.IdempotencyKeyHeader, "nightly-protect-2026-08-07")
+	req.Header.Set(api.WebhookHeader, receiver.URL)
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var submitted api.JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	jobID := submitted.Job.ID
+	fmt.Printf("accepted in %s: job %s state %s\n",
+		time.Since(start).Round(time.Millisecond), jobID, submitted.Job.State)
+
+	// Tail the SSE stream: a state snapshot first, then progress events
+	// per pipeline stage; the stream ends itself on the terminal state.
+	fmt.Println("tailing /v1/jobs/" + jobID + "/events:")
+	if err := tailSSE(ts.URL, jobID); err != nil {
+		log.Fatal(err)
+	}
+
+	// The signed completion callback has typically already landed by
+	// the time the SSE stream closes.
+	select {
+	case snap := <-delivered:
+		fmt.Printf("job %s finished: state=%s attempts=%d webhook_verified=true\n",
+			snap.ID, snap.State, snap.Attempts)
+	case <-time.After(30 * time.Second):
+		log.Fatal("webhook never arrived")
+	}
+
+	// Fetch the result document — identical, byte for byte, to what the
+	// blocking /v1/protect would have returned for the same request.
+	final, err := http.Get(ts.URL + "/v1/jobs/" + jobID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer final.Body.Close()
+	var jr api.JobResponse
+	if err := json.NewDecoder(final.Body).Decode(&jr); err != nil {
+		log.Fatal(err)
+	}
+	var result api.ProtectResponse
+	if err := json.Unmarshal(jr.Result, &result); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result: %d rows protected, %d bits embedded, %d cells changed (%.1f MB document)\n",
+		result.Stats.Rows, result.Stats.BitsEmbedded, result.Stats.CellsChanged,
+		float64(len(jr.Result))/(1<<20))
+}
+
+// tailSSE prints the job's event stream until the server closes it on
+// a terminal state.
+func tailSSE(base, id string) error {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("events: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case jobs.EventProgress:
+				var p jobs.Progress
+				if json.Unmarshal([]byte(data), &p) == nil {
+					fmt.Printf("  progress: %-9s %d/%d\n", p.Stage, p.Done, p.Total)
+				}
+			case jobs.EventState:
+				var snap jobs.Snapshot
+				if json.Unmarshal([]byte(data), &snap) == nil {
+					fmt.Printf("  state:    %s\n", snap.State)
+				}
+			}
+		}
+	}
+	return sc.Err()
+}

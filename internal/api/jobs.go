@@ -1,0 +1,44 @@
+package api
+
+import (
+	"encoding/json"
+
+	"repro/internal/jobs"
+)
+
+// Headers of the async job API.
+const (
+	// IdempotencyKeyHeader carries the client-supplied idempotency key
+	// of POST /v1/jobs/{kind}: resubmitting the same key for the same
+	// kind returns the existing job instead of creating a new one.
+	IdempotencyKeyHeader = "Idempotency-Key"
+	// WebhookHeader carries the completion callback URL of POST
+	// /v1/jobs/{kind}. The callback is HMAC-signed with the job's master
+	// secret (see jobs.SignatureHeader).
+	WebhookHeader = "X-Medshield-Webhook"
+)
+
+// JobResponse is the job resource: its snapshot plus, once the job
+// succeeded, the result document — byte-identical to the corresponding
+// synchronous endpoint's response body.
+type JobResponse struct {
+	Version string          `json:"version"`
+	Job     jobs.Snapshot   `json:"job"`
+	Result  json.RawMessage `json:"result,omitempty"`
+}
+
+// JobsListResponse is one page of GET /v1/jobs. Total counts every
+// match before pagination; Offset and Limit echo the window served.
+type JobsListResponse struct {
+	Version string          `json:"version"`
+	Jobs    []jobs.Snapshot `json:"jobs"`
+	Total   int             `json:"total"`
+	Offset  int             `json:"offset"`
+	Limit   int             `json:"limit"`
+}
+
+// ReadyResponse is GET /readyz: ready until the server starts draining.
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Status string `json:"status"` // "ok" or "draining"
+}

@@ -221,11 +221,18 @@ func (f *Framework) Protect(tbl *relation.Table, key crypt.WatermarkKey) (*Prote
 // two stages are independently invokable for plan-once/apply-later and
 // incremental (AppendContext) workflows.
 func (f *Framework) ProtectContext(ctx context.Context, tbl *relation.Table, key crypt.WatermarkKey) (*Protected, error) {
+	reportProgress(ctx, Progress{Stage: "plan", Done: 0, Total: 2})
 	plan, err := f.PlanContext(ctx, tbl, key)
 	if err != nil {
 		return nil, err
 	}
-	return f.ApplyContext(ctx, tbl, plan, key)
+	reportProgress(ctx, Progress{Stage: "apply", Done: 1, Total: 2})
+	prot, err := f.ApplyContext(ctx, tbl, plan, key)
+	if err != nil {
+		return nil, err
+	}
+	reportProgress(ctx, Progress{Stage: "apply", Done: 2, Total: 2})
+	return prot, nil
 }
 
 // Apply is ApplyContext under the background context.

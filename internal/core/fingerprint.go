@@ -100,12 +100,17 @@ func (f *Framework) FingerprintContext(ctx context.Context, tbl *relation.Table,
 		}
 	}
 
+	// Progress counts one unit for the shared plan plus one per
+	// recipient copy.
+	total := len(recipients) + 1
+	reportProgress(ctx, Progress{Stage: "plan", Done: 0, Total: total})
 	plan, err := f.PlanContext(ctx, tbl, recipients[0].Key)
 	if err != nil {
 		return nil, err
 	}
+	reportProgress(ctx, Progress{Stage: "fingerprint", Done: 1, Total: total})
 	out := make([]FingerprintResult, 0, len(recipients))
-	for _, r := range recipients {
+	for i, r := range recipients {
 		rp, err := RecipientPlan(plan, r.ID)
 		if err != nil {
 			return nil, err
@@ -119,6 +124,7 @@ func (f *Framework) FingerprintContext(ctx context.Context, tbl *relation.Table,
 			KeyFingerprint: r.Key.Fingerprint(),
 			Protected:      prot,
 		})
+		reportProgress(ctx, Progress{Stage: "fingerprint", Done: i + 2, Total: total})
 	}
 	return out, nil
 }

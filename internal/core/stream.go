@@ -179,6 +179,7 @@ func (f *Framework) ApplyStream(ctx context.Context, src Segments, plan *Plan, k
 		}
 		res.Rows += binned.NumRows()
 		res.Segments++
+		reportProgress(ctx, Progress{Stage: "stream", Done: res.Rows})
 	}
 	if err := sw.Flush(); err != nil {
 		return nil, err
@@ -320,6 +321,7 @@ func (f *Framework) AppendStream(ctx context.Context, src Segments, plan *Plan, 
 		}
 		res.Rows += marked.NumRows()
 		res.Segments++
+		reportProgress(ctx, Progress{Stage: "stream", Done: res.Rows})
 	}
 	if err := sw.Flush(); err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/crypt"
 	"repro/internal/pool"
@@ -139,6 +140,11 @@ func (f *Framework) TracebackContext(ctx context.Context, suspect *relation.Tabl
 		}
 	}
 
+	// Per-candidate progress: scanned counts completions across the
+	// pool's worker goroutines (the callback contract allows concurrent
+	// reports; Done is monotone per report, not globally ordered).
+	var scanned atomic.Int64
+	reportProgress(ctx, Progress{Stage: "traceback", Done: 0, Total: len(candidates)})
 	verdicts, err := pool.MapCtx(ctx, f.cfg.Workers, len(candidates), func(i int) (TracebackVerdict, error) {
 		c := candidates[i]
 		g := groupOf[i]
@@ -147,6 +153,7 @@ func (f *Framework) TracebackContext(ctx context.Context, suspect *relation.Tabl
 		if err != nil {
 			return TracebackVerdict{}, fmt.Errorf("core: candidate %q: %w", c.ID, err)
 		}
+		reportProgress(ctx, Progress{Stage: "traceback", Done: int(scanned.Add(1)), Total: len(candidates)})
 		loss, err := params[i].Mark.LossFraction(res.Mark)
 		if err != nil {
 			return TracebackVerdict{}, fmt.Errorf("core: candidate %q: %w", c.ID, err)

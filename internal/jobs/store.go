@@ -1,0 +1,201 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FormatVersion is the job store file format version.
+const FormatVersion = 1
+
+// Store is the durable job record store. Implementations must be safe
+// for concurrent use and must persist synchronously: when Put returns,
+// the record survives a crash. The manager is the only writer; reads
+// may come from any goroutine (HTTP handlers, webhook deliverers).
+type Store interface {
+	// Put inserts or replaces the record (keyed by Job.ID).
+	Put(Job) error
+	// Get returns the record for id.
+	Get(id string) (Job, bool)
+	// List returns every record, sorted by CreatedAt then ID (oldest
+	// first — the recovery enqueue order).
+	List() []Job
+	// Len returns the number of records.
+	Len() int
+}
+
+// FileStore is the JSON-on-disk Store: one document holding every job,
+// rewritten atomically (temp file + rename, like internal/registry) on
+// each Put. A store opened with an empty path is in-memory only.
+//
+// File format (FormatVersion 1):
+//
+//	{
+//	  "jobs_version": 1,
+//	  "jobs": [ { ... Job JSON ... } ]
+//	}
+//
+// Loading rejects unknown versions, duplicate IDs and invalid records.
+// The file is written mode 0600: requests embed owner secrets.
+type FileStore struct {
+	mu   sync.RWMutex
+	path string // "" = in-memory only
+	jobs map[string]Job
+}
+
+// NewStore returns an empty in-memory store (nothing is persisted).
+func NewStore() *FileStore {
+	return &FileStore{jobs: make(map[string]Job)}
+}
+
+// Open loads the job store at path, or returns an empty store bound to
+// path when the file does not exist yet. An empty path is NewStore().
+func Open(path string) (*FileStore, error) {
+	s := NewStore()
+	s.path = path
+	if path == "" {
+		return s, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("jobs: decoding %s: %w", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("jobs: trailing data after document in %s", path)
+	}
+	if doc.Version != FormatVersion {
+		return nil, fmt.Errorf("jobs: %s has format version %d, want %d", path, doc.Version, FormatVersion)
+	}
+	for _, j := range doc.Jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("jobs: %s: %w", path, err)
+		}
+		if _, dup := s.jobs[j.ID]; dup {
+			return nil, fmt.Errorf("jobs: %s: duplicate job %q", path, j.ID)
+		}
+		s.jobs[j.ID] = j
+	}
+	return s, nil
+}
+
+// Path returns the backing file path ("" for an in-memory store).
+func (s *FileStore) Path() string { return s.path }
+
+// Put inserts or replaces the record and persists the store.
+func (s *FileStore) Put(j Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, had := s.jobs[j.ID]
+	s.jobs[j.ID] = j
+	if err := s.persistLocked(); err != nil {
+		// Keep memory and disk in agreement on failure.
+		if had {
+			s.jobs[j.ID] = prev
+		} else {
+			delete(s.jobs, j.ID)
+		}
+		return err
+	}
+	return nil
+}
+
+// Get returns the record for id.
+func (s *FileStore) Get(id string) (Job, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns every record, oldest first (CreatedAt, then ID).
+func (s *FileStore) List() []Job {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the number of records.
+func (s *FileStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.jobs)
+}
+
+type document struct {
+	Version int   `json:"jobs_version"`
+	Jobs    []Job `json:"jobs"`
+}
+
+// persistLocked writes the store atomically: temp file in the target
+// directory, sync, rename over path. Callers hold the write lock.
+func (s *FileStore) persistLocked() (err error) {
+	if s.path == "" {
+		return nil
+	}
+	doc := document{Version: FormatVersion, Jobs: make([]Job, 0, len(s.jobs))}
+	for _, j := range s.jobs {
+		doc.Jobs = append(doc.Jobs, j)
+	}
+	sort.Slice(doc.Jobs, func(i, j int) bool {
+		if !doc.Jobs[i].CreatedAt.Equal(doc.Jobs[j].CreatedAt) {
+			return doc.Jobs[i].CreatedAt.Before(doc.Jobs[j].CreatedAt)
+		}
+		return doc.Jobs[i].ID < doc.Jobs[j].ID
+	})
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir, base := filepath.Dir(s.path), filepath.Base(s.path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = f.Chmod(0o600); err != nil {
+		return err
+	}
+	if _, err = f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path)
+}

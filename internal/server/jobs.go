@@ -1,0 +1,332 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/sse"
+)
+
+// This file is the async job surface of the service: POST
+// /v1/jobs/{kind} submits the corresponding synchronous endpoint's JSON
+// body as a queued job and returns 202 immediately; GET /v1/jobs lists,
+// GET /v1/jobs/{id} polls (the result document is byte-identical to the
+// sync response), DELETE /v1/jobs/{id} cancels and GET
+// /v1/jobs/{id}/events streams progress over SSE. Job routes run
+// OUTSIDE the in-flight semaphore — submission and polling must stay
+// fast while the pool grinds; the jobs.Config.Workers bound is what
+// limits pipeline concurrency on the async path.
+
+// jobKinds are the async job kinds served; each maps to the sync
+// endpoint of the same name (apply in its JSON mode).
+var jobKinds = []string{"protect", "plan", "apply", "fingerprint", "traceback"}
+
+// jobRunner adapts the server's transport-free handler cores to
+// jobs.Runner. It threads the manager's progress callback into the
+// pipeline via core.WithProgress, so segment and recipient loops report
+// through to SSE subscribers.
+type jobRunner struct{ s *Server }
+
+func (jr jobRunner) Run(ctx context.Context, job jobs.Job, progress func(jobs.Progress)) (json.RawMessage, error) {
+	ctx = core.WithProgress(ctx, func(p core.Progress) {
+		progress(jobs.Progress{Stage: p.Stage, Done: p.Done, Total: p.Total})
+	})
+	var (
+		resp any
+		err  error
+	)
+	switch job.Kind {
+	case "protect":
+		var req api.ProtectRequest
+		if err := decodeJobRequest(job.Request, &req); err != nil {
+			return nil, err
+		}
+		resp, err = jr.s.runProtect(ctx, req)
+	case "plan":
+		var req api.PlanRequest
+		if err := decodeJobRequest(job.Request, &req); err != nil {
+			return nil, err
+		}
+		resp, err = jr.s.runPlan(ctx, req)
+	case "apply":
+		var req api.ApplyRequest
+		if err := decodeJobRequest(job.Request, &req); err != nil {
+			return nil, err
+		}
+		resp, err = jr.s.runApplyJSON(ctx, req)
+	case "fingerprint":
+		var req api.FingerprintRequest
+		if err := decodeJobRequest(job.Request, &req); err != nil {
+			return nil, err
+		}
+		resp, err = jr.s.runFingerprint(ctx, req)
+	case "traceback":
+		var req api.TracebackRequest
+		if err := decodeJobRequest(job.Request, &req); err != nil {
+			return nil, err
+		}
+		resp, err = jr.s.runTraceback(ctx, req)
+	default:
+		return nil, fmt.Errorf("%w: %q", jobs.ErrUnknownKind, job.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return encodeJobResult(resp)
+}
+
+// Secret extracts the job's webhook-signing secret from its request
+// document: the master secret every kind already carries (key.secret on
+// protect/plan/apply, secret on fingerprint/traceback).
+func (jr jobRunner) Secret(job jobs.Job) string {
+	switch job.Kind {
+	case "protect", "plan", "apply":
+		var req struct {
+			Key api.Key `json:"key"`
+		}
+		if json.Unmarshal(job.Request, &req) == nil {
+			return req.Key.Secret
+		}
+	case "fingerprint", "traceback":
+		var req struct {
+			Secret string `json:"secret"`
+		}
+		if json.Unmarshal(job.Request, &req) == nil {
+			return req.Secret
+		}
+	}
+	return ""
+}
+
+// decodeJobRequest decodes a stored job request under the same strict
+// rules as the sync endpoints, tagged bad_request (permanent — a
+// malformed body never deserves a retry).
+func decodeJobRequest(data json.RawMessage, v any) error {
+	if err := api.DecodeJSON(bytes.NewReader(data), v); err != nil {
+		return badRequest(err)
+	}
+	return nil
+}
+
+// encodeJobResult marshals a response document exactly as writeJSON
+// puts it on the wire (no HTML escaping), minus the encoder's trailing
+// newline — so the stored result is byte-identical to the sync response
+// body modulo that newline.
+func encodeJobResult(v any) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+// control wraps the job/control handlers: body cap, error envelope and
+// logging — but neither the in-flight semaphore nor the request
+// deadline. Submitting or polling a job must not queue behind running
+// pipelines (202 in milliseconds regardless of what the pool is doing).
+func (s *Server) control(h func(w http.ResponseWriter, r *http.Request) (int, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		status, err := h(w, r)
+		if err != nil {
+			status = s.writeError(w, err)
+		}
+		s.logf("%s %s %d %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) (int, error) {
+	kind := r.PathValue("kind")
+	body, err := readAll(r.Body)
+	if err != nil {
+		return 0, err
+	}
+	if !json.Valid(body) {
+		return 0, badRequest(fmt.Errorf("job request body is not valid JSON"))
+	}
+	j, existing, err := s.jobs.Submit(kind, body, jobs.SubmitOptions{
+		IdempotencyKey: r.Header.Get(api.IdempotencyKeyHeader),
+		Webhook:        r.Header.Get(api.WebhookHeader),
+	})
+	switch {
+	case errors.Is(err, jobs.ErrUnknownKind):
+		return 0, notFound(err)
+	case errors.Is(err, jobs.ErrDraining):
+		return 0, overloadedError{err: err}
+	case err != nil:
+		return 0, badRequest(err)
+	}
+	// A fresh submission is 202 (accepted, not done); an idempotent
+	// replay returns the existing job as plain 200.
+	status := http.StatusAccepted
+	if existing {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, api.JobResponse{Version: api.Version, Job: jobs.SnapshotOf(j), Result: j.Result})
+	return status, nil
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) (int, error) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		return 0, notFound(fmt.Errorf("no job %q", id))
+	}
+	writeJSON(w, http.StatusOK, api.JobResponse{Version: api.Version, Job: jobs.SnapshotOf(j), Result: j.Result})
+	return http.StatusOK, nil
+}
+
+// maxJobPage caps one GET /v1/jobs page.
+const maxJobPage = 500
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) (int, error) {
+	q := r.URL.Query()
+	f := jobs.Filter{Kind: q.Get("kind"), State: jobs.State(q.Get("state"))}
+	if f.State != "" && !f.State.Valid() {
+		return 0, badRequest(fmt.Errorf("unknown job state %q", f.State))
+	}
+	limit, err := queryInt(q.Get("limit"), 50)
+	if err != nil || limit < 1 {
+		return 0, badRequest(fmt.Errorf("limit must be a positive integer"))
+	}
+	limit = min(limit, maxJobPage)
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil || offset < 0 {
+		return 0, badRequest(fmt.Errorf("offset must be a non-negative integer"))
+	}
+	all := s.jobs.List(f)
+	resp := api.JobsListResponse{
+		Version: api.Version,
+		Jobs:    []jobs.Snapshot{},
+		Total:   len(all),
+		Offset:  offset,
+		Limit:   limit,
+	}
+	for _, j := range all[min(offset, len(all)):min(offset+limit, len(all))] {
+		resp.Jobs = append(resp.Jobs, jobs.SnapshotOf(j))
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) (int, error) {
+	id := r.PathValue("id")
+	j, err := s.jobs.Cancel(id)
+	if errors.Is(err, jobs.ErrNotFound) {
+		return 0, notFound(fmt.Errorf("no job %q", id))
+	}
+	if err != nil {
+		return 0, err
+	}
+	writeJSON(w, http.StatusOK, api.JobResponse{Version: api.Version, Job: jobs.SnapshotOf(j)})
+	return http.StatusOK, nil
+}
+
+// sseHeartbeat is the idle-comment interval of the event stream, keeping
+// intermediaries from timing out a quiet connection.
+const sseHeartbeat = 15 * time.Second
+
+// handleJobEvents serves GET /v1/jobs/{id}/events: an SSE stream of the
+// job's state and progress events, starting with a snapshot of its
+// current state and ending after the terminal state event. The route
+// bypasses both the semaphore and the request deadline — a tail of a
+// long job is supposed to stay open for as long as the job runs.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Subscribe before snapshotting: events between the two may arrive
+	// twice, but none can be lost.
+	sub := s.hub.Subscribe(jobs.Topic(id), 64)
+	defer sub.Close()
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		s.writeError(w, notFound(fmt.Errorf("no job %q", id)))
+		return
+	}
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", sse.ContentType)
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	snap, err := json.Marshal(jobs.SnapshotOf(j))
+	if err != nil {
+		return
+	}
+	if err := sse.WriteEvent(w, sse.Event{Type: jobs.EventState, Data: snap}); err != nil {
+		return
+	}
+	_ = rc.Flush()
+	s.logf("%s %s 200 (stream open)", r.Method, r.URL.Path)
+	if j.State.Terminal() {
+		return
+	}
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if err := sse.Comment(w, "heartbeat"); err != nil {
+				return
+			}
+			_ = rc.Flush()
+		case ev, ok := <-sub.Events():
+			if !ok {
+				// Hub closed (shutdown) or this consumer was dropped for
+				// falling behind; either way the stream is over — the
+				// client reconnects and starts from a fresh snapshot.
+				return
+			}
+			if err := sse.WriteEvent(w, ev); err != nil {
+				return
+			}
+			_ = rc.Flush()
+			if ev.Type == jobs.EventState {
+				var st jobs.Snapshot
+				if json.Unmarshal(ev.Data, &st) == nil && st.State.Terminal() {
+					return
+				}
+			}
+		}
+	}
+}
+
+// handleReadyz is the readiness probe: 200 while accepting work, 503
+// once draining (load balancers stop routing, running jobs finish).
+// Like /healthz it runs outside the semaphore — a saturated pool must
+// not fail probes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.jobs.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, api.ReadyResponse{Ready: false, Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ReadyResponse{Ready: true, Status: "ok"})
+}
+
+// readAll drains a request body, mapping the MaxBytesReader trip to its
+// usual 413.
+func readAll(r interface{ Read([]byte) (int, error) }) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}

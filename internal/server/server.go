@@ -33,11 +33,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypt"
 	"repro/internal/dht"
+	"repro/internal/jobs"
 	"repro/internal/ontology"
 	"repro/internal/ownership"
 	"repro/internal/pool"
 	"repro/internal/registry"
 	"repro/internal/relation"
+	"repro/internal/sse"
 	"repro/internal/watermark"
 )
 
@@ -62,14 +64,22 @@ type Config struct {
 	// /v1/recipients and /v1/traceback; nil selects an in-memory store
 	// (records then live for the process only).
 	Registry *registry.Store
+	// Jobs tunes the async job layer behind /v1/jobs: Store (nil
+	// selects in-memory — jobs then die with the process), Workers,
+	// MaxAttempts, AttemptTimeout, Backoff and webhook delivery. The
+	// Runner, Kinds, Hub and ClassifyError fields are owned by the
+	// server and overwritten.
+	Jobs jobs.Config
 	// Logger receives one line per served request; nil disables logging.
 	Logger *log.Logger
 }
 
 // Server implements the handlers.
 type Server struct {
-	cfg Config
-	sem chan struct{}
+	cfg  Config
+	sem  chan struct{}
+	hub  *sse.Hub
+	jobs *jobs.Manager
 }
 
 // New validates the configuration eagerly — an invalid Defaults fails
@@ -108,13 +118,58 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = registry.New()
 	}
-	return &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}, nil
+	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight), hub: sse.NewHub()}
+	jc := cfg.Jobs
+	jc.Runner = jobRunner{s: s}
+	jc.Kinds = jobKinds
+	jc.Hub = s.hub
+	jc.ClassifyError = func(err error) string {
+		code, _ := s.classify(err)
+		return code
+	}
+	if jc.Store == nil {
+		jc.Store = jobs.NewStore()
+	}
+	if jc.Logger == nil {
+		jc.Logger = cfg.Logger
+	}
+	mgr, err := jobs.New(jc)
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = mgr
+	return s, nil
+}
+
+// Drain stops job intake: /readyz turns 503 and new submissions are
+// refused while running jobs finish. The first stage of a graceful
+// shutdown.
+func (s *Server) Drain() { s.jobs.Drain() }
+
+// Close shuts the async layer down: running jobs are cancelled with the
+// drain cause (they go back to queued on disk and resume on the next
+// boot), the job store is flushed, and the event hub closes every
+// stream. ctx bounds the wait.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.jobs.Close(ctx)
+	s.hub.Close()
+	return err
 }
 
 // Handler returns the route mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// Probes and job control run outside the in-flight semaphore: a
+	// saturated pipeline pool must fail neither health checks nor job
+	// submission/polling.
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /v1/jobs/{kind}", s.control(s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.control(s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.control(s.handleJobGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.control(s.handleJobCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("POST /v1/protect", s.pipeline(s.handleProtect))
 	mux.HandleFunc("POST /v1/plan", s.pipeline(s.handlePlan))
 	mux.HandleFunc("POST /v1/apply", s.streamPipeline(s.handleApply))
@@ -196,26 +251,39 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) (int, err
 	if err := api.DecodeJSON(r.Body, &req); err != nil {
 		return 0, badRequest(err)
 	}
+	resp, err := s.runProtect(r.Context(), req)
+	if err != nil {
+		return 0, err
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// runProtect is the transport-free core of POST /v1/protect, shared by
+// the synchronous handler and the async job runner so both produce
+// byte-identical response documents.
+func (s *Server) runProtect(ctx context.Context, req api.ProtectRequest) (api.ProtectResponse, error) {
+	var zero api.ProtectResponse
 	switch req.Output {
 	case "", api.OutputRows, api.OutputCSV:
 	default:
 		// Reject before the pipeline runs; EncodeTable would catch it
 		// only after a full (wasted) protect pass.
-		return 0, badRequest(fmt.Errorf("unknown output format %q (want %q or %q)", req.Output, api.OutputRows, api.OutputCSV))
+		return zero, badRequest(fmt.Errorf("unknown output format %q (want %q or %q)", req.Output, api.OutputRows, api.OutputCSV))
 	}
 	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
-	prot, err := fw.ProtectContext(r.Context(), tbl, key)
+	prot, err := fw.ProtectContext(ctx, tbl, key)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
 	outTbl, err := api.EncodeTable(prot.Table, req.Output)
 	if err != nil {
-		return 0, badRequest(err)
+		return zero, badRequest(err)
 	}
-	writeJSON(w, http.StatusOK, api.ProtectResponse{
+	return api.ProtectResponse{
 		Version:    api.Version,
 		Table:      outTbl,
 		Provenance: prot.Provenance,
@@ -229,8 +297,7 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) (int, err
 			Epsilon:        prot.Provenance.Epsilon,
 			AvgLoss:        prot.Binning.AvgLoss,
 		},
-	})
-	return http.StatusOK, nil
+	}, nil
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) (int, error) {
@@ -238,15 +305,26 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) (int, error)
 	if err := api.DecodeJSON(r.Body, &req); err != nil {
 		return 0, badRequest(err)
 	}
+	resp, err := s.runPlan(r.Context(), req)
+	if err != nil {
+		return 0, err
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// runPlan is the transport-free core of POST /v1/plan.
+func (s *Server) runPlan(ctx context.Context, req api.PlanRequest) (api.PlanResponse, error) {
+	var zero api.PlanResponse
 	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
-	plan, err := fw.PlanContext(r.Context(), tbl, key)
+	plan, err := fw.PlanContext(ctx, tbl, key)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
-	writeJSON(w, http.StatusOK, api.PlanResponse{
+	return api.PlanResponse{
 		Version: api.Version,
 		Plan:    *plan,
 		Stats: api.PlanStats{
@@ -256,8 +334,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) (int, error)
 			EffectiveK: plan.EffectiveK,
 			AvgLoss:    plan.AvgLoss,
 		},
-	})
-	return http.StatusOK, nil
+	}, nil
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) (int, error) {
@@ -407,30 +484,41 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) (int,
 	if err := api.DecodeJSON(r.Body, &req); err != nil {
 		return 0, badRequest(err)
 	}
+	resp, err := s.runFingerprint(r.Context(), req)
+	if err != nil {
+		return 0, err
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// runFingerprint is the transport-free core of POST /v1/fingerprint.
+func (s *Server) runFingerprint(ctx context.Context, req api.FingerprintRequest) (api.FingerprintResponse, error) {
+	var zero api.FingerprintResponse
 	switch req.Output {
 	case "", api.OutputRows, api.OutputCSV:
 	default:
-		return 0, badRequest(fmt.Errorf("unknown output format %q (want %q or %q)", req.Output, api.OutputRows, api.OutputCSV))
+		return zero, badRequest(fmt.Errorf("unknown output format %q (want %q or %q)", req.Output, api.OutputRows, api.OutputCSV))
 	}
 	if req.Secret == "" || req.Eta == 0 {
-		return 0, badRequest(fmt.Errorf("fingerprint needs a non-empty secret and eta >= 1"))
+		return zero, badRequest(fmt.Errorf("fingerprint needs a non-empty secret and eta >= 1"))
 	}
 	if len(req.Recipients) == 0 {
-		return 0, badRequest(fmt.Errorf("fingerprint needs at least one recipient"))
+		return zero, badRequest(fmt.Errorf("fingerprint needs at least one recipient"))
 	}
 	if len(req.Recipients) > maxFingerprintRecipients {
 		// Each recipient materializes a full marked copy of the table in
 		// memory and in the response; an uncapped count is a memory
 		// amplifier, not a use case.
-		return 0, badRequest(fmt.Errorf("fingerprint accepts at most %d recipients per request, got %d", maxFingerprintRecipients, len(req.Recipients)))
+		return zero, badRequest(fmt.Errorf("fingerprint accepts at most %d recipients per request, got %d", maxFingerprintRecipients, len(req.Recipients)))
 	}
 	fw, err := s.frameworkFor(req.Options)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
 	tbl, err := api.DecodeTable(req.Table)
 	if err != nil {
-		return 0, badRequest(err)
+		return zero, badRequest(err)
 	}
 	recipients := make([]core.Recipient, len(req.Recipients))
 	for i, ref := range req.Recipients {
@@ -439,16 +527,16 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) (int,
 			Key: crypt.RecipientWatermarkKey(req.Secret, ref.ID, req.Eta),
 		}
 	}
-	results, err := fw.FingerprintContext(r.Context(), tbl, recipients)
+	results, err := fw.FingerprintContext(ctx, tbl, recipients)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
 	resp := api.FingerprintResponse{Version: api.Version, Recipients: make([]api.FingerprintRecipient, len(results))}
 	records := make([]registry.Record, len(results))
 	for i, res := range results {
 		outTbl, err := api.EncodeTable(res.Protected.Table, req.Output)
 		if err != nil {
-			return 0, badRequest(err)
+			return zero, badRequest(err)
 		}
 		records[i] = registry.RecordOf(res.RecipientID, recipients[i].Key, res.Protected.Plan)
 		records[i].CreatedAt = time.Now().UTC().Format(time.RFC3339)
@@ -467,7 +555,7 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) (int,
 	// prefix of records durably registered for copies the client never
 	// received.
 	if err := s.cfg.Registry.PutAll(records); err != nil {
-		return 0, err
+		return zero, err
 	}
 	if len(results) > 0 {
 		plan := results[0].Protected.Plan
@@ -479,8 +567,7 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) (int,
 			AvgLoss:    plan.AvgLoss,
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
-	return http.StatusOK, nil
+	return resp, nil
 }
 
 func (s *Server) handleTraceback(w http.ResponseWriter, r *http.Request) (int, error) {
@@ -488,19 +575,30 @@ func (s *Server) handleTraceback(w http.ResponseWriter, r *http.Request) (int, e
 	if err := api.DecodeJSON(r.Body, &req); err != nil {
 		return 0, badRequest(err)
 	}
+	resp, err := s.runTraceback(r.Context(), req)
+	if err != nil {
+		return 0, err
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// runTraceback is the transport-free core of POST /v1/traceback.
+func (s *Server) runTraceback(ctx context.Context, req api.TracebackRequest) (api.TracebackResponse, error) {
+	var zero api.TracebackResponse
 	if req.Secret == "" {
-		return 0, badRequest(fmt.Errorf("traceback needs the master secret"))
+		return zero, badRequest(fmt.Errorf("traceback needs the master secret"))
 	}
 	recs := s.cfg.Registry.List()
 	if len(recs) == 0 {
-		return 0, badRequest(fmt.Errorf("no recipients registered; run /v1/fingerprint or import records first"))
+		return zero, badRequest(fmt.Errorf("no recipients registered; run /v1/fingerprint or import records first"))
 	}
 	// Records the secret does not verify (foreign imports, stale
 	// entries) are skipped and reported, not fatal; a secret verifying
 	// nothing is a wrong secret (403).
 	cands, skipped, err := registry.CandidatesFromSecret(recs, req.Secret)
 	if err != nil {
-		return 0, err // wraps core.ErrKeyMismatch -> 403
+		return zero, err // wraps core.ErrKeyMismatch -> 403
 	}
 	if req.Options == nil {
 		req.Options = &api.Options{}
@@ -511,15 +609,15 @@ func (s *Server) handleTraceback(w http.ResponseWriter, r *http.Request) (int, e
 	}
 	fw, err := s.frameworkFor(req.Options)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
 	tbl, err := api.DecodeTable(req.Table)
 	if err != nil {
-		return 0, badRequest(err)
+		return zero, badRequest(err)
 	}
-	tb, err := fw.TracebackContext(r.Context(), tbl, cands)
+	tb, err := fw.TracebackContext(ctx, tbl, cands)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
 	resp := api.TracebackResponse{
 		Version:  api.Version,
@@ -539,8 +637,7 @@ func (s *Server) handleTraceback(w http.ResponseWriter, r *http.Request) (int, e
 			VotesCast:   v.VotesCast,
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
-	return http.StatusOK, nil
+	return resp, nil
 }
 
 func (s *Server) handleRecipientsList(w http.ResponseWriter, r *http.Request) (int, error) {

@@ -214,10 +214,22 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) (int, error
 	if err := api.DecodeJSON(r.Body, &req); err != nil {
 		return 0, badRequest(err)
 	}
+	resp, err := s.runApplyJSON(r.Context(), req)
+	if err != nil {
+		return 0, err
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// runApplyJSON is the transport-free core of POST /v1/apply's JSON
+// mode, shared by the synchronous handler and the async job runner.
+func (s *Server) runApplyJSON(ctx context.Context, req api.ApplyRequest) (api.ApplyResponse, error) {
+	var zero api.ApplyResponse
 	switch req.Output {
 	case "", api.OutputRows, api.OutputCSV:
 	default:
-		return 0, badRequest(fmt.Errorf("unknown output format %q (want %q or %q)", req.Output, api.OutputRows, api.OutputCSV))
+		return zero, badRequest(fmt.Errorf("unknown output format %q (want %q or %q)", req.Output, api.OutputRows, api.OutputCSV))
 	}
 	if req.Options == nil {
 		req.Options = &api.Options{}
@@ -227,17 +239,17 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) (int, error
 	}
 	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
-	prot, err := fw.ApplyContext(r.Context(), tbl, &req.Plan, key)
+	prot, err := fw.ApplyContext(ctx, tbl, &req.Plan, key)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
 	outTbl, err := api.EncodeTable(prot.Table, req.Output)
 	if err != nil {
-		return 0, badRequest(err)
+		return zero, badRequest(err)
 	}
-	writeJSON(w, http.StatusOK, api.ApplyResponse{
+	return api.ApplyResponse{
 		Version:    api.Version,
 		Table:      outTbl,
 		Provenance: prot.Provenance,
@@ -251,8 +263,7 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) (int, error
 			Epsilon:        prot.Provenance.Epsilon,
 			AvgLoss:        prot.Plan.AvgLoss,
 		},
-	})
-	return http.StatusOK, nil
+	}, nil
 }
 
 // handleAppendCSV is the streaming mode of POST /v1/append: the CSV

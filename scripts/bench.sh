@@ -6,7 +6,9 @@
 # multi-recipient traceback (Traceback50: one 20k suspect against 50
 # registered recipients) and the streaming data plane pair
 # (Protect200k for scale, ApplyStream1M for the segment-at-a-time
-# million-row path — its bytes_op is the bounded-memory claim) with
+# million-row path — its bytes_op is the bounded-memory claim) and the
+# async job layer (JobThroughput: 500-row protect jobs through HTTP
+# submit + a 4-worker pool) with
 # -benchmem and appends one labelled entry (best-of-N ns/op, plus B/op
 # and allocs/op) per benchmark to BENCH_pipeline.json at the repo root,
 # so representation regressions show up as a diff in review.
@@ -21,7 +23,7 @@ cd "$(dirname "$0")/.."
 LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}"
 COUNT="${COUNT:-3}"
 OUT="BENCH_pipeline.json"
-PATTERN='BenchmarkProtect20k$|BenchmarkDetect20k$|BenchmarkMultiBinGreedy$|BenchmarkAppend2k$|BenchmarkReprotect22k$|BenchmarkTraceback50$|BenchmarkProtect200k$|BenchmarkApplyStream1M$'
+PATTERN='BenchmarkProtect20k$|BenchmarkDetect20k$|BenchmarkMultiBinGreedy$|BenchmarkAppend2k$|BenchmarkReprotect22k$|BenchmarkTraceback50$|BenchmarkProtect200k$|BenchmarkApplyStream1M$|BenchmarkJobThroughput$'
 
 RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" .)"
 echo "$RAW"

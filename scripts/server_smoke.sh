@@ -4,9 +4,11 @@
 # a delta batch over /v1/append under the returned plan, detect the mark
 # over /v1/detect on the published union (must match), fingerprint the
 # table for three recipients over /v1/fingerprint and trace one leaked
-# copy back to its recipient over /v1/traceback, and verify graceful
-# SIGTERM shutdown (exit 0). CI runs this after the unit tests; it also
-# works locally: scripts/server_smoke.sh [port]
+# copy back to its recipient over /v1/traceback, run the same protect
+# as an async job (submit → poll → SSE-tail → completion, idempotent
+# resubmit), and verify graceful SIGTERM shutdown (exit 0). CI runs
+# this after the unit tests; it also works locally:
+# scripts/server_smoke.sh [port]
 set -euo pipefail
 
 PORT="${1:-18080}"
@@ -19,7 +21,7 @@ go run ./cmd/medprotect gen -rows 2000 -seed 4 -out "$TMP/data.csv"
 go run ./cmd/medprotect gen -rows 200 -seed 9 -out "$TMP/delta.csv"
 
 echo "==> starting server on :$PORT"
-"$TMP/medshield-server" -addr "127.0.0.1:$PORT" -quiet 2>"$TMP/server.log" &
+"$TMP/medshield-server" -addr "127.0.0.1:$PORT" -jobs "$TMP/jobs.json" -quiet 2>"$TMP/server.log" &
 SRV_PID=$!
 
 for i in $(seq 1 50); do
@@ -148,6 +150,34 @@ assert r["culprit"] == "hospital-b", f"traceback named {r['culprit']!r}: {r['ver
 assert r["verdicts"][0]["recipient_id"] == "hospital-b", r["verdicts"]
 assert r["matches"] == 1, r
 print("    culprit:", r["culprit"], "match ratio:", r["verdicts"][0]["match_ratio"])
+EOF
+
+echo "==> POST /v1/jobs/protect (async, Idempotency-Key: smoke-protect)"
+curl -sf -X POST -H "Idempotency-Key: smoke-protect" --data "@$TMP/protect.json" \
+  "http://127.0.0.1:$PORT/v1/jobs/protect" -o "$TMP/job_submit.json"
+JOB_ID="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["job"]["id"])' "$TMP/job_submit.json")"
+echo "    submitted $JOB_ID"
+
+echo "==> SSE tail /v1/jobs/$JOB_ID/events (stream ends on terminal state)"
+curl -sfN --max-time 60 "http://127.0.0.1:$PORT/v1/jobs/$JOB_ID/events" >"$TMP/job_events.txt"
+grep -q '^event: state' "$TMP/job_events.txt" || { echo "no state events in SSE stream"; cat "$TMP/job_events.txt"; exit 1; }
+grep -q '"state":"succeeded"' "$TMP/job_events.txt" || { echo "SSE stream ended without success"; cat "$TMP/job_events.txt"; exit 1; }
+
+echo "==> GET /v1/jobs/$JOB_ID (poll: result must match sync /v1/protect)"
+curl -sf "http://127.0.0.1:$PORT/v1/jobs/$JOB_ID" -o "$TMP/job_final.json"
+curl -sf -X POST -H "Idempotency-Key: smoke-protect" --data "@$TMP/protect.json" \
+  "http://127.0.0.1:$PORT/v1/jobs/protect" -o "$TMP/job_resubmit.json"
+python3 - "$TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+j = json.load(open(f"{tmp}/job_final.json"))
+assert j["job"]["state"] == "succeeded", j["job"]
+assert j["job"]["attempts"] == 1, j["job"]
+sync = json.load(open(f"{tmp}/protect_resp.json"))
+assert j["result"] == sync, "async job result differs from sync /v1/protect"
+again = json.load(open(f"{tmp}/job_resubmit.json"))
+assert again["job"]["id"] == j["job"]["id"], "idempotent resubmit created a new job"
+print("    job", j["job"]["id"], "succeeded; result matches sync, resubmit deduped")
 EOF
 
 echo "==> graceful shutdown"
