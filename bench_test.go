@@ -415,6 +415,124 @@ func TestApplyStreamBoundedMemory(t *testing.T) {
 	}
 }
 
+// planStreamFixture generates rows synthetic tuples plus a framework
+// and key for the streaming planner benchmarks. Unlike
+// streamBenchFixture it does NOT freeze a plan up front — planning is
+// the thing being measured.
+func planStreamFixture(tb testing.TB, rows int) (*medshield.Framework, *relation.Table, medshield.Key) {
+	tb.Helper()
+	tbl, err := datagen.Generate(datagen.Config{Rows: rows, Seed: 1, Correlate: true, ZipfS: 1.2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(20), medshield.WithAutoEpsilon())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fw, tbl, medshield.NewKey("bench", 75)
+}
+
+// BenchmarkPlanStream1M runs the one-pass sketch planner over one
+// million rows, segment-at-a-time. The working set is the quasi-tuple
+// sketch (distinct tuples, not rows), so bytes/op stays far below the
+// table size — TestPlanStreamBoundedMemory turns that into a hard gate.
+func BenchmarkPlanStream1M(b *testing.B) {
+	fw, tbl, key := planStreamFixture(b, 1000000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.PlanStream(context.Background(), tbl.Segments(0), key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanApplyStream10M is the end-to-end ten-million-row number:
+// stream-plan the table, then execute the resulting plan through
+// ApplyStream. Neither pass materializes the output, so the pipeline's
+// transient memory stays segment- and sketch-bounded even at 10x the
+// scale of the 1M gates.
+func BenchmarkPlanApplyStream10M(b *testing.B) {
+	fw, tbl, key := planStreamFixture(b, 10000000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps, err := fw.PlanStream(context.Background(), tbl.Segments(0), key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fw.ApplyStream(context.Background(), tbl.Segments(0), ps.Plan, key, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPlanStreamBoundedMemory is the memory gate of the streaming
+// planner, mirroring TestApplyStreamBoundedMemory: PlanStream over one
+// million rows must not grow the heap by more than a fixed budget over
+// the fixture baseline. The planner's state is the quasi-tuple sketch —
+// sized by distinct quasi-tuples, not rows — so a regression toward
+// materializing the table (or the per-row work tables the in-memory
+// search keeps) trips the gate.
+func TestPlanStreamBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-row fixture in -short mode")
+	}
+	fw, tbl, key := planStreamFixture(t, 1000000)
+
+	// Same GC discipline as TestApplyStreamBoundedMemory: the resident
+	// fixture table would otherwise let GOGC=100 double the heap before
+	// collecting, hiding exactly the growth under test.
+	defer debug.SetGCPercent(debug.SetGCPercent(20))
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	ps, err := fw.PlanStream(context.Background(), tbl.Segments(0), key)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Rows != 1000000 {
+		t.Fatalf("planned rows = %d", ps.Rows)
+	}
+
+	// The measured peak (~58 MiB) is the quasi-tuple sketch over the
+	// Zipf fixture's distinct tuples plus transient per-segment decode
+	// buffers and the sketch search's candidate state. The budget sits
+	// above that noise floor but well below the table-sized (>100 MiB
+	// at this scale) work tables an in-memory search regression would
+	// allocate.
+	const budget = 96 << 20
+	grew := int64(peak.Load()) - int64(base.HeapAlloc)
+	t.Logf("PlanStream over 1M rows: heap peak %d MiB over the %d MiB baseline (budget %d MiB)",
+		grew>>20, base.HeapAlloc>>20, int64(budget)>>20)
+	if grew > budget {
+		t.Errorf("PlanStream heap grew %d MiB over baseline, budget %d MiB — the planner has regressed toward whole-table buffering",
+			grew>>20, int64(budget)>>20)
+	}
+}
+
 // ---- sequential vs parallel (Config.Workers) ---------------------------
 //
 // The pipeline guarantees byte-identical output for every worker count,

@@ -217,29 +217,53 @@ func cmdPlan(args []string) error {
 	secret := fs.String("secret", "", "owner secret passphrase (required)")
 	planPath := fs.String("plan", "plan.json", "plan output path")
 	autoEps := fs.Bool("auto-epsilon", true, "apply the §6 conservative ε")
+	stream := fs.Bool("stream", false, "plan segment-at-a-time (memory bounded by distinct quasi-tuples, identical plan)")
+	chunk := fs.Int("chunk", 0, "streaming segment size in rows (0 = default)")
 	workers := fs.Int("workers", 0, "worker goroutines for the search (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
 	if *secret == "" {
 		return fmt.Errorf("plan: -secret is required")
 	}
 
-	tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+	fw, err := medshield.NewFromConfig(medshield.BuiltinTrees(),
+		medshield.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers, Chunk: *chunk})
 	if err != nil {
 		return err
 	}
-	fw, err := medshield.NewFromConfig(medshield.BuiltinTrees(), medshield.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers})
-	if err != nil {
-		return err
-	}
-	plan, err := fw.Plan(tbl, medshield.NewKey(*secret, *eta))
-	if err != nil {
-		return err
+	var (
+		plan *medshield.Plan
+		rows int
+	)
+	if *stream {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sr, err := medshield.NewSegmentReader(f, medshield.BuiltinSchema(), fw.Config().Chunk)
+		if err != nil {
+			return err
+		}
+		ps, err := fw.PlanStream(context.Background(), sr, medshield.NewKey(*secret, *eta))
+		if err != nil {
+			return err
+		}
+		plan, rows = ps.Plan, ps.Rows
+	} else {
+		tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+		if err != nil {
+			return err
+		}
+		if plan, err = fw.Plan(tbl, medshield.NewKey(*secret, *eta)); err != nil {
+			return err
+		}
+		rows = tbl.NumRows()
 	}
 	if err := writePlan(*planPath, plan); err != nil {
 		return err
 	}
 	fmt.Printf("planned %d tuples: k=%d (ε=%d, effective k=%d), avg info loss %.1f%%\n",
-		tbl.NumRows(), plan.K, plan.Epsilon, plan.EffectiveK, plan.AvgLoss*100)
+		rows, plan.K, plan.Epsilon, plan.EffectiveK, plan.AvgLoss*100)
 	fmt.Printf("plan -> %s (search only — run protect to publish, which fills the bin record appends need)\n", *planPath)
 	return nil
 }

@@ -22,7 +22,8 @@
 // -idle-timeout. The probe and job routes bypass the semaphore: job
 // submission answers 202 in milliseconds while the -job-workers pool
 // grinds through the queue, with retries (-job-max-attempts), SSE
-// progress and HMAC-signed completion webhooks.
+// progress and HMAC-signed completion webhooks. Finished jobs are
+// garbage-collected -job-ttl after completion (0 keeps them forever).
 //
 // SIGINT/SIGTERM shut down in stages: readiness flips (load balancers
 // stop routing) and job submissions are refused, in-flight HTTP
@@ -88,6 +89,7 @@ func run() error {
 		jobWorkers     = flag.Int("job-workers", 0, "async job pool size (0 = 2)")
 		jobAttempts    = flag.Int("job-max-attempts", 0, "max run attempts per job before the dead-letter state (0 = 3)")
 		jobTimeout     = flag.Duration("job-attempt-timeout", 0, "per-attempt deadline for async jobs (0 = 15m)")
+		jobTTL         = flag.Duration("job-ttl", 0, "retain terminal jobs this long before garbage collection (0 = keep forever)")
 		pprofAddr      = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (empty = disabled)")
 		quiet          = flag.Bool("quiet", false, "disable per-request logging")
 	)
@@ -117,6 +119,7 @@ func run() error {
 			Workers:        *jobWorkers,
 			MaxAttempts:    *jobAttempts,
 			AttemptTimeout: *jobTimeout,
+			TTL:            *jobTTL,
 		},
 		Logger: reqLogger,
 	})

@@ -254,18 +254,7 @@ type HealthResponse struct {
 // carry the data (an empty table is Rows with zero records: set neither
 // and the table has the schema only).
 func DecodeTable(t Table) (*relation.Table, error) {
-	if len(t.Columns) == 0 {
-		return nil, fmt.Errorf("api: table has no columns")
-	}
-	cols := make([]relation.Column, len(t.Columns))
-	for i, c := range t.Columns {
-		kind, err := ParseKind(c.Kind)
-		if err != nil {
-			return nil, fmt.Errorf("api: column %q: %w", c.Name, err)
-		}
-		cols[i] = relation.Column{Name: c.Name, Kind: kind}
-	}
-	schema, err := relation.NewSchema(cols)
+	schema, err := SchemaOf(t.Columns)
 	if err != nil {
 		return nil, err
 	}
@@ -282,6 +271,24 @@ func DecodeTable(t Table) (*relation.Table, error) {
 		}
 	}
 	return tbl, nil
+}
+
+// SchemaOf converts the wire column list to a validated schema without
+// touching cell data — the streaming paths use it to plan over a CSV
+// source they never materialize.
+func SchemaOf(columns []Column) (*relation.Schema, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("api: table has no columns")
+	}
+	cols := make([]relation.Column, len(columns))
+	for i, c := range columns {
+		kind, err := ParseKind(c.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("api: column %q: %w", c.Name, err)
+		}
+		cols[i] = relation.Column{Name: c.Name, Kind: kind}
+	}
+	return relation.NewSchema(cols)
 }
 
 // EncodeTable converts a relation.Table to the wire payload in the given

@@ -30,7 +30,16 @@ import (
 // The JSON mode of the same endpoints (and every other endpoint) is
 // untouched; pick the mode with the request Content-Type.
 
-// ContentTypeCSV selects the streaming mode on /v1/apply and /v1/append.
+// POST /v1/plan shares the mode with one twist: the planning pass
+// consumes the CSV body segment-at-a-time (bounded by distinct
+// quasi-tuples, not rows) but emits no CSV — the response body is
+// empty, and the computed plan plus a PlanStreamStats summary ride the
+// PlanHeader / StatsTrailer trailers. Because nothing is written before
+// the pass completes, plan-mode failures always keep the ordinary
+// status + ErrorResponse envelope; ErrorTrailer is never used there.
+
+// ContentTypeCSV selects the streaming mode on /v1/plan, /v1/apply and
+// /v1/append.
 const ContentTypeCSV = "text/csv"
 
 // Request headers of the streaming mode. The watermark secret rides the
@@ -85,6 +94,30 @@ func StreamStatsOf(res *core.Streamed) StreamStats {
 		CellsChanged:   res.Embed.CellsChanged,
 		NewBins:        res.NewBins,
 		Suppressed:     res.Suppressed,
+	}
+}
+
+// PlanStreamStats is the planning-mode run summary (the StatsTrailer of
+// a streaming POST /v1/plan).
+type PlanStreamStats struct {
+	Rows       int     `json:"rows"`
+	Segments   int     `json:"segments"`
+	K          int     `json:"k"`
+	Epsilon    int     `json:"epsilon"`
+	EffectiveK int     `json:"effective_k"`
+	AvgLoss    float64 `json:"avg_loss"`
+}
+
+// PlanStreamStatsOf projects a streamed planning result to its wire
+// summary.
+func PlanStreamStatsOf(res *core.PlannedStream) PlanStreamStats {
+	return PlanStreamStats{
+		Rows:       res.Rows,
+		Segments:   res.Segments,
+		K:          res.Plan.K,
+		Epsilon:    res.Plan.Epsilon,
+		EffectiveK: res.Plan.EffectiveK,
+		AvgLoss:    res.Plan.AvgLoss,
 	}
 }
 

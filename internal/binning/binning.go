@@ -103,8 +103,12 @@ type SearchResult struct {
 	MultiStats MultiStats
 	// work is the table the search ran over: the input itself under the
 	// conservative rule (never mutated), or a suppressed clone under the
-	// aggressive rule.
+	// aggressive rule. It is nil for sketch-backed results (SearchSketch),
+	// which retain tuples instead.
 	work *relation.Table
+	// tuples is the post-suppression quasi-tuple state of a sketch-backed
+	// search — what GeneralizedBins consumes when no work table exists.
+	tuples *sketchTuples
 }
 
 // Work returns the table the search result describes: the input table

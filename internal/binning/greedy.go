@@ -93,9 +93,9 @@ func coverNodes(gen dht.GenSet) []uint64 {
 // buildJointHist scans the rows once, sharded over workers, and returns
 // the joint histogram keyed by covering-NodeID radix. Shards count into
 // hash-partitioned maps merged partition-parallel, then the partitions
-// fold into one map — counts are sums, so every worker count yields the
-// same histogram.
-func buildJointHist(ctx context.Context, workers int, rowLeaves [][]dht.NodeID, cover [][]uint64, places []uint64) (map[uint64]int, error) {
+// fold into one map — counts are (weight) sums, so every worker count
+// yields the same histogram. weights nil counts every position once.
+func buildJointHist(ctx context.Context, workers int, rowLeaves [][]dht.NodeID, weights []int, cover [][]uint64, places []uint64) (map[uint64]int, error) {
 	rows := len(rowLeaves[0])
 	chunks := pool.Chunks(workers, rows)
 	nParts := len(chunks)
@@ -113,7 +113,11 @@ func buildJointHist(ctx context.Context, workers int, rowLeaves [][]dht.NodeID, 
 			for ci := range cover {
 				key += cover[ci][rowLeaves[ci][row]] * places[ci]
 			}
-			parts[key%uint64(nParts)][key]++
+			w := 1
+			if weights != nil {
+				w = weights[row]
+			}
+			parts[key%uint64(nParts)][key] += w
 		}
 		shardParts[si] = parts
 		return nil
@@ -158,11 +162,12 @@ func multiGreedy(
 	mingends, maxgends map[string]dht.GenSet,
 	k, workers int,
 	rowLeaves [][]dht.NodeID,
+	weights []int,
 	stats *MultiStats,
 ) (map[string]dht.GenSet, MultiStats, error) {
 	bases, places, fits := nodeBases(cols, mingends)
 	if !fits {
-		return multiGreedyRescan(ctx, cols, mingends, maxgends, k, workers, rowLeaves, stats)
+		return multiGreedyRescan(ctx, cols, mingends, maxgends, k, workers, rowLeaves, weights, stats)
 	}
 
 	cur := make([]dht.GenSet, len(cols))
@@ -171,7 +176,7 @@ func multiGreedy(
 		cur[ci] = mingends[col]
 		cover[ci] = coverNodes(cur[ci])
 	}
-	hist, err := buildJointHist(ctx, workers, rowLeaves, cover, places)
+	hist, err := buildJointHist(ctx, workers, rowLeaves, weights, cover, places)
 	if err != nil {
 		return nil, *stats, err
 	}

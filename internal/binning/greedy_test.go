@@ -23,8 +23,8 @@ func greedyBoth(t *testing.T, tbl *relation.Table, cols []string, ming, maxg map
 		t.Fatal(err)
 	}
 	var s1, s2 MultiStats
-	inc, incStats, incErr = multiGreedy(ctx, cols, ming, maxg, k, workers, rowLeaves, &s1)
-	ref, refStats, refErr = multiGreedyRescan(ctx, cols, ming, maxg, k, workers, rowLeaves, &s2)
+	inc, incStats, incErr = multiGreedy(ctx, cols, ming, maxg, k, workers, rowLeaves, nil, &s1)
+	ref, refStats, refErr = multiGreedyRescan(ctx, cols, ming, maxg, k, workers, rowLeaves, nil, &s2)
 	return inc, ref, incStats, refStats, incErr, refErr
 }
 
@@ -170,12 +170,12 @@ func TestMultiGreedyIncrementalFaster(t *testing.T) {
 	}
 	incDur := timeOf(func() error {
 		var s MultiStats
-		_, _, err := multiGreedy(ctx, cols, ming, maxg, 25, 1, rowLeaves, &s)
+		_, _, err := multiGreedy(ctx, cols, ming, maxg, 25, 1, rowLeaves, nil, &s)
 		return err
 	})
 	refDur := timeOf(func() error {
 		var s MultiStats
-		_, _, err := multiGreedyRescan(ctx, cols, ming, maxg, 25, 1, rowLeaves, &s)
+		_, _, err := multiGreedyRescan(ctx, cols, ming, maxg, 25, 1, rowLeaves, nil, &s)
 		return err
 	})
 	if incDur*13 > refDur*10 {

@@ -127,19 +127,46 @@ func MultiBinContext(
 		}
 	}
 
+	rowLeaves, err := resolveRowLeaves(ctx, tbl, cols, mingends)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	return multiBinLeaves(ctx, cols, mingends, maxgends, k, strategy, enumLimit, workers, rowLeaves, nil, &stats)
+}
+
+// multiBinLeaves is the strategy core MultiBinContext and SearchSketch
+// share: the multi-attribute search over pre-resolved per-column leaf
+// vectors. Each position of rowLeaves is one unit of the joint
+// distribution — a table row (weights nil, every unit counts once) or a
+// distinct quasi-tuple of a Sketch (weights holds its multiplicity).
+// Bin sizes are weight sums, so the weighted tuple form yields exactly
+// the histograms, violating sets and merge sequences of the expanded
+// rows.
+func multiBinLeaves(
+	ctx context.Context,
+	cols []string,
+	mingends, maxgends map[string]dht.GenSet,
+	k int,
+	strategy Strategy,
+	enumLimit int,
+	workers int,
+	rowLeaves [][]dht.NodeID,
+	weights []int,
+	stats *MultiStats,
+) (map[string]dht.GenSet, MultiStats, error) {
+	if enumLimit <= 0 {
+		enumLimit = DefaultEnumLimit
+	}
+
 	// An empty table satisfies any k vacuously: keep the minimal nodes.
-	if tbl.NumRows() == 0 {
+	if len(rowLeaves) == 0 || len(rowLeaves[0]) == 0 {
 		out := make(map[string]dht.GenSet, len(cols))
 		for _, c := range cols {
 			out[c] = mingends[c]
 		}
 		stats.Strategy = strategy
-		return out, stats, nil
-	}
-
-	rowLeaves, err := resolveRowLeaves(ctx, tbl, cols, mingends)
-	if err != nil {
-		return nil, stats, err
+		return out, *stats, nil
 	}
 
 	// Resolve Auto by counting the candidate product with a cap.
@@ -149,7 +176,7 @@ func MultiBinContext(
 		for _, c := range cols {
 			n, err := dht.CountBetween(mingends[c], maxgends[c], enumLimit+1)
 			if err != nil {
-				return nil, stats, err
+				return nil, *stats, err
 			}
 			product *= n
 			if product > enumLimit {
@@ -166,11 +193,11 @@ func MultiBinContext(
 
 	switch resolved {
 	case StrategyExhaustive:
-		return multiExhaustive(ctx, cols, mingends, maxgends, k, enumLimit, workers, rowLeaves, &stats)
+		return multiExhaustive(ctx, cols, mingends, maxgends, k, enumLimit, workers, rowLeaves, weights, stats)
 	case StrategyGreedy:
-		return multiGreedy(ctx, cols, mingends, maxgends, k, workers, rowLeaves, &stats)
+		return multiGreedy(ctx, cols, mingends, maxgends, k, workers, rowLeaves, weights, stats)
 	default:
-		return nil, stats, fmt.Errorf("binning: unknown strategy %v", strategy)
+		return nil, *stats, fmt.Errorf("binning: unknown strategy %v", strategy)
 	}
 }
 
@@ -289,8 +316,9 @@ func fnv64a(s string) uint64 {
 }
 
 // jointMinBin computes the minimum non-empty joint bin size of the table
-// under the per-column frontiers.
-func jointMinBin(rowLeaves [][]dht.NodeID, covers [][]int32) int {
+// under the per-column frontiers. weights nil counts every position once;
+// otherwise position i contributes weights[i].
+func jointMinBin(rowLeaves [][]dht.NodeID, covers [][]int32, weights []int) int {
 	if len(rowLeaves) == 0 || len(rowLeaves[0]) == 0 {
 		return 0
 	}
@@ -299,7 +327,11 @@ func jointMinBin(rowLeaves [][]dht.NodeID, covers [][]int32) int {
 	if bases, fits := binKeyBases(covers); fits {
 		counts := make(map[uint64]int, rows/4+1)
 		for row := 0; row < rows; row++ {
-			counts[radixKeyAt(rowLeaves, covers, bases, row)]++
+			w := 1
+			if weights != nil {
+				w = weights[row]
+			}
+			counts[radixKeyAt(rowLeaves, covers, bases, row)] += w
 		}
 		for _, n := range counts {
 			if min < 0 || n < min {
@@ -310,7 +342,11 @@ func jointMinBin(rowLeaves [][]dht.NodeID, covers [][]int32) int {
 	}
 	counts := make(map[string]int, rows/4+1)
 	for row := 0; row < rows; row++ {
-		counts[stringKeyAt(rowLeaves, covers, row)]++
+		w := 1
+		if weights != nil {
+			w = weights[row]
+		}
+		counts[stringKeyAt(rowLeaves, covers, row)] += w
 	}
 	for _, n := range counts {
 		if min < 0 || n < min {
@@ -324,9 +360,10 @@ func jointMinBin(rowLeaves [][]dht.NodeID, covers [][]int32) int {
 // of frontier members (dense, indexed like gen.Nodes()) participating in
 // bins below k. The table scan is sharded over workers and the bin
 // counts are partitioned by key hash so the merge parallelizes too; bin
-// counting is a sum and member collection a set union — both
+// counting is a (weight) sum and member collection a set union — both
 // order-independent — so every worker count yields the same sets.
-func scanViolating[K comparable](ctx context.Context, workers, k int, rowLeaves [][]dht.NodeID, covers [][]int32, sizes []int, keyAt func(row int) K, hashOf func(K) uint64) ([][]bool, error) {
+// weights nil counts every position once.
+func scanViolating[K comparable](ctx context.Context, workers, k int, rowLeaves [][]dht.NodeID, covers [][]int32, weights []int, sizes []int, keyAt func(row int) K, hashOf func(K) uint64) ([][]bool, error) {
 	rows := len(rowLeaves[0])
 	chunks := pool.Chunks(workers, rows)
 	nParts := len(chunks)
@@ -345,7 +382,11 @@ func scanViolating[K comparable](ctx context.Context, workers, k int, rowLeaves 
 			}
 			key := keyAt(row)
 			keys[row] = key
-			parts[hashOf(key)%uint64(nParts)][key]++
+			w := 1
+			if weights != nil {
+				w = weights[row]
+			}
+			parts[hashOf(key)%uint64(nParts)][key] += w
 		}
 		shardParts[si] = parts
 		return nil
@@ -426,6 +467,7 @@ func multiExhaustive(
 	mingends, maxgends map[string]dht.GenSet,
 	k, enumLimit, workers int,
 	rowLeaves [][]dht.NodeID,
+	weights []int,
 	stats *MultiStats,
 ) (map[string]dht.GenSet, MultiStats, error) {
 	// Materialize per-column allowable generalizations (EnumGen of the
@@ -489,7 +531,7 @@ func multiExhaustive(
 			covers[ci] = perColCovers[ci][gi]
 			choice[ci] = perCol[ci][gi]
 		}
-		if jointMinBin(rowLeaves, covers) < k {
+		if jointMinBin(rowLeaves, covers, weights) < k {
 			return nil
 		}
 		verdicts[c] = verdict{valid: true, loss: avgSpecificityLoss(choice)}
@@ -534,6 +576,7 @@ func multiGreedyRescan(
 	mingends, maxgends map[string]dht.GenSet,
 	k, workers int,
 	rowLeaves [][]dht.NodeID,
+	weights []int,
 	stats *MultiStats,
 ) (map[string]dht.GenSet, MultiStats, error) {
 	cur := make([]dht.GenSet, len(cols))
@@ -557,11 +600,11 @@ func multiGreedyRescan(
 		var violating [][]bool
 		var err error
 		if bases, fits := binKeyBases(covers); fits {
-			violating, err = scanViolating(ctx, workers, k, rowLeaves, covers, sizes, func(row int) uint64 {
+			violating, err = scanViolating(ctx, workers, k, rowLeaves, covers, weights, sizes, func(row int) uint64 {
 				return radixKeyAt(rowLeaves, covers, bases, row)
 			}, func(key uint64) uint64 { return key })
 		} else {
-			violating, err = scanViolating(ctx, workers, k, rowLeaves, covers, sizes, func(row int) string {
+			violating, err = scanViolating(ctx, workers, k, rowLeaves, covers, weights, sizes, func(row int) string {
 				return stringKeyAt(rowLeaves, covers, row)
 			}, fnv64a)
 		}

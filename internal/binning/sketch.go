@@ -1,0 +1,508 @@
+package binning
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/anonymity"
+	"repro/internal/dht"
+	"repro/internal/infoloss"
+	"repro/internal/pool"
+	"repro/internal/relation"
+)
+
+// Sketch is the bounded-memory summary the streaming planner searches
+// over: per-quasi-column leaf histograms plus a joint quasi-tuple count
+// table, accumulated segment by segment. The Figure 8 search never
+// reads raw rows — mono binning consumes leaf histograms and the
+// multi-attribute search a joint histogram — so the sketch is lossless
+// for planning purposes while holding O(distinct quasi-tuples) state:
+// identifying and other columns are never retained, and rows collapse
+// into tuple counts the moment a segment is ingested.
+//
+// Tuples are keyed by the mixed-radix composition of their per-column
+// leaf NodeIDs (base = tree size); degenerate tree sets whose radix
+// product overflows uint64 fall back to string keys. Leaf resolution
+// runs once per distinct value via a per-column cache keyed by the
+// value string — segment dictionaries are segment-local, so codes are
+// never trusted across segments.
+type Sketch struct {
+	schema *relation.Schema
+	quasi  []string
+	colIdx []int
+	trees  []*dht.Tree
+	// leafCache memoizes value → leaf per column across segments.
+	leafCache []map[string]dht.NodeID
+	// hist is the pristine per-column leaf histogram (pre-suppression;
+	// information loss is measured against it, exactly as SearchContext
+	// measures against the original table's histograms).
+	hist [][]int
+	// bases/places compose the mixed-radix tuple key; fits reports
+	// whether the product stays within uint64.
+	bases, places []uint64
+	fits          bool
+	tuples        map[uint64]int
+	tuplesStr     map[string]int
+	rows          int
+}
+
+// NewSketch prepares an empty sketch for the schema's quasi columns.
+// Every quasi column must have a DHT in trees.
+func NewSketch(schema *relation.Schema, trees map[string]*dht.Tree) (*Sketch, error) {
+	quasi := schema.QuasiColumns()
+	if len(quasi) == 0 {
+		return nil, fmt.Errorf("binning: schema has no quasi-identifying columns")
+	}
+	s := &Sketch{
+		schema:    schema,
+		quasi:     quasi,
+		colIdx:    make([]int, len(quasi)),
+		trees:     make([]*dht.Tree, len(quasi)),
+		leafCache: make([]map[string]dht.NodeID, len(quasi)),
+		hist:      make([][]int, len(quasi)),
+		bases:     make([]uint64, len(quasi)),
+		places:    make([]uint64, len(quasi)),
+		fits:      true,
+	}
+	prod := uint64(1)
+	for ci, col := range quasi {
+		tree, ok := trees[col]
+		if !ok || tree == nil {
+			return nil, fmt.Errorf("binning: no DHT for quasi column %s", col)
+		}
+		idx, err := schema.Index(col)
+		if err != nil {
+			return nil, err
+		}
+		s.colIdx[ci] = idx
+		s.trees[ci] = tree
+		s.leafCache[ci] = make(map[string]dht.NodeID)
+		s.hist[ci] = make([]int, tree.Size())
+		base := uint64(tree.Size())
+		s.bases[ci] = base
+		if prod > math.MaxUint64/base {
+			s.fits = false
+		} else {
+			prod *= base
+		}
+	}
+	if s.fits {
+		place := uint64(1)
+		for ci := len(quasi) - 1; ci >= 0; ci-- {
+			s.places[ci] = place
+			place *= s.bases[ci]
+		}
+		s.tuples = make(map[uint64]int)
+	} else {
+		s.tuplesStr = make(map[string]int)
+	}
+	return s, nil
+}
+
+// Rows returns the number of rows ingested so far.
+func (s *Sketch) Rows() int { return s.rows }
+
+// Quasi returns the sketched quasi-column names in schema order.
+func (s *Sketch) Quasi() []string { return s.quasi }
+
+// Add folds one segment into the sketch. Leaf resolution happens per
+// distinct dictionary entry (cached across segments by value string);
+// the row loop is pure integer work. A resolution failure leaves the
+// sketch untouched — all columns resolve before any count moves.
+func (s *Sketch) Add(seg *relation.Table) error {
+	segSchema := seg.Schema()
+	colLeaves := make([][]dht.NodeID, len(s.quasi))
+	colCodes := make([][]uint32, len(s.quasi))
+	for ci, col := range s.quasi {
+		idx := s.colIdx[ci]
+		if segSchema != s.schema {
+			i, err := segSchema.Index(col)
+			if err != nil {
+				return err
+			}
+			idx = i
+		}
+		tree := s.trees[ci]
+		dict, codes := seg.DictValues(idx), seg.Codes(idx)
+		used := make([]bool, len(dict))
+		for _, code := range codes {
+			used[code] = true
+		}
+		leafOf := make([]dht.NodeID, len(dict))
+		for code, v := range dict {
+			if !used[code] {
+				continue
+			}
+			leaf, ok := s.leafCache[ci][v]
+			if !ok {
+				var err error
+				leaf, err = tree.ResolveLeaf(v)
+				if err != nil {
+					return fmt.Errorf("binning: column %s value %q: %w", col, v, err)
+				}
+				s.leafCache[ci][v] = leaf
+			}
+			leafOf[code] = leaf
+		}
+		colLeaves[ci] = leafOf
+		colCodes[ci] = codes
+	}
+	n := seg.NumRows()
+	if s.fits {
+		for row := 0; row < n; row++ {
+			var key uint64
+			for ci := range s.quasi {
+				leaf := colLeaves[ci][colCodes[ci][row]]
+				s.hist[ci][leaf]++
+				key += uint64(leaf) * s.places[ci]
+			}
+			s.tuples[key]++
+		}
+	} else {
+		var buf []byte
+		for row := 0; row < n; row++ {
+			buf = buf[:0]
+			for ci := range s.quasi {
+				leaf := colLeaves[ci][colCodes[ci][row]]
+				s.hist[ci][leaf]++
+				buf = strconv.AppendInt(buf, int64(leaf), 10)
+				buf = append(buf, '|')
+			}
+			s.tuplesStr[string(buf)]++
+		}
+	}
+	s.rows += n
+	return nil
+}
+
+// decodeTuples materializes the distinct quasi-tuples as per-column
+// leaf vectors plus a parallel count vector — the weighted form the
+// shared multi-attribute core consumes. Map iteration order varies
+// between runs, but every downstream computation (histograms, bin
+// minima, violating sets, bin maps) is a sum or set union over the
+// tuples, so the search outcome is order-independent.
+func (s *Sketch) decodeTuples() ([][]dht.NodeID, []int, error) {
+	ncols := len(s.quasi)
+	var size int
+	if s.fits {
+		size = len(s.tuples)
+	} else {
+		size = len(s.tuplesStr)
+	}
+	leaves := make([][]dht.NodeID, ncols)
+	for ci := range leaves {
+		leaves[ci] = make([]dht.NodeID, 0, size)
+	}
+	counts := make([]int, 0, size)
+	if s.fits {
+		for key, n := range s.tuples {
+			for ci := range leaves {
+				leaves[ci] = append(leaves[ci], dht.NodeID((key/s.places[ci])%s.bases[ci]))
+			}
+			counts = append(counts, n)
+		}
+		return leaves, counts, nil
+	}
+	for key, n := range s.tuplesStr {
+		parts := strings.Split(strings.TrimSuffix(key, "|"), "|")
+		if len(parts) != ncols {
+			return nil, nil, fmt.Errorf("binning: internal: malformed sketch tuple key %q", key)
+		}
+		for ci, p := range parts {
+			id, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("binning: internal: malformed sketch tuple key %q: %w", key, err)
+			}
+			leaves[ci] = append(leaves[ci], dht.NodeID(id))
+		}
+		counts = append(counts, n)
+	}
+	return leaves, counts, nil
+}
+
+// sketchTuples is the post-suppression tuple state a sketch-backed
+// SearchResult retains in place of a work table: enough to compute the
+// generalized bin statistics AutoEpsilon needs without any rows.
+type sketchTuples struct {
+	cols   []string
+	trees  []*dht.Tree
+	leaves [][]dht.NodeID
+	counts []int
+}
+
+// SearchSketch runs stages 1–3 of the Figure 8 algorithm entirely over
+// a sketch — the streaming counterpart of SearchContext. The search
+// consumes only the sketch's histograms and tuple counts, so its cost
+// scales with distinct quasi-tuples instead of rows, and the outcome
+// (frontiers, losses, suppression, stats) is identical to SearchContext
+// on the materialized table. The sketch itself is never mutated; the
+// aggressive rule's suppression runs on a private decoded copy.
+func SearchSketch(ctx context.Context, sk *Sketch, cfg Config) (*SearchResult, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("binning: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Epsilon < 0 {
+		return nil, fmt.Errorf("binning: Epsilon must be >= 0, got %d", cfg.Epsilon)
+	}
+	quasi := sk.quasi
+	effectiveK := cfg.K + cfg.Epsilon
+
+	// 1. Usage metrics in maximal-generalization-node form, from the
+	// sketch's pristine histograms.
+	maxGens := make(map[string]dht.GenSet, len(quasi))
+	type colSetup struct {
+		maxg dht.GenSet
+	}
+	setups, err := pool.MapCtx(ctx, cfg.Workers, len(quasi), func(i int) (colSetup, error) {
+		col := quasi[i]
+		tree, ok := cfg.Trees[col]
+		if !ok || tree == nil {
+			return colSetup{}, fmt.Errorf("binning: no DHT for quasi column %s", col)
+		}
+		if tree != sk.trees[i] {
+			return colSetup{}, fmt.Errorf("binning: sketch for column %s was built over a different tree", col)
+		}
+		if g, ok := cfg.MaxGens[col]; ok {
+			if g.Tree() != tree {
+				return colSetup{}, fmt.Errorf("binning: maximal nodes for %s belong to a different tree", col)
+			}
+			return colSetup{maxg: g}, nil
+		}
+		if cfg.Metrics != nil {
+			g, err := infoloss.DeriveMaxGen(tree, sk.hist[i], cfg.Metrics.Bound(col))
+			if err != nil {
+				return colSetup{}, err
+			}
+			return colSetup{maxg: g}, nil
+		}
+		return colSetup{maxg: dht.RootGenSet(tree)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, col := range quasi {
+		maxGens[col] = setups[i].maxg
+	}
+
+	// 2. Mono-attribute binning. The conservative rule touches no
+	// counts, so the columns fan out over the pristine marginals. The
+	// aggressive rule suppresses tuples between columns (column i's
+	// deletions change column i+1's marginal), so it decodes the joint
+	// tuples once and walks the columns sequentially over the live set —
+	// the weighted mirror of SearchContext's clone-and-suppress loop.
+	minGens := make(map[string]dht.GenSet, len(quasi))
+	monoStats := make(map[string]MonoStats, len(quasi))
+	suppressed := 0
+	suppressValues := make(map[string][]string)
+	var tupleLeaves [][]dht.NodeID
+	var tupleCounts []int
+
+	if !cfg.Aggressive {
+		type monoOut struct {
+			gen   dht.GenSet
+			stats MonoStats
+		}
+		outs, err := pool.MapCtx(ctx, cfg.Workers, len(quasi), func(i int) (monoOut, error) {
+			col := quasi[i]
+			g, st, err := MonoBinHist(sk.trees[i], maxGens[col], sk.hist[i], effectiveK, false)
+			if err != nil {
+				return monoOut{}, err
+			}
+			return monoOut{gen: g, stats: st}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, col := range quasi {
+			minGens[col] = outs[i].gen
+			monoStats[col] = outs[i].stats
+		}
+		tupleLeaves, tupleCounts, err = sk.decodeTuples()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		leaves, counts, err := sk.decodeTuples()
+		if err != nil {
+			return nil, err
+		}
+		alive := make([]bool, len(counts))
+		for t := range alive {
+			alive[t] = true
+		}
+		for ci, col := range quasi {
+			tree := sk.trees[ci]
+			hist := make([]int, tree.Size())
+			for t, n := range counts {
+				if alive[t] {
+					hist[leaves[ci][t]] += n
+				}
+			}
+			g, st, err := MonoBinHist(tree, maxGens[col], hist, effectiveK, true)
+			if err != nil {
+				return nil, err
+			}
+			if len(st.Deficient) > 0 {
+				// Deficient bins: suppress their tuples, and record the
+				// frontier values so the same suppression replays on any
+				// row batch (Suppress) — e.g. when a plan built from this
+				// search is applied to the streamed segments.
+				values := make([]string, len(st.Deficient))
+				for i, d := range st.Deficient {
+					values[i] = tree.Value(d)
+				}
+				suppressValues[col] = values
+				for t := range alive {
+					if !alive[t] {
+						continue
+					}
+					for _, d := range st.Deficient {
+						if tree.IsAncestorOrSelf(d, leaves[ci][t]) {
+							alive[t] = false
+							suppressed += counts[t]
+							break
+						}
+					}
+				}
+			}
+			minGens[col] = g
+			monoStats[col] = st
+		}
+		// Compact the survivors for the joint search.
+		keep := 0
+		for t := range alive {
+			if alive[t] {
+				keep++
+			}
+		}
+		tupleLeaves = make([][]dht.NodeID, len(quasi))
+		for ci := range tupleLeaves {
+			tupleLeaves[ci] = make([]dht.NodeID, 0, keep)
+		}
+		tupleCounts = make([]int, 0, keep)
+		for t := range alive {
+			if !alive[t] {
+				continue
+			}
+			for ci := range tupleLeaves {
+				tupleLeaves[ci] = append(tupleLeaves[ci], leaves[ci][t])
+			}
+			tupleCounts = append(tupleCounts, counts[t])
+		}
+	}
+
+	// 3. Multi-attribute binning over the weighted tuples — the same
+	// strategy core MultiBinContext drives, with tuple multiplicities as
+	// weights instead of one row per position.
+	var multiStats MultiStats
+	ultiGens, multiStats, err := multiBinLeaves(ctx, quasi, minGens, maxGens, effectiveK,
+		cfg.Strategy, cfg.EnumLimit, cfg.Workers, tupleLeaves, tupleCounts, &multiStats)
+	if err != nil {
+		return nil, err
+	}
+
+	// Information loss per Equations (1)-(3), measured on the pristine
+	// histograms (as SearchContext measures on the original table's).
+	colLoss := make(map[string]float64, len(quasi))
+	losses := make([]float64, 0, len(quasi))
+	for i, col := range quasi {
+		l, err := infoloss.ColumnLoss(ultiGens[col], sk.hist[i])
+		if err != nil {
+			return nil, err
+		}
+		colLoss[col] = l
+		losses = append(losses, l)
+	}
+	avg := infoloss.NormalizedLoss(losses)
+	if cfg.Metrics != nil {
+		if err := cfg.Metrics.Check(colLoss); err != nil {
+			return nil, err
+		}
+	}
+
+	return &SearchResult{
+		MinGens:        minGens,
+		MaxGens:        maxGens,
+		UltiGens:       ultiGens,
+		ColumnLoss:     colLoss,
+		AvgLoss:        avg,
+		EffectiveK:     effectiveK,
+		Suppressed:     suppressed,
+		SuppressValues: suppressValues,
+		MonoStats:      monoStats,
+		MultiStats:     multiStats,
+		work:           nil,
+		tuples: &sketchTuples{
+			cols:   quasi,
+			trees:  sk.trees,
+			leaves: tupleLeaves,
+			counts: tupleCounts,
+		},
+	}, nil
+}
+
+// GeneralizedBins returns the bin-size map the searched table would
+// have after generalizing each of cols to its frontier in gens — the
+// statistic EpsilonForMark consumes. A table-backed result defers to
+// anonymity.GeneralizedBins over the work table; a sketch-backed result
+// computes the identical map from its retained post-suppression tuple
+// counts (keys match because a generalized cell value is exactly the
+// value of the frontier member covering the cell's leaf).
+func (s *SearchResult) GeneralizedBins(cols []string, gens map[string]dht.GenSet) (map[string]int, error) {
+	if s.work != nil {
+		return anonymity.GeneralizedBins(s.work, cols, gens)
+	}
+	if s.tuples == nil {
+		return nil, fmt.Errorf("binning: search result retains no data for bin statistics")
+	}
+	st := s.tuples
+	colAt := make([]int, len(cols))
+	genVal := make([]map[dht.NodeID]string, len(cols))
+	for i, c := range cols {
+		ci := -1
+		for j, col := range st.cols {
+			if col == c {
+				ci = j
+				break
+			}
+		}
+		if ci < 0 {
+			return nil, fmt.Errorf("anonymity: no generalization frontier for column %s", c)
+		}
+		if _, ok := gens[c]; !ok {
+			return nil, fmt.Errorf("anonymity: no generalization frontier for column %s", c)
+		}
+		colAt[i] = ci
+		genVal[i] = make(map[dht.NodeID]string)
+	}
+	out := make(map[string]int)
+	var key []byte
+	ntuples := len(st.counts)
+	for t := 0; t < ntuples; t++ {
+		key = key[:0]
+		for i, c := range cols {
+			ci := colAt[i]
+			leaf := st.leaves[ci][t]
+			g, ok := genVal[i][leaf]
+			if !ok {
+				tree := st.trees[ci]
+				member, covered := gens[c].CoverOf(leaf)
+				if !covered {
+					return nil, fmt.Errorf("anonymity: column %s value %q: %w", c, tree.Value(leaf),
+						fmt.Errorf("dht: value %q sits above the generalization frontier of %s", tree.Value(leaf), tree.Attr()))
+				}
+				g = tree.Value(member)
+				genVal[i][leaf] = g
+			}
+			if i > 0 {
+				key = append(key, '\x1f')
+			}
+			key = append(key, g...)
+		}
+		out[string(key)] += st.counts[t]
+	}
+	return out, nil
+}

@@ -301,11 +301,21 @@ func (f *Framework) ApplyContext(ctx context.Context, tbl *relation.Table, plan 
 	var monoStats map[string]binning.MonoStats
 	var multiStats binning.MultiStats
 	if search != nil {
-		work = search.Work()
 		suppressed = search.Suppressed
 		monoStats = search.MonoStats
 		multiStats = search.MultiStats
 		minGens = search.MinGens
+		if w := search.Work(); w != nil {
+			work = w
+		} else if len(plan.Suppress) > 0 {
+			// Sketch-backed search: no materialized work table was
+			// retained, so replay the recorded suppression like a
+			// cold plan would.
+			work = tbl.Clone()
+			if suppressed, err = binning.Suppress(work, f.trees, plan.Suppress); err != nil {
+				return nil, fmt.Errorf("core: replaying plan suppression: %w: %w", err, ErrBadProvenance)
+			}
+		}
 	} else {
 		if minGens, err = f.minGensFromPlan(plan); err != nil {
 			return nil, err

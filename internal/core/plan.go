@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 
-	"repro/internal/anonymity"
 	"repro/internal/binning"
 	"repro/internal/bitstr"
 	"repro/internal/crypt"
@@ -176,6 +175,11 @@ func (f *Framework) Plan(tbl *relation.Table, key crypt.WatermarkKey) (*Plan, er
 // table) or AppendContext (later delta batches) execute without
 // repeating the search. ProtectContext is exactly PlanContext followed
 // by ApplyContext.
+// PlanContext runs over a binning.Sketch of the table rather than the
+// table itself: the search cost then scales with distinct quasi-tuples
+// instead of rows, and the streaming PlanStream shares the identical
+// search path — both produce byte-identical plans to the historical
+// materialized search.
 func (f *Framework) PlanContext(ctx context.Context, tbl *relation.Table, key crypt.WatermarkKey) (*Plan, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -194,7 +198,22 @@ func (f *Framework) PlanContext(ctx context.Context, tbl *relation.Table, key cr
 		return nil, err
 	}
 
-	// Binning search, optionally twice for the conservative ε.
+	sk, err := binning.NewSketch(tbl.Schema(), f.trees)
+	if err != nil {
+		return nil, err
+	}
+	if err := sk.Add(tbl); err != nil {
+		return nil, err
+	}
+	return f.planFromSketch(ctx, sk, tbl.Schema().QuasiColumns(), identCol, mark, v, tbl)
+}
+
+// planFromSketch is the planning core PlanContext and PlanStream share:
+// the frontier search (optionally twice, for the conservative ε) over a
+// quasi-tuple sketch, frozen into a Plan. source is the materialized
+// table the sketch was built from, when one exists — it arms the
+// same-process ApplyContext fast path; the streaming caller passes nil.
+func (f *Framework) planFromSketch(ctx context.Context, sk *binning.Sketch, quasiCols []string, identCol string, mark bitstr.Bits, v float64, source *relation.Table) (*Plan, error) {
 	binCfg := binning.Config{
 		K:          f.cfg.K,
 		Epsilon:    f.cfg.Epsilon,
@@ -206,19 +225,19 @@ func (f *Framework) PlanContext(ctx context.Context, tbl *relation.Table, key cr
 		Aggressive: f.cfg.Aggressive,
 		Workers:    f.cfg.Workers,
 	}
-	search, err := binning.SearchContext(ctx, tbl, binCfg)
+	search, err := binning.SearchSketch(ctx, sk, binCfg)
 	if err != nil {
 		return nil, err
 	}
 	if f.cfg.AutoEpsilon {
-		bins, err := anonymity.GeneralizedBins(search.Work(), tbl.Schema().QuasiColumns(), search.UltiGens)
+		bins, err := search.GeneralizedBins(quasiCols, search.UltiGens)
 		if err != nil {
 			return nil, err
 		}
 		eps := binning.EpsilonForMark(bins, f.cfg.MarkBits*f.cfg.Duplication)
 		if eps > binCfg.Epsilon {
 			binCfg.Epsilon = eps
-			if search, err = binning.SearchContext(ctx, tbl, binCfg); err != nil {
+			if search, err = binning.SearchSketch(ctx, sk, binCfg); err != nil {
 				return nil, fmt.Errorf("core: re-binning at k+ε=%d: %w", f.cfg.K+eps, err)
 			}
 		}
@@ -240,12 +259,14 @@ func (f *Framework) PlanContext(ctx context.Context, tbl *relation.Table, key cr
 		},
 		FormatVersion: PlanVersion,
 		EffectiveK:    search.EffectiveK,
-		QuasiCols:     tbl.Schema().QuasiColumns(),
+		QuasiCols:     quasiCols,
 		MinGens:       genSetValues(search.MinGens),
 		Suppress:      search.SuppressValues,
 		ColumnLoss:    search.ColumnLoss,
 		AvgLoss:       search.AvgLoss,
-		rt:            &planRuntime{source: tbl, search: search},
+	}
+	if source != nil {
+		plan.rt = &planRuntime{source: source, search: search}
 	}
 	for col, ulti := range search.UltiGens {
 		plan.Columns[col] = ColumnProvenance{

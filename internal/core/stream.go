@@ -12,6 +12,7 @@ import (
 	"repro/internal/binning"
 	"repro/internal/crypt"
 	"repro/internal/dht"
+	"repro/internal/ownership"
 	"repro/internal/relation"
 	"repro/internal/watermark"
 )
@@ -361,5 +362,93 @@ func (f *Framework) AppendStream(ctx context.Context, src Segments, plan *Plan, 
 	eff.Bins = bins
 	eff.Rows = plan.Rows + res.Rows
 	res.Plan = eff
+	return res, nil
+}
+
+// PlannedStream is the outcome of PlanStream: the plan plus ingest
+// counters. Unlike PlanContext's result, the plan carries no runtime
+// fast path — applying it (ApplyContext or ApplyStream) replays the
+// recorded suppression.
+type PlannedStream struct {
+	// Plan is byte-identical (MarshalPlan) to the plan PlanContext
+	// would produce over the materialized concatenation of the
+	// segments.
+	Plan *Plan
+	// Rows and Segments count the consumed input.
+	Rows, Segments int
+}
+
+// PlanStream computes a protection plan in one pass over a segment
+// source with memory bounded by the number of distinct quasi-tuples,
+// not rows: each segment is folded into a binning.Sketch (per-column
+// leaf histograms plus a joint quasi-tuple count table) and an
+// ownership.StatAccum over the identifying column, then discarded. The
+// frontier search, the aggressive-rule suppression replay and the
+// conservative-ε re-search all run over the sketch and produce exactly
+// the plan PlanContext would — the paper's planning pass without ever
+// materializing the table.
+func (f *Framework) PlanStream(ctx context.Context, src Segments, key crypt.WatermarkKey) (*PlannedStream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: nil segment source: %w", ErrBadConfig)
+	}
+	if err := key.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", err, ErrBadKey)
+	}
+	schema := src.Schema()
+	identCol, err := f.identCol(schema)
+	if err != nil {
+		return nil, err
+	}
+	identIdx, err := schema.Index(identCol)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", err, ErrBadSchema)
+	}
+	sk, err := binning.NewSketch(schema, f.trees)
+	if err != nil {
+		return nil, err
+	}
+
+	var accum ownership.StatAccum
+	res := &PlannedStream{}
+	for {
+		seg, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading segment %d: %w", res.Segments, err)
+		}
+		if err := sk.Add(seg); err != nil {
+			return nil, err
+		}
+		dict := seg.DictValues(identIdx)
+		for _, code := range seg.Codes(identIdx) {
+			accum.Add(dict[code])
+		}
+		res.Rows += seg.NumRows()
+		res.Segments++
+		reportProgress(ctx, Progress{Stage: "plan", Done: res.Rows})
+	}
+
+	// Ownership mark from the accumulated identifying column (§5.4),
+	// numerically identical to the materialized computation: the
+	// accumulator folds values in row order.
+	v, err := accum.Statistic()
+	if err != nil {
+		return nil, fmt.Errorf("core: deriving ownership mark: %w: %w", err, ErrBadSchema)
+	}
+	mark, err := ownership.MarkFromStatistic(v, f.cfg.Quantum, f.cfg.MarkBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: deriving ownership mark: %w: %w", err, ErrBadSchema)
+	}
+
+	plan, err := f.planFromSketch(ctx, sk, schema.QuasiColumns(), identCol, mark, v, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
 	return res, nil
 }

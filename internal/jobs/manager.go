@@ -96,6 +96,14 @@ type Config struct {
 	WebhookBackoff     Backoff
 	WebhookTimeout     time.Duration
 	Deliver            DeliverFunc
+	// TTL retains terminal jobs (succeeded, failed, canceled, dead) for
+	// this long after they finish; the sweeper then deletes the record
+	// and releases its idempotency key, so the store cannot grow without
+	// bound. 0 disables garbage collection (records are kept forever).
+	TTL time.Duration
+	// GCInterval is the sweep period (default TTL/4, capped at 1m
+	// minimum).
+	GCInterval time.Duration
 	// ClassifyError maps a run error to the wire error code stored on
 	// the job (nil = no codes).
 	ClassifyError func(error) string
@@ -189,7 +197,50 @@ func New(cfg Config) (*Manager, error) {
 		m.workers.Add(1)
 		go m.worker()
 	}
+	if cfg.TTL > 0 {
+		if m.cfg.GCInterval <= 0 {
+			m.cfg.GCInterval = max(cfg.TTL/4, time.Minute)
+		}
+		m.side.Add(1)
+		go m.sweeper()
+	}
 	return m, nil
+}
+
+// sweeper periodically garbage-collects terminal jobs older than TTL.
+func (m *Manager) sweeper() {
+	defer m.side.Done()
+	for {
+		select {
+		case <-m.cfg.Clock.After(m.cfg.GCInterval):
+			m.sweep()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// sweep deletes every terminal job that finished at least TTL ago and
+// releases its idempotency key, so a later submission with the same key
+// starts a fresh job instead of resurrecting the expired record.
+func (m *Manager) sweep() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cutoff := m.cfg.Clock.Now().UTC().Add(-m.cfg.TTL)
+	for _, j := range m.store.List() {
+		if !j.State.Terminal() || j.FinishedAt.IsZero() || j.FinishedAt.After(cutoff) {
+			continue
+		}
+		if err := m.store.Delete(j.ID); err != nil {
+			m.logf("job %s: expiring after TTL: %v", j.ID, err)
+			continue
+		}
+		if j.IdempotencyKey != "" && m.idem[idemIndex(j.Kind, j.IdempotencyKey)] == j.ID {
+			delete(m.idem, idemIndex(j.Kind, j.IdempotencyKey))
+		}
+		delete(m.progress, j.ID)
+		m.logf("job %s (%s) expired %s after finishing", j.ID, j.Kind, m.cfg.TTL)
+	}
 }
 
 // recover rebuilds in-memory state from the store: the idempotency

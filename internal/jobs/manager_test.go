@@ -569,3 +569,106 @@ func TestSubmitValidation(t *testing.T) {
 		t.Fatal("webhook without a signing secret accepted")
 	}
 }
+
+// TestManagerTTLSweep pins the garbage collector: terminal jobs older
+// than TTL are deleted from the store and their idempotency keys
+// released (a resubmission starts a fresh job), while younger terminal
+// jobs and non-terminal jobs survive every sweep.
+func TestManagerTTLSweep(t *testing.T) {
+	clock := newFakeClock()
+	release := make(chan struct{})
+	m := newTestManager(t, Config{
+		Runner: &fakeRunner{fn: func(ctx context.Context, job Job, _ func(Progress)) (json.RawMessage, error) {
+			if job.Kind == "noop" {
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			return json.RawMessage(`{"ok":true}`), nil
+		}},
+		Clock:      clock,
+		TTL:        time.Hour,
+		GCInterval: 10 * time.Minute,
+	})
+
+	done, _, err := m.Submit("protect", json.RawMessage(`{}`), SubmitOptions{IdempotencyKey: "dup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, done.ID, StateSucceeded)
+	running, _, err := m.Submit("noop", json.RawMessage(`{}`), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, StateRunning)
+
+	// Under the TTL: sweeps run but must not collect, and the
+	// idempotency key still dedups.
+	clock.Advance(30 * time.Minute)
+	if _, existing, err := m.Submit("protect", json.RawMessage(`{}`), SubmitOptions{IdempotencyKey: "dup"}); err != nil || !existing {
+		t.Fatalf("young terminal job lost its idempotency key (existing=%v err=%v)", existing, err)
+	}
+	if _, ok := m.Get(done.ID); !ok {
+		t.Fatal("terminal job collected before its TTL")
+	}
+
+	// Past the TTL: each poll advances one GC interval until a sweep
+	// fires and collects the finished job.
+	waitFor(t, "terminal job to expire", func() bool {
+		clock.Advance(10 * time.Minute)
+		_, ok := m.Get(done.ID)
+		return !ok
+	})
+	// The long-running job outlived every sweep untouched.
+	if j, ok := m.Get(running.ID); !ok || j.State != StateRunning {
+		t.Fatalf("running job swept (ok=%v state %v)", ok, j.State)
+	}
+	// The released key starts a brand-new job instead of resurrecting
+	// the expired record.
+	fresh, existing, err := m.Submit("protect", json.RawMessage(`{}`), SubmitOptions{IdempotencyKey: "dup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if existing || fresh.ID == done.ID {
+		t.Fatalf("expired idempotency key resurrected job %s (existing=%v)", fresh.ID, existing)
+	}
+	close(release)
+	waitState(t, m, running.ID, StateSucceeded)
+	waitState(t, m, fresh.ID, StateSucceeded)
+}
+
+// TestFileStoreDelete pins Delete round-trips through the on-disk
+// document: a deleted record stays gone after reopening, and deleting
+// an absent ID is a no-op.
+func TestFileStoreDelete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := Job{ID: NewID(), Kind: "protect", State: StateSucceeded, MaxAttempts: 1, CreatedAt: time.Now().UTC()}
+	if err := s.Put(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("no-such-id"); err != nil {
+		t.Fatalf("deleting an absent id: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("no-op delete changed Len to %d", s.Len())
+	}
+	if err := s.Delete(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after delete", s.Len())
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 0 {
+		t.Fatalf("deleted record survived reopen (Len = %d)", re.Len())
+	}
+}

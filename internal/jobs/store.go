@@ -27,6 +27,9 @@ type Store interface {
 	List() []Job
 	// Len returns the number of records.
 	Len() int
+	// Delete removes the record for id (a no-op when absent). The TTL
+	// sweeper is the only caller.
+	Delete(id string) error
 }
 
 // FileStore is the JSON-on-disk Store: one document holding every job,
@@ -139,6 +142,24 @@ func (s *FileStore) List() []Job {
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// Delete removes the record for id and persists the store; deleting an
+// absent id is a no-op.
+func (s *FileStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev, had := s.jobs[id]
+	if !had {
+		return nil
+	}
+	delete(s.jobs, id)
+	if err := s.persistLocked(); err != nil {
+		// Keep memory and disk in agreement on failure.
+		s.jobs[id] = prev
+		return err
+	}
+	return nil
 }
 
 // Len returns the number of records.

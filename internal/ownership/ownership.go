@@ -76,6 +76,41 @@ func IdentStatistic(cleartexts []string) (float64, error) {
 	return sum / float64(n), nil
 }
 
+// StatAccum accumulates the IdentStatistic incrementally — the
+// streaming planner feeds it identifying values segment by segment
+// without ever materializing the column. Values accumulate in row
+// order, so the float sum (and therefore the mean) is bitwise-identical
+// to IdentStatistic over the concatenated column.
+type StatAccum struct {
+	sum   float64
+	n     int
+	total int
+}
+
+// Add folds one identifying value into the statistic.
+func (a *StatAccum) Add(value string) {
+	a.total++
+	v, ok := numericOf(value)
+	if !ok {
+		return
+	}
+	a.sum += v
+	a.n++
+}
+
+// Statistic returns the mean v over the values added so far, with
+// exactly IdentStatistic's numeric-fraction validation.
+func (a *StatAccum) Statistic() (float64, error) {
+	if a.n == 0 {
+		return 0, fmt.Errorf("%w: no numeric values among %d", ErrNonNumericIdentifiers, a.total)
+	}
+	if frac := float64(a.n) / float64(a.total); frac < MinNumericFraction {
+		return 0, fmt.Errorf("%w: only %d of %d values (%.0f%%) are numeric, need >= %.0f%%",
+			ErrNonNumericIdentifiers, a.n, a.total, frac*100, MinNumericFraction*100)
+	}
+	return a.sum / float64(a.n), nil
+}
+
 func numericOf(s string) (float64, bool) {
 	var digits strings.Builder
 	for _, r := range s {

@@ -4,10 +4,12 @@
 // /v1/healthz, speaking the internal/api wire contract. The plan/append
 // pair turns the service into an incremental-ingestion endpoint:
 // protect once, retain the returned plan, and POST each nightly batch
-// to /v1/append (409 plan_drift asks for a re-plan). /v1/apply and
-// /v1/append also speak a text/csv streaming mode (see stream.go):
-// the CSV body is protected segment-at-a-time under per-segment byte
-// accounting, so million-row tables pass through in bounded memory.
+// to /v1/append (409 plan_drift asks for a re-plan). /v1/plan,
+// /v1/apply and /v1/append also speak a text/csv streaming mode (see
+// stream.go): the CSV body is consumed segment-at-a-time under
+// per-segment byte accounting, so million-row tables pass through in
+// bounded memory — the plan mode returns its computed plan in response
+// trailers, the apply/append modes stream back protected CSV.
 // Every request runs under a per-request deadline and inside
 // a bounded in-flight semaphore sized off the worker configuration, so
 // a burst of heavy protect calls queues instead of oversubscribing the
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/api"
@@ -171,7 +174,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.control(s.handleJobCancel))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("POST /v1/protect", s.pipeline(s.handleProtect))
-	mux.HandleFunc("POST /v1/plan", s.pipeline(s.handlePlan))
+	mux.HandleFunc("POST /v1/plan", s.streamPipeline(s.handlePlan))
 	mux.HandleFunc("POST /v1/apply", s.streamPipeline(s.handleApply))
 	mux.HandleFunc("POST /v1/append", s.streamPipeline(s.handleAppend))
 	mux.HandleFunc("POST /v1/detect", s.pipeline(s.handleDetect))
@@ -301,6 +304,9 @@ func (s *Server) runProtect(ctx context.Context, req api.ProtectRequest) (api.Pr
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) (int, error) {
+	if isCSVRequest(r) {
+		return s.handlePlanCSV(w, r)
+	}
 	var req api.PlanRequest
 	if err := api.DecodeJSON(r.Body, &req); err != nil {
 		return 0, badRequest(err)
@@ -313,9 +319,46 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) (int, error)
 	return http.StatusOK, nil
 }
 
-// runPlan is the transport-free core of POST /v1/plan.
+// runPlan is the transport-free core of POST /v1/plan's JSON mode,
+// shared by the synchronous handler and the async "plan" job runner. A
+// CSV-sourced table streams through the sketch planner segment by
+// segment (core.PlanStream) instead of materializing; an inline row
+// payload takes the warm in-memory path. Both produce the identical
+// plan.
 func (s *Server) runPlan(ctx context.Context, req api.PlanRequest) (api.PlanResponse, error) {
 	var zero api.PlanResponse
+	if req.Table.CSV != "" && len(req.Table.Rows) == 0 {
+		fw, err := s.frameworkFor(req.Options)
+		if err != nil {
+			return zero, err
+		}
+		if req.Key.Secret == "" || req.Key.Eta == 0 {
+			return zero, badRequest(fmt.Errorf("key needs a non-empty secret and eta >= 1"))
+		}
+		schema, err := api.SchemaOf(req.Table.Columns)
+		if err != nil {
+			return zero, badRequest(err)
+		}
+		sr, err := relation.NewSegmentReader(strings.NewReader(req.Table.CSV), schema, fw.Config().Chunk)
+		if err != nil {
+			return zero, badRequest(err)
+		}
+		ps, err := fw.PlanStream(ctx, sr, crypt.NewWatermarkKeyFromSecret(req.Key.Secret, req.Key.Eta))
+		if err != nil {
+			return zero, err
+		}
+		return api.PlanResponse{
+			Version: api.Version,
+			Plan:    *ps.Plan,
+			Stats: api.PlanStats{
+				Rows:       ps.Rows,
+				K:          ps.Plan.K,
+				Epsilon:    ps.Plan.Epsilon,
+				EffectiveK: ps.Plan.EffectiveK,
+				AvgLoss:    ps.Plan.AvgLoss,
+			},
+		}, nil
+	}
 	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
 	if err != nil {
 		return zero, err

@@ -108,6 +108,25 @@ func (s *Server) decodeStreamRequest(r *http.Request) (*streamSetup, error) {
 	if err != nil {
 		return nil, badRequest(err)
 	}
+	set, err := s.decodeStreamCommon(r, max(plan.K, 1))
+	if err != nil {
+		return nil, err
+	}
+	set.plan = plan
+	return set, nil
+}
+
+// decodePlanStreamRequest is decodeStreamRequest for the planning mode:
+// no PlanHeader exists yet (the run computes the plan), so K comes from
+// the options or the server defaults.
+func (s *Server) decodePlanStreamRequest(r *http.Request) (*streamSetup, error) {
+	return s.decodeStreamCommon(r, 0)
+}
+
+// decodeStreamCommon decodes the plan-independent header metadata and
+// meters the body. defaultK, when positive, fills an absent K option
+// (the apply/append modes borrow the plan's frozen K).
+func (s *Server) decodeStreamCommon(r *http.Request, defaultK int) (*streamSetup, error) {
 	schema, err := api.DecodeSchemaHeader(r.Header.Get(api.SchemaHeader))
 	if err != nil {
 		return nil, badRequest(err)
@@ -131,10 +150,10 @@ func (s *Server) decodeStreamRequest(r *http.Request) (*streamSetup, error) {
 	if opts == nil {
 		opts = &api.Options{}
 	}
-	if opts.K == 0 {
+	if opts.K == 0 && defaultK > 0 {
 		// The run executes under the plan's frozen K; the framework K
 		// only has to satisfy validation.
-		opts.K = max(plan.K, 1)
+		opts.K = defaultK
 	}
 	fw, err := s.frameworkFor(opts)
 	if err != nil {
@@ -152,11 +171,41 @@ func (s *Server) decodeStreamRequest(r *http.Request) (*streamSetup, error) {
 		return nil, badRequest(err)
 	}
 	return &streamSetup{
-		fw:   fw,
-		plan: plan,
-		key:  crypt.NewWatermarkKeyFromSecret(secret, eta),
-		src:  &meteredSegments{sr: sr, cr: cr, limit: s.cfg.MaxBodyBytes},
+		fw:  fw,
+		key: crypt.NewWatermarkKeyFromSecret(secret, eta),
+		src: &meteredSegments{sr: sr, cr: cr, limit: s.cfg.MaxBodyBytes},
 	}, nil
+}
+
+// handlePlanCSV is the streaming mode of POST /v1/plan: the CSV body is
+// consumed one segment at a time into the planner's quasi-tuple sketch
+// (core.PlanStream) — memory stays bounded by distinct quasi-tuples —
+// and the computed plan rides the PlanHeader trailer beside a
+// PlanStreamStats StatsTrailer. No CSV is produced, so the body is
+// empty and every failure keeps the ordinary error envelope.
+func (s *Server) handlePlanCSV(w http.ResponseWriter, r *http.Request) (int, error) {
+	set, err := s.decodePlanStreamRequest(r)
+	if err != nil {
+		return 0, err
+	}
+	res, err := set.fw.PlanStream(r.Context(), set.src, set.key)
+	if err != nil {
+		return 0, err
+	}
+	planJSON, err := api.EncodePlanHeader(res.Plan)
+	if err != nil {
+		return 0, err
+	}
+	stats, _ := json.Marshal(api.PlanStreamStatsOf(res))
+	w.Header().Set("Content-Type", api.ContentTypeCSV)
+	w.Header().Set("Trailer", api.StatsTrailer+", "+api.PlanHeader)
+	w.WriteHeader(http.StatusOK)
+	// Force chunked transfer so the declared trailers are emitted even
+	// though the body is empty.
+	_ = http.NewResponseController(w).Flush()
+	w.Header().Set(api.StatsTrailer, string(stats))
+	w.Header().Set(api.PlanHeader, planJSON)
+	return http.StatusOK, nil
 }
 
 // runStream drives one streaming pipeline run and owns the split error

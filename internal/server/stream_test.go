@@ -372,3 +372,157 @@ func TestHTTPStreamMidBodyError(t *testing.T) {
 		t.Fatal("failed stream must not report stats")
 	}
 }
+
+// planStreamHeaders is streamHeaders without the PlanHeader: the
+// planning mode computes the plan.
+func planStreamHeaders(t *testing.T, schema *relation.Schema, secret string, eta uint64, chunk int) http.Header {
+	t.Helper()
+	cols := make([]api.Column, schema.NumColumns())
+	for i := 0; i < schema.NumColumns(); i++ {
+		c := schema.Column(i)
+		cols[i] = api.Column{Name: c.Name, Kind: c.Kind.String()}
+	}
+	schemaJSON, err := json.Marshal(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := http.Header{}
+	h.Set("Content-Type", api.ContentTypeCSV)
+	h.Set(api.SchemaHeader, string(schemaJSON))
+	h.Set(api.SecretHeader, secret)
+	h.Set(api.EtaHeader, strconv.FormatUint(eta, 10))
+	if chunk > 0 {
+		h.Set(api.ChunkHeader, strconv.Itoa(chunk))
+	}
+	return h
+}
+
+// TestHTTPPlanStream drives the streaming /v1/plan end to end: CSV body
+// in, empty body out, and the computed plan — identical to the
+// in-memory PlanContext's — in the PlanHeader trailer beside a
+// PlanStreamStats summary.
+func TestHTTPPlanStream(t *testing.T) {
+	ts := testServer(t, Config{Defaults: core.Config{K: 15, AutoEpsilon: true}})
+	tbl := testTable(t, 1500)
+	key := crypt.NewWatermarkKeyFromSecret("plan secret", 25)
+	fw, err := core.New(ontology.Trees(), core.Config{K: 15, AutoEpsilon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fw.PlanContext(context.Background(), tbl, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := core.MarshalPlan(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := planStreamHeaders(t, tbl.Schema(), "plan secret", 25, 128)
+	resp, got := postCSV(t, ts.URL+"/v1/plan", h, csvBytes(t, tbl))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan stream: %d\n%s", resp.StatusCode, got)
+	}
+	if len(got) != 0 {
+		t.Fatalf("plan mode must not emit a body, got %d bytes", len(got))
+	}
+	planned, err := api.DecodePlanHeader(resp.Trailer.Get(api.PlanHeader))
+	if err != nil {
+		t.Fatalf("plan trailer: %v", err)
+	}
+	gotJSON, err := core.MarshalPlan(planned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("streamed plan differs from PlanContext:\n got: %s\nwant: %s", gotJSON, wantJSON)
+	}
+	var stats api.PlanStreamStats
+	if err := json.Unmarshal([]byte(resp.Trailer.Get(api.StatsTrailer)), &stats); err != nil {
+		t.Fatalf("stats trailer: %v (%q)", err, resp.Trailer.Get(api.StatsTrailer))
+	}
+	if stats.Rows != tbl.NumRows() || stats.Segments != (tbl.NumRows()+127)/128 ||
+		stats.K != want.K || stats.EffectiveK != want.EffectiveK || stats.AvgLoss != want.AvgLoss {
+		t.Fatalf("implausible plan stream stats: %+v", stats)
+	}
+
+	// The JSON mode with a CSV-sourced table streams through the same
+	// planner and returns the same plan document.
+	wire, err := api.EncodeTable(tbl, api.OutputCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaJSON api.PlanResponse
+	status, raw := postJSON(t, ts.URL+"/v1/plan", api.PlanRequest{
+		Table: wire, Key: api.Key{Secret: "plan secret", Eta: 25},
+	}, &viaJSON)
+	if status != http.StatusOK {
+		t.Fatalf("plan json: %d\n%s", status, raw)
+	}
+	jsonPlanJSON, err := core.MarshalPlan(&viaJSON.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonPlanJSON, wantJSON) {
+		t.Fatal("JSON-mode CSV-sourced plan differs from PlanContext")
+	}
+	if viaJSON.Stats.Rows != tbl.NumRows() {
+		t.Fatalf("json stats rows = %d, want %d", viaJSON.Stats.Rows, tbl.NumRows())
+	}
+}
+
+// TestHTTPPlanStreamErrors: the plan mode writes nothing before the
+// pass completes, so even data errors discovered deep in the body keep
+// the ordinary status + JSON envelope — no ErrorTrailer.
+func TestHTTPPlanStreamErrors(t *testing.T) {
+	ts := testServer(t, Config{Defaults: core.Config{K: 15, AutoEpsilon: true}})
+	tbl := testTable(t, 300)
+	body := csvBytes(t, tbl)
+
+	// Pre-stream failures.
+	for _, tc := range []struct {
+		name   string
+		mutate func(http.Header)
+	}{
+		{"missing schema", func(h http.Header) { h.Del(api.SchemaHeader) }},
+		{"missing secret", func(h http.Header) { h.Del(api.SecretHeader) }},
+		{"zero eta", func(h http.Header) { h.Set(api.EtaHeader, "0") }},
+		{"bad chunk", func(h http.Header) { h.Set(api.ChunkHeader, "-3") }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := planStreamHeaders(t, tbl.Schema(), "plan secret", 25, 0)
+			tc.mutate(h)
+			resp, got := postCSV(t, ts.URL+"/v1/plan", h, body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d\n%s", resp.StatusCode, got)
+			}
+			var envelope api.ErrorResponse
+			if err := json.Unmarshal(got, &envelope); err != nil || envelope.Error.Code != api.CodeBadRequest {
+				t.Fatalf("envelope: %s", got)
+			}
+		})
+	}
+
+	// A malformed record midway through the body: still the ordinary
+	// envelope (an error status and a JSON body, never an ErrorTrailer),
+	// since the plan mode commits no early bytes.
+	t.Run("mid-body csv error", func(t *testing.T) {
+		lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+		lines[len(lines)/2] = "not,enough"
+		h := planStreamHeaders(t, tbl.Schema(), "plan secret", 25, 32)
+		resp, got := postCSV(t, ts.URL+"/v1/plan", h, []byte(strings.Join(lines, "\n")+"\n"))
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("bad CSV planned successfully:\n%s", got)
+		}
+		var envelope api.ErrorResponse
+		if err := json.Unmarshal(got, &envelope); err != nil || envelope.Error.Code == "" {
+			t.Fatalf("envelope: %s", got)
+		}
+		if !strings.Contains(envelope.Error.Message, "reading segment") {
+			t.Fatalf("error lost the segment context: %s", envelope.Error.Message)
+		}
+		if e := resp.Trailer.Get(api.ErrorTrailer); e != "" {
+			t.Fatalf("plan mode must not use the error trailer: %s", e)
+		}
+	})
+}

@@ -111,6 +111,10 @@ type (
 	// Streamed is a streaming run's outcome: statistics plus the
 	// effective/advanced plan; the protected rows went to the writer.
 	Streamed = core.Streamed
+	// PlannedStream is Framework.PlanStream's outcome: a plan computed
+	// in one pass with memory bounded by distinct quasi-tuples,
+	// byte-identical to the in-memory Plan's.
+	PlannedStream = core.PlannedStream
 	// SegmentReader ingests a CSV document as a sequence of bounded
 	// table segments sharing one dictionary.
 	SegmentReader = relation.SegmentReader

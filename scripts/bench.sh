@@ -8,10 +8,18 @@
 # (Protect200k for scale, ApplyStream1M for the segment-at-a-time
 # million-row path — its bytes_op is the bounded-memory claim) and the
 # async job layer (JobThroughput: 500-row protect jobs through HTTP
-# submit + a 4-worker pool) with
+# submit + a 4-worker pool) and the streaming planner pair
+# (PlanStream1M: one-pass sketch planning over a million rows;
+# PlanApplyStream10M: plan + apply end-to-end at ten million — the
+# heavyweight entry, minutes per repetition) with
 # -benchmem and appends one labelled entry (best-of-N ns/op, plus B/op
 # and allocs/op) per benchmark to BENCH_pipeline.json at the repo root,
 # so representation regressions show up as a diff in review.
+#
+# Before appending, the fresh numbers are gated against the last
+# recorded entry: a >15% ns/op regression on Protect20k, Detect20k or
+# MultiBinGreedy fails the script, so a slowdown on the core pipeline
+# cannot be recorded silently.
 #
 # Usage: scripts/bench.sh [label]
 #   label   entry label (default: git describe of HEAD)
@@ -23,7 +31,7 @@ cd "$(dirname "$0")/.."
 LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}"
 COUNT="${COUNT:-3}"
 OUT="BENCH_pipeline.json"
-PATTERN='BenchmarkProtect20k$|BenchmarkDetect20k$|BenchmarkMultiBinGreedy$|BenchmarkAppend2k$|BenchmarkReprotect22k$|BenchmarkTraceback50$|BenchmarkProtect200k$|BenchmarkApplyStream1M$|BenchmarkJobThroughput$'
+PATTERN='BenchmarkProtect20k$|BenchmarkDetect20k$|BenchmarkMultiBinGreedy$|BenchmarkAppend2k$|BenchmarkReprotect22k$|BenchmarkTraceback50$|BenchmarkProtect200k$|BenchmarkApplyStream1M$|BenchmarkJobThroughput$|BenchmarkPlanStream1M$|BenchmarkPlanApplyStream10M$'
 
 RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" .)"
 echo "$RAW"
@@ -51,6 +59,25 @@ ENTRY="$(echo "$RAW" | awk -v label="$LABEL" -v date="$(date -u +%Y-%m-%dT%H:%M:
 if [ -z "$ENTRY" ]; then
   echo "bench.sh: no benchmark output parsed" >&2
   exit 1
+fi
+
+# Regression gate: compare the fresh best-of-N ns/op for the core
+# pipeline benchmarks against the last recorded entry and refuse to
+# append a >15% slowdown. (The streaming benchmarks are capacity
+# numbers, not latency gates, so only the 20k trio is enforced.)
+if [ -f "$OUT" ]; then
+  for name in BenchmarkProtect20k BenchmarkDetect20k BenchmarkMultiBinGreedy; do
+    last="$(grep -o "\"$name\": {\"ns_op\": [0-9]*" "$OUT" | tail -1 | grep -o '[0-9]*$' || true)"
+    [ -z "$last" ] && continue
+    fresh="$(echo "$RAW" | awk -v n="$name" '
+      $1 ~ "^"n"(-[0-9]+)?$" { if (best == "" || $3 + 0 < best + 0) best = $3 }
+      END { print best }')"
+    [ -z "$fresh" ] && continue
+    if awk -v f="$fresh" -v l="$last" 'BEGIN { exit !(f + 0 > l * 1.15) }'; then
+      echo "bench.sh: $name regressed: $fresh ns/op vs $last ns/op last recorded (>15%); entry not appended" >&2
+      exit 1
+    fi
+  done
 fi
 
 if [ ! -f "$OUT" ]; then
