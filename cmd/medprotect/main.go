@@ -11,11 +11,11 @@
 //	medprotect plan     -in data.csv -k K -eta E -secret S -plan plan.json [-workers W]
 //	medprotect apply    -in data.csv -plan plan.json -secret S -out protected.csv [-prov prov.json] [-stream] [-chunk N] [-workers W]
 //	medprotect append   -in delta.csv -plan plan.json -secret S -out delta-protected.csv [-base protected.csv] [-stream] [-chunk N] [-workers W]
-//	medprotect detect   -in suspect.csv -prov prov.json -secret S [-workers W]
+//	medprotect detect   -in suspect.csv -prov prov.json -secret S [-stream] [-chunk N] [-workers W]
 //	medprotect attack   -in protected.csv -out attacked.csv -prov prov.json -kind alter|add|delete|rangedelete|generalize -frac F [-col C] [-levels L] -seed S
 //	medprotect dispute  -in disputed.csv -prov prov.json -secret S
-//	medprotect fingerprint -in data.csv -k K -eta E -secret S -recipients a,b,c -outdir DIR -registry reg.json [-workers W]
-//	medprotect traceback   -in suspect.csv -registry reg.json -secret S [-workers W]
+//	medprotect fingerprint -in data.csv -k K -eta E -secret S -recipients a,b,c -outdir DIR -registry reg.json [-stream] [-chunk N] [-workers W]
+//	medprotect traceback   -in suspect.csv -registry reg.json -secret S [-stream] [-chunk N] [-workers W]
 //	medprotect trees    -dir DIR
 //	medprotect job      submit|status|wait|cancel|list -server URL ... (async jobs against medshield-server)
 //
@@ -34,7 +34,11 @@
 // recipient-salted mark and key derived from the master secret) and
 // registers every copy in a recipient registry. traceback runs
 // detection for all registered recipients against a leaked table and
-// names the best-matching recipient.
+// names the best-matching recipient. The read side streams too: detect
+// and traceback take -stream to consume the suspect segment-at-a-time
+// (memory bounded by -chunk rows, bit-identical verdicts), and
+// fingerprint -stream writes all recipient copies through one shared
+// transform without materializing any of them.
 package main
 
 import (
@@ -606,27 +610,47 @@ func cmdDetect(args []string) error {
 	provPath := fs.String("prov", "prov.json", "provenance path")
 	secret := fs.String("secret", "", "owner secret passphrase (required)")
 	eta := fs.Uint64("eta", 75, "η used at protection time")
+	stream := fs.Bool("stream", false, "detect segment-at-a-time (bounded memory, identical verdict)")
+	chunk := fs.Int("chunk", 0, "streaming segment size in rows (0 = default)")
 	workers := fs.Int("workers", 0, "worker goroutines for detection (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
 	if *secret == "" {
 		return fmt.Errorf("detect: -secret is required")
 	}
 
-	tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
-	if err != nil {
-		return err
-	}
 	prov, err := loadProvenance(*provPath)
 	if err != nil {
 		return err
 	}
-	fw, err := medshield.New(medshield.BuiltinTrees(), medshield.WithK(prov.K), medshield.WithWorkers(*workers))
+	fw, err := medshield.New(medshield.BuiltinTrees(),
+		medshield.WithK(prov.K), medshield.WithWorkers(*workers), medshield.WithChunk(*chunk))
 	if err != nil {
 		return err
 	}
-	det, err := fw.Detect(tbl, prov, medshield.NewKey(*secret, *eta))
-	if err != nil {
-		return err
+	var det *medshield.Detection
+	if *stream {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sr, err := medshield.NewSegmentReader(f, medshield.BuiltinSchema(), fw.Config().Chunk)
+		if err != nil {
+			return err
+		}
+		ds, err := fw.DetectStream(context.Background(), sr, prov, medshield.NewKey(*secret, *eta))
+		if err != nil {
+			return err
+		}
+		det = &ds.Detection
+	} else {
+		tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+		if err != nil {
+			return err
+		}
+		if det, err = fw.Detect(tbl, prov, medshield.NewKey(*secret, *eta)); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("mark: %s\n", det.Result.Mark.String())
 	fmt.Printf("loss: %.1f%% over %d votes\n", det.MarkLoss*100, det.Result.Stats.VotesCast)
@@ -764,6 +788,8 @@ func cmdFingerprint(args []string) error {
 	outdir := fs.String("outdir", "fingerprinted", "output directory for per-recipient CSVs")
 	regPath := fs.String("registry", "recipients.json", "recipient registry path (records appended)")
 	autoEps := fs.Bool("auto-epsilon", true, "apply the §6 conservative ε")
+	stream := fs.Bool("stream", false, "write the recipient copies segment-at-a-time (no copy materializes, identical output)")
+	chunk := fs.Int("chunk", 0, "streaming segment size in rows (0 = default)")
 	workers := fs.Int("workers", 0, "worker goroutines for the pipeline (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
 	if *secret == "" {
@@ -778,13 +804,17 @@ func cmdFingerprint(args []string) error {
 	if err != nil {
 		return err
 	}
-	fw, err := medshield.NewFromConfig(medshield.BuiltinTrees(), medshield.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers})
+	fw, err := medshield.NewFromConfig(medshield.BuiltinTrees(),
+		medshield.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers, Chunk: *chunk})
 	if err != nil {
 		return err
 	}
 	recs := make([]medshield.Recipient, len(ids))
 	for i, id := range ids {
 		recs[i] = medshield.Recipient{ID: id, Key: medshield.RecipientKey(*secret, id, *eta)}
+	}
+	if *stream {
+		return fingerprintStreamed(fw, tbl, recs, *outdir, *regPath)
 	}
 	results, err := fw.Fingerprint(tbl, recs)
 	if err != nil {
@@ -822,6 +852,83 @@ func cmdFingerprint(args []string) error {
 	return nil
 }
 
+// fingerprintStreamed is cmdFingerprint's -stream mode: no recipient
+// copy ever materializes — one shared plan + transform fans out to N
+// CSV writers segment-at-a-time (FingerprintStream), so peak memory is
+// one segment per recipient instead of N marked tables. Every copy
+// lands through a temp-file rename before the batch registers
+// atomically, mirroring the in-memory path's failure contract.
+func fingerprintStreamed(fw *medshield.Framework, tbl *medshield.Table, recs []medshield.Recipient, outdir, regPath string) (err error) {
+	reg, err := medshield.OpenRegistry(regPath)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	files := make([]*os.File, len(recs))
+	bufws := make([]*bufio.Writer, len(recs))
+	outs := make([]io.Writer, len(recs))
+	defer func() {
+		if err != nil {
+			// Remove the temp files of copies that did not land; renamed
+			// copies stay (recoverable, and never registered).
+			for _, f := range files {
+				if f != nil {
+					f.Close()
+					os.Remove(f.Name())
+				}
+			}
+		}
+	}()
+	for i, rec := range recs {
+		f, ferr := os.CreateTemp(outdir, rec.ID+".csv.tmp-*")
+		if ferr != nil {
+			return ferr
+		}
+		files[i] = f
+		if err = f.Chmod(0o644); err != nil {
+			return err
+		}
+		bufws[i] = bufio.NewWriter(f)
+		outs[i] = bufws[i]
+	}
+	results, err := fw.FingerprintStream(context.Background(), tbl, recs, outs)
+	if err != nil {
+		return err
+	}
+	records := make([]medshield.RecipientRecord, len(results))
+	for i, res := range results {
+		if err = bufws[i].Flush(); err != nil {
+			return err
+		}
+		if err = files[i].Sync(); err != nil {
+			return err
+		}
+		if err = files[i].Close(); err != nil {
+			return err
+		}
+		path := filepath.Join(outdir, res.RecipientID+".csv")
+		if err = os.Rename(files[i].Name(), path); err != nil {
+			return err
+		}
+		files[i] = nil
+		records[i] = medshield.RecipientRecordOf(res.RecipientID, recs[i].Key, res.Streamed.Plan)
+		records[i].CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		fmt.Printf("recipient %s: %d tuples marked, %d cells changed -> %s (key fp %s)\n",
+			res.RecipientID, res.Streamed.Embed.TuplesSelected, res.Streamed.Embed.CellsChanged,
+			path, res.KeyFingerprint)
+	}
+	if err = reg.PutAll(records); err != nil {
+		return err
+	}
+	first := results[0].Streamed
+	fmt.Printf("fingerprinted %d tuples for %d recipients: k=%d (ε=%d), one binning search + one shared transform, avg info loss %.1f%%\n",
+		tbl.NumRows(), len(results), first.Plan.Provenance.K, first.Plan.Provenance.Epsilon, first.Plan.AvgLoss*100)
+	fmt.Printf("registry -> %s (keep it with the master secret; traceback needs both)\n", regPath)
+	return nil
+}
+
 func splitIDs(s string) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
@@ -837,16 +944,14 @@ func cmdTraceback(args []string) error {
 	in := fs.String("in", "suspect.csv", "suspected leaked CSV copy")
 	regPath := fs.String("registry", "recipients.json", "recipient registry path")
 	secret := fs.String("secret", "", "owner master secret passphrase (required)")
+	stream := fs.Bool("stream", false, "trace segment-at-a-time (bounded memory, identical verdicts)")
+	chunk := fs.Int("chunk", 0, "streaming segment size in rows (0 = default)")
 	workers := fs.Int("workers", 0, "worker goroutines for detection (0 = all cores, 1 = sequential)")
 	_ = fs.Parse(args)
 	if *secret == "" {
 		return fmt.Errorf("traceback: -secret is required")
 	}
 
-	tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
-	if err != nil {
-		return err
-	}
 	reg, err := medshield.OpenRegistry(*regPath)
 	if err != nil {
 		return err
@@ -863,15 +968,40 @@ func cmdTraceback(args []string) error {
 		fmt.Fprintf(os.Stderr, "warning: skipping recipient %q — the secret does not match its registered key (foreign or stale record)\n", id)
 	}
 	fw, err := medshield.New(medshield.BuiltinTrees(),
-		medshield.WithK(max(records[0].Plan.K, 1)), medshield.WithWorkers(*workers))
+		medshield.WithK(max(records[0].Plan.K, 1)), medshield.WithWorkers(*workers), medshield.WithChunk(*chunk))
 	if err != nil {
 		return err
 	}
-	tb, err := fw.Traceback(tbl, cands)
-	if err != nil {
-		return err
+	var (
+		tb   *medshield.Traceback
+		rows int
+	)
+	if *stream {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sr, err := medshield.NewSegmentReader(f, medshield.BuiltinSchema(), fw.Config().Chunk)
+		if err != nil {
+			return err
+		}
+		ts, err := fw.TracebackStream(context.Background(), sr, cands)
+		if err != nil {
+			return err
+		}
+		tb, rows = &ts.Traceback, ts.Rows
+	} else {
+		tbl, err := medshield.LoadCSVFile(*in, medshield.BuiltinSchema())
+		if err != nil {
+			return err
+		}
+		if tb, err = fw.Traceback(tbl, cands); err != nil {
+			return err
+		}
+		rows = tbl.NumRows()
 	}
-	fmt.Printf("traceback over %d rows against %d registered recipients:\n", tbl.NumRows(), len(cands))
+	fmt.Printf("traceback over %d rows against %d registered recipients:\n", rows, len(cands))
 	for rank, v := range tb.Verdicts {
 		status := " "
 		if v.Match {

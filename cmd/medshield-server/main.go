@@ -12,7 +12,7 @@
 //	GET/POST/DELETE /v1/recipients[/{id}] — recipient registry CRUD-lite
 //	GET  /healthz, /v1/healthz — liveness + capacity
 //	GET  /readyz          — readiness (503 once draining)
-//	POST /v1/jobs/{kind}  — submit protect/plan/apply/fingerprint/traceback async
+//	POST /v1/jobs/{kind}  — submit protect/plan/apply/detect/fingerprint/traceback async
 //	GET  /v1/jobs[/{id}]  — list / poll jobs; DELETE cancels
 //	GET  /v1/jobs/{id}/events — SSE progress stream
 //
@@ -35,10 +35,13 @@
 // file (mode 0600) holds secrets at rest; omit the flag to keep them
 // memory-only.
 //
-// /v1/apply and /v1/append additionally speak a streaming text/csv mode
-// (metadata in headers, statistics in trailers) that processes tables
-// segment-at-a-time far beyond -max-body-bytes under bounded memory —
-// see internal/api's stream contract.
+// /v1/plan, /v1/apply, /v1/append, /v1/detect and /v1/traceback
+// additionally speak a streaming text/csv mode (metadata in headers,
+// statistics — and on the read side the verdict document — in trailers)
+// that processes tables segment-at-a-time far beyond -max-body-bytes
+// under bounded memory — see internal/api's stream contract.
+// /v1/fingerprint caps one batch at -max-fingerprint-recipients and
+// refuses larger fleets with a 400 too_many_recipients.
 //
 // -pprof serves net/http/pprof on a second, loopback-only listener so
 // profiles never share the public address:
@@ -84,6 +87,7 @@ func run() error {
 		idleTimeout    = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time before a connection is closed (0 = unlimited)")
 		maxInflight    = flag.Int("max-inflight", 0, "max concurrently served pipeline requests (0 = sized off workers)")
 		maxBody        = flag.Int64("max-body-bytes", 64<<20, "request body size cap in bytes")
+		maxRecipients  = flag.Int("max-fingerprint-recipients", 128, "max recipients per /v1/fingerprint request")
 		registryPath   = flag.String("registry", "", "recipient registry JSON path for fingerprint/traceback (empty = in-memory, lost on exit)")
 		jobsPath       = flag.String("jobs", "", "durable job store JSON path (empty = in-memory; queued/running jobs then die with the process)")
 		jobWorkers     = flag.Int("job-workers", 0, "async job pool size (0 = 2)")
@@ -109,11 +113,12 @@ func run() error {
 		return err
 	}
 	svc, err := server.New(server.Config{
-		Defaults:       core.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers},
-		RequestTimeout: *requestTimeout,
-		MaxInflight:    *maxInflight,
-		MaxBodyBytes:   *maxBody,
-		Registry:       reg,
+		Defaults:                 core.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers},
+		RequestTimeout:           *requestTimeout,
+		MaxInflight:              *maxInflight,
+		MaxBodyBytes:             *maxBody,
+		MaxFingerprintRecipients: *maxRecipients,
+		Registry:                 reg,
 		Jobs: jobs.Config{
 			Store:          jobStore,
 			Workers:        *jobWorkers,

@@ -23,21 +23,22 @@ type ErrorResponse struct {
 // Machine-readable error codes. Clients switch on these, never on
 // message text.
 const (
-	CodeBadRequest       = "bad_request"       // malformed JSON, bad table payload, bad options
-	CodeBadConfig        = "bad_config"        // configuration rejected by the pipeline
-	CodeBadKey           = "bad_key"           // unusable key material
-	CodeBadSchema        = "bad_schema"        // table/schema the pipeline cannot process
-	CodeBadProvenance    = "bad_provenance"    // provenance record does not fit
-	CodeUnsatisfiable    = "unsatisfiable"     // k-anonymity/bandwidth unattainable for this data
-	CodeKeyMismatch      = "key_mismatch"      // well-formed key does not match the data
-	CodePlanDrift        = "plan_drift"        // delta batch no longer fits the frozen plan; re-plan
-	CodeCanceled         = "canceled"          // request context cancelled by the client
-	CodeDeadlineExceeded = "deadline_exceeded" // per-request deadline hit
-	CodeOverloaded       = "overloaded"        // in-flight request limit reached
-	CodePayloadTooLarge  = "payload_too_large" // request body exceeds the server cap
-	CodeNotFound         = "not_found"         // addressed resource (e.g. a recipient) absent
-	CodeConflict         = "conflict"          // write refused: it would clobber live state (e.g. re-registering a recipient with a new mark)
-	CodeInternal         = "internal"          // anything unclassified
+	CodeBadRequest        = "bad_request"         // malformed JSON, bad table payload, bad options
+	CodeBadConfig         = "bad_config"          // configuration rejected by the pipeline
+	CodeBadKey            = "bad_key"             // unusable key material
+	CodeBadSchema         = "bad_schema"          // table/schema the pipeline cannot process
+	CodeBadProvenance     = "bad_provenance"      // provenance record does not fit
+	CodeUnsatisfiable     = "unsatisfiable"       // k-anonymity/bandwidth unattainable for this data
+	CodeKeyMismatch       = "key_mismatch"        // well-formed key does not match the data
+	CodePlanDrift         = "plan_drift"          // delta batch no longer fits the frozen plan; re-plan
+	CodeCanceled          = "canceled"            // request context cancelled by the client
+	CodeDeadlineExceeded  = "deadline_exceeded"   // per-request deadline hit
+	CodeOverloaded        = "overloaded"          // in-flight request limit reached
+	CodePayloadTooLarge   = "payload_too_large"   // request body exceeds the server cap
+	CodeNotFound          = "not_found"           // addressed resource (e.g. a recipient) absent
+	CodeConflict          = "conflict"            // write refused: it would clobber live state (e.g. re-registering a recipient with a new mark)
+	CodeTooManyRecipients = "too_many_recipients" // fingerprint batch exceeds the server's recipient cap; split it
+	CodeInternal          = "internal"            // anything unclassified
 )
 
 // Classify maps a pipeline error to its wire code and HTTP status via

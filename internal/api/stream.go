@@ -38,8 +38,20 @@ import (
 // the pass completes, plan-mode failures always keep the ordinary
 // status + ErrorResponse envelope; ErrorTrailer is never used there.
 
-// ContentTypeCSV selects the streaming mode on /v1/plan, /v1/apply and
-// /v1/append.
+// The read side of the pipeline speaks the same mode: a text/csv POST
+// /v1/detect or /v1/traceback carries the suspect table as the request
+// body, consumed segment-at-a-time (core.DetectStream/TracebackStream —
+// memory bounded by the segment size, verdicts bit-identical to the
+// in-memory endpoints). Like the plan mode they emit no CSV: the
+// response body is empty, the verdict document rides the ResultTrailer
+// and the ingest counters the StatsTrailer, and every failure keeps the
+// ordinary status + ErrorResponse envelope. Detection metadata travels
+// in headers: the provenance record (ProvenanceHeader) plus the usual
+// secret/eta pair for /v1/detect; /v1/traceback needs only the master
+// secret — its candidates come from the server's recipient registry.
+
+// ContentTypeCSV selects the streaming mode on /v1/plan, /v1/apply,
+// /v1/append, /v1/detect and /v1/traceback.
 const ContentTypeCSV = "text/csv"
 
 // Request headers of the streaming mode. The watermark secret rides the
@@ -62,6 +74,9 @@ const (
 	// ChunkHeader optionally overrides the segment size (rows per
 	// segment) in decimal.
 	ChunkHeader = "X-Medshield-Chunk"
+	// ProvenanceHeader carries the owner's provenance record as one line
+	// of JSON on a streaming /v1/detect request.
+	ProvenanceHeader = "X-Medshield-Provenance"
 )
 
 // Response trailers of the streaming mode.
@@ -71,7 +86,19 @@ const (
 	// ErrorTrailer carries a JSON Error when the run failed after the
 	// response body had started; absent on success.
 	ErrorTrailer = "X-Medshield-Error"
+	// ResultTrailer carries the verdict document of a body-less streaming
+	// run: a DetectResponse on /v1/detect, a TracebackResponse on
+	// /v1/traceback.
+	ResultTrailer = "X-Medshield-Result"
 )
+
+// ReadStreamStats is the ingest summary of a streaming detect or
+// traceback run (their StatsTrailer) — the verdict itself rides the
+// ResultTrailer.
+type ReadStreamStats struct {
+	Rows     int `json:"rows"`
+	Segments int `json:"segments"`
+}
 
 // StreamStats is the streaming run summary (StatsTrailer).
 type StreamStats struct {
@@ -182,6 +209,19 @@ func EncodePlanHeader(plan *core.Plan) (string, error) {
 		return "", err
 	}
 	return string(data), nil
+}
+
+// DecodeProvenanceHeader parses ProvenanceHeader into the provenance
+// record a streaming detect runs under.
+func DecodeProvenanceHeader(h string) (core.Provenance, error) {
+	var prov core.Provenance
+	if strings.TrimSpace(h) == "" {
+		return prov, fmt.Errorf("api: streaming request needs the %s header (provenance JSON on one line)", ProvenanceHeader)
+	}
+	if err := json.Unmarshal([]byte(h), &prov); err != nil {
+		return prov, fmt.Errorf("api: %s: %w", ProvenanceHeader, err)
+	}
+	return prov, nil
 }
 
 // DecodeOptionsHeader parses the optional OptionsHeader; empty means no

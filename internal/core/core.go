@@ -253,6 +253,41 @@ func (f *Framework) Apply(tbl *relation.Table, plan *Plan, key crypt.WatermarkKe
 // plan (ParsePlan) applies identically, minus the search statistics in
 // Protected.Binning.
 func (f *Framework) ApplyContext(ctx context.Context, tbl *relation.Table, plan *Plan, key crypt.WatermarkKey) (*Protected, error) {
+	prep, err := f.applyPrepare(ctx, tbl, plan, key)
+	if err != nil {
+		return nil, err
+	}
+	return f.applyEmbed(ctx, prep, plan, key, nil)
+}
+
+// applyPrepared is the recipient-independent half of an apply: the
+// suppressed, encrypted and generalized table (k-verified at the plan's
+// effective k) plus the spec and bookkeeping state every embed pass
+// reads. It depends on the key only through the encryption key Enc —
+// never on the plan's mark or the selection/position keys — so one
+// prepared state serves every recipient of a fingerprint fan-out when
+// the keys come from crypt.RecipientWatermarkKey.
+type applyPrepared struct {
+	columns    map[string]watermark.ColumnSpec
+	ultiGens   map[string]dht.GenSet
+	maxGens    map[string]dht.GenSet
+	binned     *relation.Table
+	quasi      []string
+	before     map[string]int
+	suppressed int
+	minGens    map[string]dht.GenSet
+	monoStats  map[string]binning.MonoStats
+	multiStats binning.MultiStats
+}
+
+// applyPrepare runs the transform stage of ApplyContext: validate the
+// plan and key, replay the recorded suppression (or reuse the plan's
+// same-process search state), encrypt the identifying column and
+// generalize the quasi columns to the planned frontiers, and record the
+// pre-watermark bins. The returned state is immutable — applyEmbed
+// clones the binned table before mutating it — so it is safe to share
+// across several embed passes.
+func (f *Framework) applyPrepare(ctx context.Context, tbl *relation.Table, plan *Plan, key crypt.WatermarkKey) (*applyPrepared, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -332,20 +367,49 @@ func (f *Framework) ApplyContext(ctx context.Context, tbl *relation.Table, plan 
 	if err != nil {
 		return nil, err
 	}
-
-	// Watermarking agent on the binned table.
-	params, err := paramsFromProvenance(plan.Provenance, key)
-	if err != nil {
-		return nil, err
-	}
-	params.Workers = f.cfg.Workers
 	quasi := tbl.Schema().QuasiColumns()
 	before, err := anonymity.Bins(binned, quasi)
 	if err != nil {
 		return nil, err
 	}
-	marked := binned.Clone()
-	embedStats, err := watermark.EmbedContext(ctx, marked, identCol, columns, params)
+	return &applyPrepared{
+		columns:    columns,
+		ultiGens:   ultiGens,
+		maxGens:    maxGens,
+		binned:     binned,
+		quasi:      quasi,
+		before:     before,
+		suppressed: suppressed,
+		minGens:    minGens,
+		monoStats:  monoStats,
+		multiStats: multiStats,
+	}, nil
+}
+
+// applyEmbed runs the per-recipient embed stage of ApplyContext over a
+// prepared transform: clone the binned table, embed the plan's mark
+// under the key (§5.1 boundary-permutation fallback included), verify
+// seamlessness, and assemble the Protected outcome. prep is not
+// mutated; the plan must agree with the one prep was built from on
+// everything but the mark.
+func (f *Framework) applyEmbed(ctx context.Context, prep *applyPrepared, plan *Plan, key crypt.WatermarkKey, sel *watermark.Selection) (*Protected, error) {
+	// Watermarking agent on the binned table. A non-nil sel is a
+	// precomputed Equation (5) selection over prep.binned (the
+	// fingerprint fan-out shares one per (K1, eta) across recipients);
+	// the embedded bytes and statistics are identical either way.
+	params, err := paramsFromProvenance(plan.Provenance, key)
+	if err != nil {
+		return nil, err
+	}
+	params.Workers = f.cfg.Workers
+	embed := func(marked *relation.Table, p watermark.Params) (watermark.EmbedStats, error) {
+		if sel != nil {
+			return watermark.EmbedSelectedContext(ctx, marked, sel, prep.columns, p)
+		}
+		return watermark.EmbedContext(ctx, marked, plan.IdentCol, prep.columns, p)
+	}
+	marked := prep.binned.Clone()
+	embedStats, err := embed(marked, params)
 	if err != nil {
 		return nil, err
 	}
@@ -356,8 +420,8 @@ func (f *Framework) ApplyContext(ctx context.Context, tbl *relation.Table, plan 
 		// permute boundary values among sibling frontier nodes, accepting
 		// a slight usage-metric overshoot for a small tuple fraction.
 		params.BoundaryPermutation = true
-		marked = binned.Clone()
-		if embedStats, err = watermark.EmbedContext(ctx, marked, identCol, columns, params); err != nil {
+		marked = prep.binned.Clone()
+		if embedStats, err = embed(marked, params); err != nil {
 			return nil, err
 		}
 	}
@@ -365,11 +429,11 @@ func (f *Framework) ApplyContext(ctx context.Context, tbl *relation.Table, plan 
 		return nil, fmt.Errorf(
 			"core: no watermark bandwidth: every frontier sits at the usage metrics with no permutable siblings; relax the metrics or lower K: %w", ErrUnsatisfiable)
 	}
-	after, err := anonymity.Bins(marked, quasi)
+	after, err := anonymity.Bins(marked, prep.quasi)
 	if err != nil {
 		return nil, err
 	}
-	binStats := anonymity.Compare(before, after, plan.K)
+	binStats := anonymity.Compare(prep.before, after, plan.K)
 
 	// The seamlessness guarantee: no bin below K after watermarking.
 	if binStats.BelowK > 0 && !params.BoundaryPermutation {
@@ -392,16 +456,16 @@ func (f *Framework) ApplyContext(ctx context.Context, tbl *relation.Table, plan 
 		Provenance: eff.Provenance,
 		Plan:       eff,
 		Binning: &binning.Result{
-			Table:      binned,
-			MinGens:    minGens,
-			MaxGens:    maxGens,
-			UltiGens:   ultiGens,
+			Table:      prep.binned,
+			MinGens:    prep.minGens,
+			MaxGens:    prep.maxGens,
+			UltiGens:   prep.ultiGens,
 			ColumnLoss: plan.ColumnLoss,
 			AvgLoss:    plan.AvgLoss,
 			EffectiveK: plan.EffectiveK,
-			Suppressed: suppressed,
-			MonoStats:  monoStats,
-			MultiStats: multiStats,
+			Suppressed: prep.suppressed,
+			MonoStats:  prep.monoStats,
+			MultiStats: prep.multiStats,
 		},
 		Embed:    embedStats,
 		BinStats: binStats,

@@ -8,11 +8,12 @@ import "context"
 // segments) monotonically.
 type Progress struct {
 	// Stage names the pipeline stage: "plan", "apply", "append",
-	// "fingerprint", "traceback", "stream".
+	// "transform", "embed", "detect", "traceback", "stream".
 	Stage string `json:"stage"`
 	// Done and Total count stage units: stages for protect (plan+apply),
-	// recipients for fingerprint, candidates for traceback, rows for the
-	// streaming data plane.
+	// the shared transform then per-recipient embeds for fingerprint,
+	// candidates for traceback, rows for the streaming data plane
+	// (detect/traceback streams included).
 	Done  int `json:"done"`
 	Total int `json:"total,omitempty"`
 }

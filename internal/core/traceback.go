@@ -79,21 +79,8 @@ func (f *Framework) TracebackContext(ctx context.Context, suspect *relation.Tabl
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if len(candidates) == 0 {
-		return nil, fmt.Errorf("core: no traceback candidates: %w", ErrBadConfig)
-	}
-	seen := make(map[string]bool, len(candidates))
-	for i, c := range candidates {
-		if c.ID == "" {
-			return nil, fmt.Errorf("core: candidate %d has an empty ID: %w", i, ErrBadConfig)
-		}
-		if seen[c.ID] {
-			return nil, fmt.Errorf("core: duplicate candidate ID %q: %w", c.ID, ErrBadConfig)
-		}
-		seen[c.ID] = true
-		if err := c.Key.Validate(); err != nil {
-			return nil, fmt.Errorf("core: candidate %q: %w: %w", c.ID, err, ErrBadKey)
-		}
+	if err := validateCandidates(candidates); err != nil {
+		return nil, err
 	}
 
 	// Group candidates whose provenance shares the suspect-side state
@@ -172,6 +159,35 @@ func (f *Framework) TracebackContext(ctx context.Context, suspect *relation.Tabl
 		return nil, err
 	}
 
+	return rankVerdicts(verdicts), nil
+}
+
+// validateCandidates rejects empty, duplicate or badly-keyed candidate
+// sets — the shared front door of the traceback entry points.
+func validateCandidates(candidates []Candidate) error {
+	if len(candidates) == 0 {
+		return fmt.Errorf("core: no traceback candidates: %w", ErrBadConfig)
+	}
+	seen := make(map[string]bool, len(candidates))
+	for i, c := range candidates {
+		if c.ID == "" {
+			return fmt.Errorf("core: candidate %d has an empty ID: %w", i, ErrBadConfig)
+		}
+		if seen[c.ID] {
+			return fmt.Errorf("core: duplicate candidate ID %q: %w", c.ID, ErrBadConfig)
+		}
+		seen[c.ID] = true
+		if err := c.Key.Validate(); err != nil {
+			return fmt.Errorf("core: candidate %q: %w: %w", c.ID, err, ErrBadKey)
+		}
+	}
+	return nil
+}
+
+// rankVerdicts orders the verdicts (descending MatchRatio, descending
+// Confidence, ascending recipient ID) and derives the culprit and match
+// count — the shared tail of the in-memory and streamed tracebacks.
+func rankVerdicts(verdicts []TracebackVerdict) *Traceback {
 	sort.SliceStable(verdicts, func(a, b int) bool {
 		if verdicts[a].MatchRatio != verdicts[b].MatchRatio {
 			return verdicts[a].MatchRatio > verdicts[b].MatchRatio
@@ -190,7 +206,7 @@ func (f *Framework) TracebackContext(ctx context.Context, suspect *relation.Tabl
 	if len(verdicts) > 0 && verdicts[0].Match {
 		out.Culprit = verdicts[0].RecipientID
 	}
-	return out, nil
+	return out
 }
 
 // meanConfidence folds the per-position vote margins into one scalar.

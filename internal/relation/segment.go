@@ -24,16 +24,22 @@ import (
 // record-level CSV decoding, so a logical record never straddles two
 // segments regardless of where its bytes fall.
 type SegmentReader struct {
-	schema *Schema
-	cr     *csv.Reader
-	perm   []int // perm[csvCol] = schemaCol
-	cols   []column
-	chunk  int
-	lineNo int
-	rows   int
-	done   bool
-	err    error
+	schema  *Schema
+	cr      *csv.Reader
+	perm    []int // perm[csvCol] = schemaCol
+	cols    []column
+	chunk   int
+	dictCap int
+	lineNo  int
+	rows    int
+	done    bool
+	err     error
 }
+
+// minDictCap floors the shared-dictionary retirement threshold so that
+// low-cardinality columns keep full cross-stream sharing even under
+// tiny chunk sizes.
+const minDictCap = 16384
 
 // NewSegmentReader prepares streaming ingest of r against schema,
 // yielding at most chunk rows per segment (DefaultChunk when
@@ -55,12 +61,13 @@ func NewSegmentReader(r io.Reader, schema *Schema, chunk int) (*SegmentReader, e
 		return nil, err
 	}
 	return &SegmentReader{
-		schema: schema,
-		cr:     cr,
-		perm:   perm,
-		cols:   make([]column, schema.NumColumns()),
-		chunk:  chunk,
-		lineNo: 2,
+		schema:  schema,
+		cr:      cr,
+		perm:    perm,
+		cols:    make([]column, schema.NumColumns()),
+		chunk:   chunk,
+		dictCap: max(4*chunk, minDictCap),
+		lineNo:  2,
 	}, nil
 }
 
@@ -132,6 +139,19 @@ func (sr *SegmentReader) Next() (*Table, error) {
 		// and privately if the consumer ever needs it.
 		seg.cols[ci].dict = dict[:len(dict):len(dict)]
 		seg.cols[ci].codes = codes[ci]
+	}
+	// Retire oversized shared dictionaries. A near-unique column (an
+	// identifying column, say) never repays sharing — its dictionary and
+	// intern index would otherwise grow with the stream length, not the
+	// chunk size, and every consumer doing per-distinct-value work over a
+	// segment's dictionary view would pay for the whole stream's history.
+	// Subsequent segments start that column from an empty dictionary; the
+	// segment just built keeps its capped view of the retired backing,
+	// and low-cardinality columns never hit the cap.
+	for ci := range sr.cols {
+		if len(sr.cols[ci].dict) > sr.dictCap {
+			sr.cols[ci] = column{}
+		}
 	}
 	return seg, nil
 }

@@ -28,7 +28,7 @@ import (
 
 // jobKinds are the async job kinds served; each maps to the sync
 // endpoint of the same name (apply in its JSON mode).
-var jobKinds = []string{"protect", "plan", "apply", "fingerprint", "traceback"}
+var jobKinds = []string{"protect", "plan", "apply", "detect", "fingerprint", "traceback"}
 
 // jobRunner adapts the server's transport-free handler cores to
 // jobs.Runner. It threads the manager's progress callback into the
@@ -63,6 +63,12 @@ func (jr jobRunner) Run(ctx context.Context, job jobs.Job, progress func(jobs.Pr
 			return nil, err
 		}
 		resp, err = jr.s.runApplyJSON(ctx, req)
+	case "detect":
+		var req api.DetectRequest
+		if err := decodeJobRequest(job.Request, &req); err != nil {
+			return nil, err
+		}
+		resp, err = jr.s.runDetect(ctx, req)
 	case "fingerprint":
 		var req api.FingerprintRequest
 		if err := decodeJobRequest(job.Request, &req); err != nil {
@@ -86,10 +92,10 @@ func (jr jobRunner) Run(ctx context.Context, job jobs.Job, progress func(jobs.Pr
 
 // Secret extracts the job's webhook-signing secret from its request
 // document: the master secret every kind already carries (key.secret on
-// protect/plan/apply, secret on fingerprint/traceback).
+// protect/plan/apply/detect, secret on fingerprint/traceback).
 func (jr jobRunner) Secret(job jobs.Job) string {
 	switch job.Kind {
-	case "protect", "plan", "apply":
+	case "protect", "plan", "apply", "detect":
 		var req struct {
 			Key api.Key `json:"key"`
 		}

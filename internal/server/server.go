@@ -9,7 +9,10 @@
 // stream.go): the CSV body is consumed segment-at-a-time under
 // per-segment byte accounting, so million-row tables pass through in
 // bounded memory — the plan mode returns its computed plan in response
-// trailers, the apply/append modes stream back protected CSV.
+// trailers, the apply/append modes stream back protected CSV. The read
+// side speaks the same mode: a text/csv /v1/detect or /v1/traceback
+// consumes the suspect CSV segment-at-a-time and returns its verdict
+// document in the api.ResultTrailer.
 // Every request runs under a per-request deadline and inside
 // a bounded in-flight semaphore sized off the worker configuration, so
 // a burst of heavy protect calls queues instead of oversubscribing the
@@ -26,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strings"
@@ -63,6 +67,11 @@ type Config struct {
 	MaxInflight int
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// MaxFingerprintRecipients bounds one /v1/fingerprint request: each
+	// recipient costs a marked copy of the table in the response, so the
+	// count is a memory-amplification lever. 0 selects the default (128);
+	// fleets larger than the cap should fingerprint in batches.
+	MaxFingerprintRecipients int
 	// Registry is the recipient registry behind /v1/fingerprint,
 	// /v1/recipients and /v1/traceback; nil selects an in-memory store
 	// (records then live for the process only).
@@ -117,6 +126,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.MaxFingerprintRecipients <= 0 {
+		cfg.MaxFingerprintRecipients = 128
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = registry.New()
@@ -177,10 +189,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/plan", s.streamPipeline(s.handlePlan))
 	mux.HandleFunc("POST /v1/apply", s.streamPipeline(s.handleApply))
 	mux.HandleFunc("POST /v1/append", s.streamPipeline(s.handleAppend))
-	mux.HandleFunc("POST /v1/detect", s.pipeline(s.handleDetect))
+	mux.HandleFunc("POST /v1/detect", s.streamPipeline(s.handleDetect))
 	mux.HandleFunc("POST /v1/dispute", s.pipeline(s.handleDispute))
 	mux.HandleFunc("POST /v1/fingerprint", s.pipeline(s.handleFingerprint))
-	mux.HandleFunc("POST /v1/traceback", s.pipeline(s.handleTraceback))
+	mux.HandleFunc("POST /v1/traceback", s.streamPipeline(s.handleTraceback))
 	mux.HandleFunc("GET /v1/recipients", s.pipeline(s.handleRecipientsList))
 	mux.HandleFunc("POST /v1/recipients", s.pipeline(s.handleRecipientImport))
 	mux.HandleFunc("GET /v1/recipients/{id}", s.pipeline(s.handleRecipientGet))
@@ -197,7 +209,8 @@ func (s *Server) pipeline(h func(w http.ResponseWriter, r *http.Request) (int, e
 }
 
 // streamPipeline is the envelope of the endpoints with a text/csv
-// streaming mode (/v1/apply, /v1/append): identical except that a CSV
+// streaming mode (/v1/plan, /v1/apply, /v1/append, /v1/detect,
+// /v1/traceback): identical except that a CSV
 // body skips the whole-body MaxBytesReader — the stream is metered per
 // segment instead (meteredSegments), so tables larger than MaxBodyBytes
 // pass while peak buffering stays bounded by it. JSON bodies on the
@@ -431,10 +444,28 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) (int, erro
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) (int, error) {
+	if isCSVRequest(r) {
+		return s.handleDetectCSV(w, r)
+	}
 	var req api.DetectRequest
 	if err := api.DecodeJSON(r.Body, &req); err != nil {
 		return 0, badRequest(err)
 	}
+	resp, err := s.runDetect(r.Context(), req)
+	if err != nil {
+		return 0, err
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// runDetect is the transport-free core of POST /v1/detect's JSON mode,
+// shared by the synchronous handler and the async "detect" job runner.
+// A CSV-sourced suspect streams through core.DetectStream segment by
+// segment instead of materializing; an inline row payload takes the
+// in-memory path. Both produce the identical verdict.
+func (s *Server) runDetect(ctx context.Context, req api.DetectRequest) (api.DetectResponse, error) {
+	var zero api.DetectResponse
 	if req.Options == nil {
 		req.Options = &api.Options{}
 	}
@@ -442,15 +473,42 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) (int, erro
 		// Detection does not re-bin; K only has to satisfy validation.
 		req.Options.K = max(req.Provenance.K, 1)
 	}
+	if req.Table.CSV != "" && len(req.Table.Rows) == 0 {
+		fw, err := s.frameworkFor(req.Options)
+		if err != nil {
+			return zero, err
+		}
+		if req.Key.Secret == "" || req.Key.Eta == 0 {
+			return zero, badRequest(fmt.Errorf("key needs a non-empty secret and eta >= 1"))
+		}
+		schema, err := api.SchemaOf(req.Table.Columns)
+		if err != nil {
+			return zero, badRequest(err)
+		}
+		sr, err := relation.NewSegmentReader(strings.NewReader(req.Table.CSV), schema, fw.Config().Chunk)
+		if err != nil {
+			return zero, badRequest(err)
+		}
+		det, err := fw.DetectStream(ctx, sr, req.Provenance, crypt.NewWatermarkKeyFromSecret(req.Key.Secret, req.Key.Eta))
+		if err != nil {
+			return zero, err
+		}
+		return detectResponseOf(&det.Detection), nil
+	}
 	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
-	det, err := fw.DetectContext(r.Context(), tbl, req.Provenance, key)
+	det, err := fw.DetectContext(ctx, tbl, req.Provenance, key)
 	if err != nil {
-		return 0, err
+		return zero, err
 	}
-	writeJSON(w, http.StatusOK, api.DetectResponse{
+	return detectResponseOf(det), nil
+}
+
+// detectResponseOf projects a detection verdict to its wire document.
+func detectResponseOf(det *core.Detection) api.DetectResponse {
+	return api.DetectResponse{
 		Version:  api.Version,
 		Match:    det.Match,
 		MarkLoss: det.MarkLoss,
@@ -461,8 +519,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) (int, erro
 			BitsRead:       det.Result.Stats.BitsRead,
 			SkippedCells:   det.Result.Stats.SkippedCells,
 		},
-	})
-	return http.StatusOK, nil
+	}
 }
 
 func (s *Server) handleDispute(w http.ResponseWriter, r *http.Request) (int, error) {
@@ -549,11 +606,10 @@ func (s *Server) runFingerprint(ctx context.Context, req api.FingerprintRequest)
 	if len(req.Recipients) == 0 {
 		return zero, badRequest(fmt.Errorf("fingerprint needs at least one recipient"))
 	}
-	if len(req.Recipients) > maxFingerprintRecipients {
-		// Each recipient materializes a full marked copy of the table in
-		// memory and in the response; an uncapped count is a memory
-		// amplifier, not a use case.
-		return zero, badRequest(fmt.Errorf("fingerprint accepts at most %d recipients per request, got %d", maxFingerprintRecipients, len(req.Recipients)))
+	if len(req.Recipients) > s.cfg.MaxFingerprintRecipients {
+		// Each recipient costs a marked copy of the table in the response;
+		// an uncapped count is a memory amplifier, not a use case.
+		return zero, tooManyRecipients(fmt.Errorf("fingerprint accepts at most %d recipients per request, got %d", s.cfg.MaxFingerprintRecipients, len(req.Recipients)))
 	}
 	fw, err := s.frameworkFor(req.Options)
 	if err != nil {
@@ -569,6 +625,9 @@ func (s *Server) runFingerprint(ctx context.Context, req api.FingerprintRequest)
 			ID:  ref.ID,
 			Key: crypt.RecipientWatermarkKey(req.Secret, ref.ID, req.Eta),
 		}
+	}
+	if req.Output == api.OutputCSV {
+		return s.runFingerprintCSV(ctx, fw, tbl, recipients)
 	}
 	results, err := fw.FingerprintContext(ctx, tbl, recipients)
 	if err != nil {
@@ -613,7 +672,68 @@ func (s *Server) runFingerprint(ctx context.Context, req api.FingerprintRequest)
 	return resp, nil
 }
 
+// runFingerprintCSV is the CSV-output arm of /v1/fingerprint: the N
+// marked copies are produced by the shared-transform streaming fan-out
+// (core.FingerprintStream) — one plan, one transform, one selection per
+// recipient key, then per-segment embed+encode — so the peak resident
+// table state is one segment per recipient, not N marked tables. The
+// response document (and its registry side effect) is shaped exactly
+// like the materialized arm's.
+func (s *Server) runFingerprintCSV(ctx context.Context, fw *core.Framework, tbl *relation.Table, recipients []core.Recipient) (api.FingerprintResponse, error) {
+	var zero api.FingerprintResponse
+	schema := tbl.Schema()
+	columns := make([]api.Column, schema.NumColumns())
+	for i := 0; i < schema.NumColumns(); i++ {
+		c := schema.Column(i)
+		columns[i] = api.Column{Name: c.Name, Kind: c.Kind.String()}
+	}
+	outs := make([]io.Writer, len(recipients))
+	bufs := make([]*strings.Builder, len(recipients))
+	for i := range outs {
+		bufs[i] = &strings.Builder{}
+		outs[i] = bufs[i]
+	}
+	results, err := fw.FingerprintStream(ctx, tbl, recipients, outs)
+	if err != nil {
+		return zero, err
+	}
+	resp := api.FingerprintResponse{Version: api.Version, Recipients: make([]api.FingerprintRecipient, len(results))}
+	records := make([]registry.Record, len(results))
+	for i, res := range results {
+		records[i] = registry.RecordOf(res.RecipientID, recipients[i].Key, res.Streamed.Plan)
+		records[i].CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		resp.Recipients[i] = api.FingerprintRecipient{
+			ID:             res.RecipientID,
+			KeyFingerprint: res.KeyFingerprint,
+			Table:          api.Table{Columns: columns, CSV: bufs[i].String()},
+			Provenance:     res.Streamed.Plan.Provenance,
+			TuplesSelected: res.Streamed.Embed.TuplesSelected,
+			BitsEmbedded:   res.Streamed.Embed.BitsEmbedded,
+			CellsChanged:   res.Streamed.Embed.CellsChanged,
+		}
+	}
+	// Atomic registration, exactly as the materialized arm: either every
+	// recipient of this run lands in the registry or none does.
+	if err := s.cfg.Registry.PutAll(records); err != nil {
+		return zero, err
+	}
+	if len(results) > 0 {
+		plan := results[0].Streamed.Plan
+		resp.Stats = api.PlanStats{
+			Rows:       tbl.NumRows(),
+			K:          plan.K,
+			Epsilon:    plan.Epsilon,
+			EffectiveK: plan.EffectiveK,
+			AvgLoss:    plan.AvgLoss,
+		}
+	}
+	return resp, nil
+}
+
 func (s *Server) handleTraceback(w http.ResponseWriter, r *http.Request) (int, error) {
+	if isCSVRequest(r) {
+		return s.handleTracebackCSV(w, r)
+	}
 	var req api.TracebackRequest
 	if err := api.DecodeJSON(r.Body, &req); err != nil {
 		return 0, badRequest(err)
@@ -654,6 +774,23 @@ func (s *Server) runTraceback(ctx context.Context, req api.TracebackRequest) (ap
 	if err != nil {
 		return zero, err
 	}
+	if req.Table.CSV != "" && len(req.Table.Rows) == 0 {
+		// CSV-sourced suspects stream through core.TracebackStream segment
+		// by segment; the verdict is bit-identical to the in-memory path.
+		schema, err := api.SchemaOf(req.Table.Columns)
+		if err != nil {
+			return zero, badRequest(err)
+		}
+		sr, err := relation.NewSegmentReader(strings.NewReader(req.Table.CSV), schema, fw.Config().Chunk)
+		if err != nil {
+			return zero, badRequest(err)
+		}
+		tb, err := fw.TracebackStream(ctx, sr, cands)
+		if err != nil {
+			return zero, err
+		}
+		return tracebackResponseOf(&tb.Traceback, skipped), nil
+	}
 	tbl, err := api.DecodeTable(req.Table)
 	if err != nil {
 		return zero, badRequest(err)
@@ -662,6 +799,12 @@ func (s *Server) runTraceback(ctx context.Context, req api.TracebackRequest) (ap
 	if err != nil {
 		return zero, err
 	}
+	return tracebackResponseOf(tb, skipped), nil
+}
+
+// tracebackResponseOf projects a traceback verdict set to its wire
+// document.
+func tracebackResponseOf(tb *core.Traceback, skipped []string) api.TracebackResponse {
 	resp := api.TracebackResponse{
 		Version:  api.Version,
 		Verdicts: make([]api.TracebackVerdict, len(tb.Verdicts)),
@@ -680,7 +823,7 @@ func (s *Server) runTraceback(ctx context.Context, req api.TracebackRequest) (ap
 			VotesCast:   v.VotesCast,
 		}
 	}
-	return resp, nil
+	return resp
 }
 
 func (s *Server) handleRecipientsList(w http.ResponseWriter, r *http.Request) (int, error) {
@@ -770,12 +913,6 @@ func (s *Server) handleRecipientImport(w http.ResponseWriter, r *http.Request) (
 // is a denial-of-service lever, not a tuning knob.
 const maxEnumLimit = 1 << 16
 
-// maxFingerprintRecipients bounds one fingerprint request: each
-// recipient costs a full in-memory marked copy of the table plus its
-// encoding in the response, so the count is a memory-amplification
-// lever. Fleets larger than this should fingerprint in batches.
-const maxFingerprintRecipients = 32
-
 // prepare builds the per-request framework, table and key: overlay the
 // request options on the server defaults, construct (and so validate)
 // the framework, decode the table payload and derive the key set.
@@ -843,6 +980,17 @@ type overloadedError struct{ err error }
 func (e overloadedError) Error() string { return e.err.Error() }
 func (e overloadedError) Unwrap() error { return e.err }
 
+// tooManyRecipientsError tags fingerprint batches over the server's
+// recipient cap so clients get a distinct machine code
+// (too_many_recipients) telling them to split the batch, not to fix the
+// request shape.
+type tooManyRecipientsError struct{ err error }
+
+func (e tooManyRecipientsError) Error() string { return e.err.Error() }
+func (e tooManyRecipientsError) Unwrap() error { return e.err }
+
+func tooManyRecipients(err error) error { return tooManyRecipientsError{err: err} }
+
 // classify maps an error to its wire code and status: the server's own
 // tagged wrappers first, then the pipeline sentinels via api.Classify.
 func (s *Server) classify(err error) (code string, status int) {
@@ -850,6 +998,7 @@ func (s *Server) classify(err error) (code string, status int) {
 		br  badRequestError
 		nf  notFoundError
 		ol  overloadedError
+		tmr tooManyRecipientsError
 		mbe *http.MaxBytesError
 	)
 	switch {
@@ -859,6 +1008,8 @@ func (s *Server) classify(err error) (code string, status int) {
 		return api.CodePayloadTooLarge, http.StatusRequestEntityTooLarge
 	case errors.As(err, &nf):
 		return api.CodeNotFound, http.StatusNotFound
+	case errors.As(err, &tmr):
+		return api.CodeTooManyRecipients, http.StatusBadRequest
 	case errors.Is(err, registry.ErrConflict):
 		return api.CodeConflict, http.StatusConflict
 	case errors.As(err, &br):

@@ -11,13 +11,15 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/crypt"
+	"repro/internal/registry"
 	"repro/internal/relation"
 )
 
 // This file is the streaming data plane of the service: the text/csv
-// request/response mode of POST /v1/apply and /v1/append. The CSV body
-// is consumed segment-at-a-time through relation.SegmentReader — the
-// table is never materialized — and the protected CSV streams back
+// request/response mode of POST /v1/apply and /v1/append, plus the
+// body-less variants of /v1/plan, /v1/detect and /v1/traceback. The CSV
+// body is consumed segment-at-a-time through relation.SegmentReader —
+// the table is never materialized — and the protected CSV streams back
 // incrementally, so the endpoints handle tables far beyond MaxBodyBytes
 // under bounded memory. MaxBytesReader cannot meter such a body without
 // defeating it (it caps the whole stream), so the cap moves to
@@ -206,6 +208,113 @@ func (s *Server) handlePlanCSV(w http.ResponseWriter, r *http.Request) (int, err
 	w.Header().Set(api.StatsTrailer, string(stats))
 	w.Header().Set(api.PlanHeader, planJSON)
 	return http.StatusOK, nil
+}
+
+// writeReadStreamTrailers completes a body-less read-side streaming
+// run: the verdict document rides the ResultTrailer, the ingest
+// counters the StatsTrailer. Nothing is written before the run has
+// fully drained the suspect, so every upstream failure keeps the
+// ordinary error envelope — the read side never needs ErrorTrailer.
+func writeReadStreamTrailers(w http.ResponseWriter, result any, rows, segments int) (int, error) {
+	body, err := json.Marshal(result)
+	if err != nil {
+		return 0, err
+	}
+	stats, _ := json.Marshal(api.ReadStreamStats{Rows: rows, Segments: segments})
+	w.Header().Set("Content-Type", api.ContentTypeCSV)
+	w.Header().Set("Trailer", api.StatsTrailer+", "+api.ResultTrailer)
+	w.WriteHeader(http.StatusOK)
+	// Force chunked transfer so the declared trailers are emitted even
+	// though the body is empty.
+	_ = http.NewResponseController(w).Flush()
+	w.Header().Set(api.StatsTrailer, string(stats))
+	w.Header().Set(api.ResultTrailer, string(body))
+	return http.StatusOK, nil
+}
+
+// handleDetectCSV is the streaming mode of POST /v1/detect: the CSV
+// body is the suspect table, consumed segment-at-a-time into persistent
+// vote boards (core.DetectStream) — memory stays bounded by the segment
+// size — and the DetectResponse verdict rides the ResultTrailer. The
+// provenance record travels in the ProvenanceHeader; the key in the
+// usual secret/eta headers.
+func (s *Server) handleDetectCSV(w http.ResponseWriter, r *http.Request) (int, error) {
+	prov, err := api.DecodeProvenanceHeader(r.Header.Get(api.ProvenanceHeader))
+	if err != nil {
+		return 0, badRequest(err)
+	}
+	// Detection does not re-bin; the provenance K only has to satisfy
+	// framework validation.
+	set, err := s.decodeStreamCommon(r, max(prov.K, 1))
+	if err != nil {
+		return 0, err
+	}
+	det, err := set.fw.DetectStream(r.Context(), set.src, prov, set.key)
+	if err != nil {
+		return 0, err
+	}
+	return writeReadStreamTrailers(w, detectResponseOf(&det.Detection), det.Rows, det.Segments)
+}
+
+// handleTracebackCSV is the streaming mode of POST /v1/traceback: the
+// CSV body is the leaked table, ranked against every registered
+// recipient segment-at-a-time (core.TracebackStream), and the
+// TracebackResponse verdict rides the ResultTrailer. Only the master
+// secret travels in headers — the candidates come from the server's
+// recipient registry, exactly as in the JSON mode.
+func (s *Server) handleTracebackCSV(w http.ResponseWriter, r *http.Request) (int, error) {
+	secret := r.Header.Get(api.SecretHeader)
+	if secret == "" {
+		return 0, badRequest(fmt.Errorf("traceback needs the master secret in the %s header", api.SecretHeader))
+	}
+	recs := s.cfg.Registry.List()
+	if len(recs) == 0 {
+		return 0, badRequest(fmt.Errorf("no recipients registered; run /v1/fingerprint or import records first"))
+	}
+	cands, skipped, err := registry.CandidatesFromSecret(recs, secret)
+	if err != nil {
+		return 0, err // wraps core.ErrKeyMismatch -> 403
+	}
+	schema, err := api.DecodeSchemaHeader(r.Header.Get(api.SchemaHeader))
+	if err != nil {
+		return 0, badRequest(err)
+	}
+	opts, err := api.DecodeOptionsHeader(r.Header.Get(api.OptionsHeader))
+	if err != nil {
+		return 0, badRequest(err)
+	}
+	chunk, err := api.DecodeChunkHeader(r.Header.Get(api.ChunkHeader))
+	if err != nil {
+		return 0, badRequest(err)
+	}
+	if opts == nil {
+		opts = &api.Options{}
+	}
+	if opts.K == 0 {
+		// Traceback does not re-bin; K only has to satisfy validation.
+		opts.K = max(recs[0].Plan.K, 1)
+	}
+	fw, err := s.frameworkFor(opts)
+	if err != nil {
+		return 0, err
+	}
+	if chunk == 0 {
+		chunk = fw.Config().Chunk
+	}
+	if chunk > maxStreamChunk {
+		return 0, badRequest(fmt.Errorf("%s %d exceeds the server cap %d", api.ChunkHeader, chunk, maxStreamChunk))
+	}
+	cr := &countingReader{r: r.Body}
+	sr, err := relation.NewSegmentReader(cr, schema, chunk)
+	if err != nil {
+		return 0, badRequest(err)
+	}
+	src := &meteredSegments{sr: sr, cr: cr, limit: s.cfg.MaxBodyBytes}
+	tb, err := fw.TracebackStream(r.Context(), src, cands)
+	if err != nil {
+		return 0, err
+	}
+	return writeReadStreamTrailers(w, tracebackResponseOf(&tb.Traceback, skipped), tb.Rows, tb.Segments)
 }
 
 // runStream drives one streaming pipeline run and owns the split error

@@ -2,6 +2,7 @@ package watermark
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/bitstr"
 	"repro/internal/crypt"
@@ -78,19 +79,35 @@ func DetectContext(ctx context.Context, tbl *relation.Table, identCol string, co
 		vkeys = buildVirtualKeys(tbl, idxs, specs)
 	}
 
+	board := bitstr.NewVoteBoard(p.wmdLen())
+	if err := scanVotes(ctx, tbl, identIdx, vkeys, plans, p, board, &res.Stats); err != nil {
+		return res, err
+	}
+
+	folded, err := board.FoldInto(p.Mark.Len())
+	if err != nil {
+		return res, err
+	}
+	res.Mark = folded.Resolve()
+	res.Confidence = folded.Confidence()
+	return res, nil
+}
+
+// scanVotes shards tbl's rows into contiguous ranges, harvests
+// Equation (5) votes on per-shard boards, then merges boards and
+// counters in shard order into the caller's board and stats. All vote
+// weights are integer-valued, so the merged tallies — and hence the
+// recovered mark and confidences — are bit-identical to the sequential
+// accumulation for any worker count. It is the shared scan of
+// DetectContext (one whole table) and DetectAccum (one segment at a
+// time); vkeys is nil unless Params.UseVirtualIdent is set.
+func scanVotes(ctx context.Context, tbl *relation.Table, identIdx int, vkeys *virtualKeys, plans []detectPlan, p Params, board *bitstr.VoteBoard, stats *DetectStats) error {
 	prf1 := crypt.NewPRF(p.Key.K1)
 	prf2 := crypt.NewPRF(p.Key.K2)
-	board := bitstr.NewVoteBoard(p.wmdLen())
-
-	// Shard the tuples into contiguous row ranges, harvest votes on a
-	// per-shard board, then merge boards and counters in shard order. All
-	// vote weights are integer-valued, so the merged tallies — and hence
-	// the recovered mark and confidences — are bit-identical to the
-	// sequential accumulation for any worker count.
 	chunks := pool.Chunks(p.Workers, tbl.NumRows())
 	shardBoards := make([]*bitstr.VoteBoard, len(chunks))
 	shardStats := make([]DetectStats, len(chunks))
-	err = pool.ForEachChunkCtx(ctx, p.Workers, tbl.NumRows(), func(si, lo, hi int) error {
+	err := pool.ForEachChunkCtx(ctx, p.Workers, tbl.NumRows(), func(si, lo, hi int) error {
 		shardBoard := bitstr.NewVoteBoard(p.wmdLen())
 		shard := &shardStats[si]
 		var identBuf []byte // reused across rows; PRF calls do not retain it
@@ -126,16 +143,73 @@ func DetectContext(ctx context.Context, tbl *relation.Table, identCol string, co
 		return nil
 	})
 	if err != nil {
-		return res, err
+		return err
 	}
 	for si := range chunks {
 		if err := board.Merge(shardBoards[si]); err != nil {
-			return res, err
+			return err
 		}
-		res.Stats.add(shardStats[si])
+		stats.add(shardStats[si])
 	}
+	return nil
+}
 
-	folded, err := board.FoldInto(p.Mark.Len())
+// DetectAccum accumulates detection votes segment-at-a-time: one
+// replicated vote board shared across segments, folded once at the end.
+// Segments arrive in row order and scanVotes merges its shards in row
+// order, so the accumulated tallies — and hence the recovered mark,
+// confidences and statistics — are bit-identical to DetectContext over
+// the materialized concatenation of the segments, for every segment
+// size and worker count. Resident state between segments is the board
+// (|wmd| positions) plus the counters; the per-segment verdict tables
+// are rebuilt over each segment's compact dictionaries and dropped.
+type DetectAccum struct {
+	identCol string
+	columns  map[string]ColumnSpec
+	p        Params
+	board    *bitstr.VoteBoard
+	stats    DetectStats
+}
+
+// NewDetectAccum validates the parameters and returns an empty
+// accumulator. Virtual-identifier detection is not supported over a
+// segment stream — its composite keys need the whole table.
+func NewDetectAccum(identCol string, columns map[string]ColumnSpec, p Params) (*DetectAccum, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if p.UseVirtualIdent {
+		return nil, fmt.Errorf("watermark: virtual-identifier detection is not supported over a segment stream")
+	}
+	return &DetectAccum{
+		identCol: identCol,
+		columns:  columns,
+		p:        p,
+		board:    bitstr.NewVoteBoard(p.wmdLen()),
+	}, nil
+}
+
+// AddContext harvests one segment's votes into the accumulator: build
+// the segment's per-distinct-value verdict tables, then run the shared
+// sharded scan into the persistent board.
+func (a *DetectAccum) AddContext(ctx context.Context, seg *relation.Table) error {
+	identIdx, err := seg.Schema().Index(a.identCol)
+	if err != nil {
+		return err
+	}
+	plans, err := buildDetectPlans(ctx, seg, a.columns, a.p)
+	if err != nil {
+		return err
+	}
+	return scanVotes(ctx, seg, identIdx, nil, plans, a.p, a.board, &a.stats)
+}
+
+// Result folds the replicated tallies into the recovered mark — the
+// same final step DetectContext performs. The accumulator remains
+// usable: further AddContext calls keep accumulating.
+func (a *DetectAccum) Result() (DetectResult, error) {
+	res := DetectResult{Stats: a.stats}
+	folded, err := a.board.FoldInto(a.p.Mark.Len())
 	if err != nil {
 		return res, err
 	}

@@ -210,6 +210,76 @@ func EmbedContext(ctx context.Context, tbl *relation.Table, identCol string, col
 	return stats, nil
 }
 
+// EmbedSelectedContext is EmbedContext with the Equation (5) selection
+// precomputed: it walks only the selected rows instead of re-running
+// the full-table PRF scan. The embedded table and the statistics are
+// byte-identical to EmbedContext under the same parameters — the
+// selection is a pure function of (identifier, K1, η), and the walk of
+// each selected cell depends only on the identifier, K2 and the mark
+// bit. This is the per-recipient step of the fingerprint fan-out: one
+// SelectForEmbedContext scan serves every recipient key sharing K1 and
+// η, collapsing each embed to a walk over the few selected rows.
+//
+// The selection must have been computed over a table whose identifying
+// column matches tbl's (the fan-out embeds into clones of the table it
+// selected over); row indices are trusted. Virtual-identifier
+// embedding stays on the plain EmbedContext path.
+func EmbedSelectedContext(ctx context.Context, tbl *relation.Table, sel *Selection, columns map[string]ColumnSpec, p Params) (EmbedStats, error) {
+	var stats EmbedStats
+	if err := p.validate(); err != nil {
+		return stats, err
+	}
+	if p.UseVirtualIdent {
+		return stats, fmt.Errorf("watermark: virtual-identifier embedding is not supported over a precomputed selection")
+	}
+	if len(columns) == 0 {
+		return stats, fmt.Errorf("watermark: no columns to embed into")
+	}
+	if sel.k1 != string(p.Key.K1) || sel.eta != p.Key.Eta {
+		return stats, fmt.Errorf("watermark: selection was computed under a different (K1, eta) than the embedding key")
+	}
+	cols := sortColumns(columns)
+	plans := make([]embedPlan, len(cols))
+	for i, col := range cols {
+		spec := columns[col]
+		if err := spec.validate(col); err != nil {
+			return stats, err
+		}
+		ci, err := tbl.Schema().Index(col)
+		if err != nil {
+			return stats, err
+		}
+		plans[i] = buildEmbedPlan(tbl, col, ci, spec, p.BoundaryPermutation)
+	}
+
+	prf2 := crypt.NewPRF(p.Key.K2)
+	wmd := p.Mark.Duplicate(p.Duplication)
+	for i, row := range sel.rows {
+		if err := pool.CtxAt(ctx, i); err != nil {
+			return stats, err
+		}
+		ident := sel.ident[i]
+		stats.TuplesSelected++
+		for pi := range plans {
+			plan := &plans[pi]
+			code := tbl.CodeAt(int(row), plan.idx)
+			newCode, embedded, err := embedCode(plan, code, prf2, ident, wmd.Get(p.positionOf(prf2, ident, plan.col)))
+			if err != nil {
+				return stats, fmt.Errorf("watermark: row %d column %s: %w", row, plan.col, err)
+			}
+			stats.BitsEmbedded += embedded
+			if embedded == 0 {
+				stats.ZeroBandwidth++
+			}
+			if newCode != code {
+				tbl.SetCodeAt(int(row), plan.idx, newCode)
+				stats.CellsChanged++
+			}
+		}
+	}
+	return stats, nil
+}
+
 // embedCode runs the per-tuple half of the Permutate walk for one cell,
 // returning the new dictionary code and the number of bits embedded
 // (levels with branching >= 2).

@@ -72,11 +72,33 @@ type Selection struct {
 // selected rows in ascending order — identical to the selection the
 // sharded DetectContext performs internally.
 func (s *Suspect) SelectContext(ctx context.Context, k1 []byte, eta uint64, workers int) (*Selection, error) {
+	return selectTuples(ctx, s.tbl, s.identIdx, k1, eta, workers)
+}
+
+// SelectForEmbedContext scans tbl once under (k1, η) and returns the
+// Equation (5) selection — the rows Embed would mark and their
+// identifier bytes. The selection depends only on the identifying
+// column, K1 and η, never on K2 or the mark, so a fingerprint fan-out
+// whose recipient keys share K1 and η (crypt.RecipientWatermarkKey)
+// computes it once and embeds every recipient's mark through
+// EmbedSelectedContext without re-scanning the table.
+func SelectForEmbedContext(ctx context.Context, tbl *relation.Table, identCol string, k1 []byte, eta uint64, workers int) (*Selection, error) {
+	identIdx, err := tbl.Schema().Index(identCol)
+	if err != nil {
+		return nil, err
+	}
+	return selectTuples(ctx, tbl, identIdx, k1, eta, workers)
+}
+
+// selectTuples is the sharded Equation (5) scan behind SelectContext
+// and SelectForEmbedContext: selected rows in ascending order, each
+// with a private copy of its identifier bytes.
+func selectTuples(ctx context.Context, tbl *relation.Table, identIdx int, k1 []byte, eta uint64, workers int) (*Selection, error) {
 	if len(k1) == 0 {
 		return nil, fmt.Errorf("watermark: empty selection key")
 	}
 	prf1 := crypt.NewPRF(k1)
-	n := s.tbl.NumRows()
+	n := tbl.NumRows()
 	type shard struct {
 		rows  []int32
 		ident [][]byte
@@ -90,7 +112,7 @@ func (s *Suspect) SelectContext(ctx context.Context, k1 []byte, eta uint64, work
 			if err := pool.CtxAt(ctx, row-lo); err != nil {
 				return err
 			}
-			buf = append(buf[:0], s.tbl.CellAt(row, s.identIdx)...)
+			buf = append(buf[:0], tbl.CellAt(row, identIdx)...)
 			if !prf1.Selects(buf, eta) {
 				continue
 			}
@@ -127,37 +149,9 @@ func (s *Suspect) DetectContext(ctx context.Context, sel *Selection, p Params) (
 	if err := p.validate(); err != nil {
 		return res, err
 	}
-	if p.UseVirtualIdent {
-		return res, fmt.Errorf("watermark: virtual-identifier detection is not supported over a prepared suspect")
-	}
-	if p.BoundaryPermutation != s.boundaryPermutation || p.WeightedVoting != s.weightedVoting {
-		return res, fmt.Errorf(
-			"watermark: params policy (boundary_permutation=%v, weighted_voting=%v) does not match the prepared suspect (%v, %v)",
-			p.BoundaryPermutation, p.WeightedVoting, s.boundaryPermutation, s.weightedVoting)
-	}
-	if sel.k1 != string(p.Key.K1) || sel.eta != p.Key.Eta {
-		return res, fmt.Errorf("watermark: selection was computed under a different (K1, eta) than the candidate key")
-	}
-	prf2 := crypt.NewPRF(p.Key.K2)
 	board := bitstr.NewVoteBoard(p.wmdLen())
-	for i, row := range sel.rows {
-		if err := pool.CtxAt(ctx, i); err != nil {
-			return res, err
-		}
-		ident := sel.ident[i]
-		res.Stats.TuplesSelected++
-		for pi := range s.plans {
-			plan := &s.plans[pi]
-			v := &plan.verdicts[s.tbl.CodeAt(int(row), plan.idx)]
-			res.Stats.BitsRead += v.read
-			if !v.ok {
-				res.Stats.SkippedCells++
-				continue
-			}
-			pos := p.positionOf(prf2, ident, plan.col)
-			board.Vote(pos, v.bit, 1)
-			res.Stats.VotesCast++
-		}
+	if err := s.AccumulateContext(ctx, sel, p, board, &res.Stats); err != nil {
+		return res, err
 	}
 	folded, err := board.FoldInto(p.Mark.Len())
 	if err != nil {
@@ -166,4 +160,52 @@ func (s *Suspect) DetectContext(ctx context.Context, sel *Selection, p Params) (
 	res.Mark = folded.Resolve()
 	res.Confidence = folded.Confidence()
 	return res, nil
+}
+
+// AccumulateContext harvests one candidate's votes over the prepared
+// suspect into a caller-owned replicated board (length |wmd|) and
+// counter set, without folding — the per-segment step of a streamed
+// traceback, where one persistent board per candidate accumulates
+// across suspect segments and folds once at end-of-stream. It is also
+// DetectContext's whole-table scan: calling it once and folding
+// reproduces DetectContext exactly.
+func (s *Suspect) AccumulateContext(ctx context.Context, sel *Selection, p Params, board *bitstr.VoteBoard, stats *DetectStats) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	if p.UseVirtualIdent {
+		return fmt.Errorf("watermark: virtual-identifier detection is not supported over a prepared suspect")
+	}
+	if p.BoundaryPermutation != s.boundaryPermutation || p.WeightedVoting != s.weightedVoting {
+		return fmt.Errorf(
+			"watermark: params policy (boundary_permutation=%v, weighted_voting=%v) does not match the prepared suspect (%v, %v)",
+			p.BoundaryPermutation, p.WeightedVoting, s.boundaryPermutation, s.weightedVoting)
+	}
+	if sel.k1 != string(p.Key.K1) || sel.eta != p.Key.Eta {
+		return fmt.Errorf("watermark: selection was computed under a different (K1, eta) than the candidate key")
+	}
+	if board.Len() != p.wmdLen() {
+		return fmt.Errorf("watermark: vote board has %d positions, want |wmd| = %d", board.Len(), p.wmdLen())
+	}
+	prf2 := crypt.NewPRF(p.Key.K2)
+	for i, row := range sel.rows {
+		if err := pool.CtxAt(ctx, i); err != nil {
+			return err
+		}
+		ident := sel.ident[i]
+		stats.TuplesSelected++
+		for pi := range s.plans {
+			plan := &s.plans[pi]
+			v := &plan.verdicts[s.tbl.CodeAt(int(row), plan.idx)]
+			stats.BitsRead += v.read
+			if !v.ok {
+				stats.SkippedCells++
+				continue
+			}
+			pos := p.positionOf(prf2, ident, plan.col)
+			board.Vote(pos, v.bit, 1)
+			stats.VotesCast++
+		}
+	}
+	return nil
 }

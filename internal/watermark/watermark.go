@@ -100,6 +100,10 @@ func (p Params) validate() error {
 
 func (p Params) wmdLen() int { return p.Mark.Len() * p.Duplication }
 
+// WmdLen is the replicated mark length |wmd| = |wm|·l — the position
+// count streaming callers size their persistent vote boards with.
+func (p Params) WmdLen() int { return p.wmdLen() }
+
 // positionOf returns the wmd position addressed by a tuple (and column,
 // when salting is on): the paper's H(ti.ident, k2) mod |wmd|.
 func (p Params) positionOf(prf2 *crypt.PRF, ident []byte, col string) int {

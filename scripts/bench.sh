@@ -11,14 +11,19 @@
 # submit + a 4-worker pool) and the streaming planner pair
 # (PlanStream1M: one-pass sketch planning over a million rows;
 # PlanApplyStream10M: plan + apply end-to-end at ten million — the
-# heavyweight entry, minutes per repetition) with
+# heavyweight entry, minutes per repetition) and the read-side perf
+# plane (Fingerprint16: one shared transform fanned out to 16
+# recipients; DetectStream1M: segment-at-a-time detection over a
+# million rows — its bytes_op is the read-side bounded-memory claim)
+# with
 # -benchmem and appends one labelled entry (best-of-N ns/op, plus B/op
 # and allocs/op) per benchmark to BENCH_pipeline.json at the repo root,
 # so representation regressions show up as a diff in review.
 #
 # Before appending, the fresh numbers are gated against the last
-# recorded entry: a >15% ns/op regression on Protect20k, Detect20k or
-# MultiBinGreedy fails the script, so a slowdown on the core pipeline
+# recorded entry: a >15% ns/op regression on Protect20k, Detect20k,
+# MultiBinGreedy, Traceback50, Append2k or JobThroughput fails the
+# script, so a slowdown on the core pipeline or the serving layer
 # cannot be recorded silently.
 #
 # Usage: scripts/bench.sh [label]
@@ -31,7 +36,7 @@ cd "$(dirname "$0")/.."
 LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}"
 COUNT="${COUNT:-3}"
 OUT="BENCH_pipeline.json"
-PATTERN='BenchmarkProtect20k$|BenchmarkDetect20k$|BenchmarkMultiBinGreedy$|BenchmarkAppend2k$|BenchmarkReprotect22k$|BenchmarkTraceback50$|BenchmarkProtect200k$|BenchmarkApplyStream1M$|BenchmarkJobThroughput$|BenchmarkPlanStream1M$|BenchmarkPlanApplyStream10M$'
+PATTERN='BenchmarkProtect20k$|BenchmarkDetect20k$|BenchmarkMultiBinGreedy$|BenchmarkAppend2k$|BenchmarkReprotect22k$|BenchmarkTraceback50$|BenchmarkProtect200k$|BenchmarkApplyStream1M$|BenchmarkJobThroughput$|BenchmarkPlanStream1M$|BenchmarkPlanApplyStream10M$|BenchmarkFingerprint16$|BenchmarkDetectStream1M$'
 
 RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" .)"
 echo "$RAW"
@@ -62,11 +67,13 @@ if [ -z "$ENTRY" ]; then
 fi
 
 # Regression gate: compare the fresh best-of-N ns/op for the core
-# pipeline benchmarks against the last recorded entry and refuse to
-# append a >15% slowdown. (The streaming benchmarks are capacity
-# numbers, not latency gates, so only the 20k trio is enforced.)
+# pipeline and serving-layer benchmarks against the last recorded entry
+# and refuse to append a >15% slowdown. (The streaming benchmarks are
+# capacity numbers, not latency gates, so they are recorded but not
+# enforced.)
 if [ -f "$OUT" ]; then
-  for name in BenchmarkProtect20k BenchmarkDetect20k BenchmarkMultiBinGreedy; do
+  for name in BenchmarkProtect20k BenchmarkDetect20k BenchmarkMultiBinGreedy \
+              BenchmarkTraceback50 BenchmarkAppend2k BenchmarkJobThroughput; do
     last="$(grep -o "\"$name\": {\"ns_op\": [0-9]*" "$OUT" | tail -1 | grep -o '[0-9]*$' || true)"
     [ -z "$last" ] && continue
     fresh="$(echo "$RAW" | awk -v n="$name" '
