@@ -1,0 +1,45 @@
+# Multi-stage build: compile static binaries in the Go toolchain image,
+# ship them on distroless (no shell, no package manager — the runtime
+# surface is the two binaries and the CA roots).
+#
+#   docker build -t medshield .
+#   docker run --rm -p 8080:8080 -v medshield-data:/data medshield
+#
+# Tenants are provisioned with the bundled operator CLI (the store file
+# lives on the /data volume the server reads):
+#
+#   docker run --rm -v medshield-data:/data --entrypoint /medprotect medshield \
+#     admin tenant create -store /data/tenants.json -id hospital-a -role admin
+
+FROM golang:1.24 AS build
+WORKDIR /src
+
+# Module graph first so source edits don't bust the dependency cache
+# layer (the module is dependency-free today; this keeps it correct if
+# that changes).
+COPY go.mod go.sum ./
+RUN go mod download
+
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/medshield-server ./cmd/medshield-server \
+ && CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/medprotect ./cmd/medprotect \
+ && mkdir /out/data
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/medshield-server /medshield-server
+COPY --from=build /out/medprotect /medprotect
+# Owned by the nonroot runtime user so named volumes mounted here
+# inherit writable ownership on first use (uid 65532 = distroless
+# nonroot).
+COPY --from=build --chown=65532:65532 /out/data /data
+
+# /data holds the operator state the flags below point at: tenant store,
+# recipient registry, durable job queue, audit trail. Mount a volume
+# over it — distroless has no shell to repair a lost store with.
+VOLUME /data
+EXPOSE 8080
+
+ENTRYPOINT ["/medshield-server"]
+CMD ["-addr", ":8080", \
+     "-registry", "/data/recipients.json", \
+     "-jobs", "/data/jobs.json"]

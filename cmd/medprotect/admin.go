@@ -1,0 +1,213 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/tenant"
+)
+
+// cmdAdmin dispatches the operator surface. Today that is tenant
+// provisioning for a multi-tenant medshield-server:
+//
+//	medprotect admin tenant create -store tenants.json -id hospital-a [-name ...] [-role member] [-rpm N] [-burst N] [-max-rows N] [-max-jobs N]
+//	medprotect admin tenant list   -store tenants.json
+//	medprotect admin tenant rotate -store tenants.json -id hospital-a
+//	medprotect admin tenant delete -store tenants.json -id hospital-a
+//	medprotect admin tenant disable|enable -store tenants.json -id hospital-a
+//
+// create and rotate print the bearer token — the only copy; the store
+// keeps just its SHA-256 — alone on stdout so it pipes cleanly into a
+// secret manager. Everything human-facing goes to stderr.
+func cmdAdmin(args []string) error {
+	if len(args) < 1 || args[0] != "tenant" {
+		return fmt.Errorf("usage: medprotect admin tenant <create|list|rotate|delete|disable|enable> [flags]")
+	}
+	args = args[1:]
+	if len(args) < 1 {
+		return fmt.Errorf("usage: medprotect admin tenant <create|list|rotate|delete|disable|enable> [flags]")
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "create":
+		return adminTenantCreate(rest)
+	case "list":
+		return adminTenantList(rest)
+	case "rotate":
+		return adminTenantRotate(rest)
+	case "delete":
+		return adminTenantDelete(rest)
+	case "disable":
+		return adminTenantSetDisabled(rest, true)
+	case "enable":
+		return adminTenantSetDisabled(rest, false)
+	default:
+		return fmt.Errorf("admin tenant: unknown verb %q (want create|list|rotate|delete|disable|enable)", verb)
+	}
+}
+
+func tenantFlags(name string) (*flag.FlagSet, *string, *string) {
+	fs := flag.NewFlagSet("admin tenant "+name, flag.ExitOnError)
+	store := fs.String("store", "", "tenant store JSON path (the medshield-server -tenants file)")
+	id := fs.String("id", "", "tenant ID")
+	return fs, store, id
+}
+
+func openTenantStore(path string) (*tenant.Store, error) {
+	if path == "" {
+		return nil, fmt.Errorf("admin tenant: -store is required")
+	}
+	return tenant.Open(path)
+}
+
+func adminTenantCreate(args []string) error {
+	fs, storePath, id := tenantFlags("create")
+	name := fs.String("name", "", "human-readable tenant name")
+	role := fs.String("role", string(tenant.RoleMember), "role: member or admin (admins may scrape /metrics off-host)")
+	rpm := fs.Int("rpm", 0, "requests per minute (0 = unlimited)")
+	burst := fs.Int("burst", 0, "burst size (0 = rpm/6, min 1)")
+	maxRows := fs.Int("max-rows", 0, "max table rows per request (0 = unlimited)")
+	maxJobs := fs.Int("max-jobs", 0, "max queued+running async jobs (0 = unlimited)")
+	_ = fs.Parse(args)
+
+	store, err := openTenantStore(*storePath)
+	if err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("admin tenant create: -id is required")
+	}
+	if _, ok := store.Get(*id); ok {
+		return fmt.Errorf("admin tenant create: tenant %q already exists (use rotate for a new token)", *id)
+	}
+	token, hash := tenant.NewToken()
+	rec := tenant.Record{
+		ID:          *id,
+		Name:        *name,
+		Role:        tenant.Role(*role),
+		TokenSHA256: hash,
+		Quota: tenant.Quota{
+			RequestsPerMinute: *rpm,
+			Burst:             *burst,
+			MaxRowsPerRequest: *maxRows,
+			MaxActiveJobs:     *maxJobs,
+		},
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	if err := store.Put(rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "created tenant %q (role %s) in %s\nbearer token (shown once, store it now):\n", rec.ID, rec.Role, *storePath)
+	fmt.Println(token)
+	return nil
+}
+
+func adminTenantList(args []string) error {
+	fs, storePath, _ := tenantFlags("list")
+	_ = fs.Parse(args)
+	store, err := openTenantStore(*storePath)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tROLE\tSTATE\tRPM\tBURST\tMAX-ROWS\tMAX-JOBS\tCREATED\tROTATED")
+	for _, rec := range store.List() {
+		state := "active"
+		if rec.Disabled {
+			state = "disabled"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			rec.ID, rec.Role, state,
+			orDash(rec.Quota.RequestsPerMinute), orDash(rec.Quota.Burst),
+			orDash(rec.Quota.MaxRowsPerRequest), orDash(rec.Quota.MaxActiveJobs),
+			dash(rec.CreatedAt), dash(rec.RotatedAt))
+	}
+	return w.Flush()
+}
+
+func orDash(n int) string {
+	if n == 0 {
+		return "-"
+	}
+	return fmt.Sprint(n)
+}
+
+func dash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func adminTenantRotate(args []string) error {
+	fs, storePath, id := tenantFlags("rotate")
+	_ = fs.Parse(args)
+	store, err := openTenantStore(*storePath)
+	if err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("admin tenant rotate: -id is required")
+	}
+	token, err := store.Rotate(*id, time.Now().UTC().Format(time.RFC3339))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rotated token for tenant %q; the old token no longer authenticates\nnew bearer token (shown once):\n", *id)
+	fmt.Println(token)
+	return nil
+}
+
+func adminTenantDelete(args []string) error {
+	fs, storePath, id := tenantFlags("delete")
+	_ = fs.Parse(args)
+	store, err := openTenantStore(*storePath)
+	if err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("admin tenant delete: -id is required")
+	}
+	had, err := store.Delete(*id)
+	if err != nil {
+		return err
+	}
+	if !had {
+		return fmt.Errorf("admin tenant delete: no tenant %q", *id)
+	}
+	fmt.Fprintf(os.Stderr, "deleted tenant %q (its registry records and jobs remain namespaced under that ID)\n", *id)
+	return nil
+}
+
+func adminTenantSetDisabled(args []string, disabled bool) error {
+	verb := "enable"
+	if disabled {
+		verb = "disable"
+	}
+	fs, storePath, id := tenantFlags(verb)
+	_ = fs.Parse(args)
+	store, err := openTenantStore(*storePath)
+	if err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("admin tenant %s: -id is required", verb)
+	}
+	rec, ok := store.Get(*id)
+	if !ok {
+		return fmt.Errorf("admin tenant %s: no tenant %q", verb, *id)
+	}
+	rec.Disabled = disabled
+	if err := store.Put(rec); err != nil {
+		return err
+	}
+	state := "enabled"
+	if disabled {
+		state = "disabled (token authenticates but every request gets 403)"
+	}
+	fmt.Fprintf(os.Stderr, "tenant %q is now %s\n", *id, state)
+	return nil
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tenant"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it printed. Admin create/rotate print the bearer token
+// alone on stdout (human chatter goes to stderr) so it pipes cleanly.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	orig := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("command failed: %v", runErr)
+	}
+	return string(out)
+}
+
+func TestAdminTenantLifecycle(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "tenants.json")
+
+	out := captureStdout(t, func() error {
+		return cmdAdmin([]string{"tenant", "create", "-store", store,
+			"-id", "hospital-a", "-role", "admin", "-rpm", "120", "-max-rows", "50000"})
+	})
+	token := strings.TrimSpace(out)
+	if !strings.HasPrefix(token, "mst_") || strings.ContainsAny(token, " \n") {
+		t.Fatalf("create stdout = %q, want exactly one mst_ token", out)
+	}
+
+	// The token authenticates against the persisted store; only its
+	// hash is on disk.
+	st, err := tenant.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := st.Authenticate(token)
+	if !ok || rec.ID != "hospital-a" || rec.Role != tenant.RoleAdmin {
+		t.Fatalf("token does not authenticate: ok=%v rec=%+v", ok, rec)
+	}
+	if rec.Quota.RequestsPerMinute != 120 || rec.Quota.MaxRowsPerRequest != 50000 {
+		t.Fatalf("quota not persisted: %+v", rec.Quota)
+	}
+	raw, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), token) {
+		t.Fatal("plaintext token persisted to the store file")
+	}
+
+	// Duplicate create refuses rather than silently rotating.
+	if err := cmdAdmin([]string{"tenant", "create", "-store", store, "-id", "hospital-a"}); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+
+	// Rotate: new token in, old token out.
+	out = captureStdout(t, func() error {
+		return cmdAdmin([]string{"tenant", "rotate", "-store", store, "-id", "hospital-a"})
+	})
+	rotated := strings.TrimSpace(out)
+	if rotated == token || !strings.HasPrefix(rotated, "mst_") {
+		t.Fatalf("rotate stdout = %q", out)
+	}
+	st, err = tenant.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Authenticate(token); ok {
+		t.Fatal("old token still authenticates after rotate")
+	}
+	if _, ok := st.Authenticate(rotated); !ok {
+		t.Fatal("rotated token does not authenticate")
+	}
+
+	// Disable flips the record; enable flips it back.
+	if err := cmdAdmin([]string{"tenant", "disable", "-store", store, "-id", "hospital-a"}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = tenant.Open(store)
+	if rec, _ := st.Get("hospital-a"); !rec.Disabled {
+		t.Fatal("disable did not persist")
+	}
+	if err := cmdAdmin([]string{"tenant", "enable", "-store", store, "-id", "hospital-a"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// List renders a table over stdout.
+	out = captureStdout(t, func() error {
+		return cmdAdmin([]string{"tenant", "list", "-store", store})
+	})
+	if !strings.Contains(out, "hospital-a") || !strings.Contains(out, "admin") {
+		t.Fatalf("list output:\n%s", out)
+	}
+
+	// Delete removes it; a second delete reports the absence.
+	if err := cmdAdmin([]string{"tenant", "delete", "-store", store, "-id", "hospital-a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAdmin([]string{"tenant", "delete", "-store", store, "-id", "hospital-a"}); err == nil {
+		t.Fatal("deleting an absent tenant succeeded")
+	}
+}
+
+func TestAdminTenantUsageErrors(t *testing.T) {
+	if err := cmdAdmin(nil); err == nil {
+		t.Fatal("bare admin succeeded")
+	}
+	if err := cmdAdmin([]string{"tenant"}); err == nil {
+		t.Fatal("bare admin tenant succeeded")
+	}
+	if err := cmdAdmin([]string{"tenant", "frobnicate"}); err == nil {
+		t.Fatal("unknown verb succeeded")
+	}
+	if err := cmdAdmin([]string{"tenant", "create", "-id", "x"}); err == nil {
+		t.Fatal("create without -store succeeded")
+	}
+	store := filepath.Join(t.TempDir(), "tenants.json")
+	if err := cmdAdmin([]string{"tenant", "create", "-store", store}); err == nil {
+		t.Fatal("create without -id succeeded")
+	}
+	if err := cmdAdmin([]string{"tenant", "create", "-store", store, "-id", "x", "-role", "root"}); err == nil {
+		t.Fatal("create with unknown role succeeded")
+	}
+	if err := cmdAdmin([]string{"tenant", "rotate", "-store", store, "-id", "ghost"}); err == nil {
+		t.Fatal("rotating an absent tenant succeeded")
+	}
+}

@@ -18,6 +18,7 @@
 //	medprotect traceback   -in suspect.csv -registry reg.json -secret S [-stream] [-chunk N] [-workers W]
 //	medprotect trees    -dir DIR
 //	medprotect job      submit|status|wait|cancel|list -server URL ... (async jobs against medshield-server)
+//	medprotect admin    tenant create|list|rotate|delete|disable|enable -store tenants.json ... (provision medshield-server tenants)
 //
 // protect -plan (or the standalone plan subcommand) writes the
 // protection plan: a superset of the provenance record that freezes the
@@ -91,6 +92,8 @@ func main() {
 		err = cmdTrees(os.Args[2:])
 	case "job":
 		err = cmdJob(os.Args[2:])
+	case "admin":
+		err = cmdAdmin(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -105,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: medprotect <gen|protect|plan|apply|append|detect|attack|dispute|fingerprint|traceback|trees|job> [flags]
+	fmt.Fprintln(os.Stderr, `usage: medprotect <gen|protect|plan|apply|append|detect|attack|dispute|fingerprint|traceback|trees|job|admin> [flags]
 run "medprotect <subcommand> -h" for flags`)
 }
 

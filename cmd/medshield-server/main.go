@@ -15,6 +15,7 @@
 //	POST /v1/jobs/{kind}  — submit protect/plan/apply/detect/fingerprint/traceback async
 //	GET  /v1/jobs[/{id}]  — list / poll jobs; DELETE cancels
 //	GET  /v1/jobs/{id}/events — SSE progress stream
+//	GET  /metrics         — Prometheus text exposition (loopback or admin)
 //
 // Every request runs under a per-request deadline (-request-timeout) and
 // a bounded in-flight semaphore (-max-inflight, sized off -workers by
@@ -43,6 +44,16 @@
 // /v1/fingerprint caps one batch at -max-fingerprint-recipients and
 // refuses larger fleets with a 400 too_many_recipients.
 //
+// With -tenants the server runs multi-tenant: every pipeline and job
+// route demands a bearer token (Authorization: Bearer mst_...), the
+// recipient registry and job queue are namespaced per tenant, requests
+// are rate-limited per tenant (and pre-auth per client IP with
+// -ip-rate) and optionally audited to an append-only JSONL trail
+// (-audit). GET /metrics serves Prometheus text — loopback scrapes are
+// always allowed; off-host scrapes need an admin tenant's token.
+// Tokens are provisioned with `medprotect admin tenant create`.
+// Without -tenants the server runs open, as before.
+//
 // -pprof serves net/http/pprof on a second, loopback-only listener so
 // profiles never share the public address:
 //
@@ -55,6 +66,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -63,10 +75,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/registry"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -95,14 +109,21 @@ func run() error {
 		jobTimeout     = flag.Duration("job-attempt-timeout", 0, "per-attempt deadline for async jobs (0 = 15m)")
 		jobTTL         = flag.Duration("job-ttl", 0, "retain terminal jobs this long before garbage collection (0 = keep forever)")
 		pprofAddr      = flag.String("pprof", "", "serve net/http/pprof on this loopback address, e.g. 127.0.0.1:6060 (empty = disabled)")
+		tenantsPath    = flag.String("tenants", "", "tenant store JSON path; setting it turns on bearer-token auth for every pipeline route (empty = open single-tenant mode)")
+		auditPath      = flag.String("audit", "", "append-only JSONL audit trail for mutating calls (empty = disabled)")
+		ipRate         = flag.Int("ip-rate", 0, "pre-auth per-client-IP request budget per minute, guards token probing (0 = disabled)")
+		ipBurst        = flag.Int("ip-burst", 0, "per-IP burst size (0 = ip-rate/6, min 1)")
 		quiet          = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "medshield-server ", log.LstdFlags)
 	reqLogger := logger
+	var access *slog.Logger
 	if *quiet {
 		reqLogger = nil
+	} else {
+		access = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	reg, err := registry.Open(*registryPath)
 	if err != nil {
@@ -111,6 +132,22 @@ func run() error {
 	jobStore, err := jobs.Open(*jobsPath)
 	if err != nil {
 		return err
+	}
+	var tenants *tenant.Store
+	if *tenantsPath != "" {
+		if tenants, err = tenant.Open(*tenantsPath); err != nil {
+			return err
+		}
+		if tenants.Len() == 0 {
+			logger.Printf("WARNING: -tenants %s holds no tenants; every request will be refused until one is created (medprotect admin tenant create)", *tenantsPath)
+		}
+	}
+	var auditLog *audit.Logger
+	if *auditPath != "" {
+		if auditLog, err = audit.Open(*auditPath); err != nil {
+			return err
+		}
+		defer auditLog.Close()
 	}
 	svc, err := server.New(server.Config{
 		Defaults:                 core.Config{K: *k, AutoEpsilon: *autoEps, Workers: *workers},
@@ -126,7 +163,12 @@ func run() error {
 			AttemptTimeout: *jobTimeout,
 			TTL:            *jobTTL,
 		},
-		Logger: reqLogger,
+		Logger:          reqLogger,
+		Access:          access,
+		Tenants:         tenants,
+		Audit:           auditLog,
+		IPRatePerMinute: *ipRate,
+		IPBurst:         *ipBurst,
 	})
 	if err != nil {
 		return err

@@ -38,8 +38,16 @@ const (
 	CodeNotFound          = "not_found"           // addressed resource (e.g. a recipient) absent
 	CodeConflict          = "conflict"            // write refused: it would clobber live state (e.g. re-registering a recipient with a new mark)
 	CodeTooManyRecipients = "too_many_recipients" // fingerprint batch exceeds the server's recipient cap; split it
+	CodeUnauthorized      = "unauthorized"        // missing or unknown bearer token
+	CodeForbidden         = "forbidden"           // authenticated but not allowed (disabled tenant, role, non-loopback /metrics)
+	CodeRateLimited       = "rate_limited"        // token bucket empty; honor Retry-After
+	CodeQuotaExceeded     = "quota_exceeded"      // per-tenant quota (rows per request, active jobs) exhausted
 	CodeInternal          = "internal"            // anything unclassified
 )
+
+// RequestIDHeader carries the server-assigned request ID on every
+// response; audit lines and access logs reference the same ID.
+const RequestIDHeader = "X-Request-Id"
 
 // Classify maps a pipeline error to its wire code and HTTP status via
 // errors.Is over the core sentinels — no string matching. Unclassified

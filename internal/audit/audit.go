@@ -1,0 +1,96 @@
+// Package audit writes the service's append-only audit trail: one JSON
+// line per audited request — who (tenant, request ID, remote address),
+// what (route, method), and how it went (status, error code, rows
+// touched, duration). The record type carries, by construction, no
+// field that could hold secret material: no headers, no body, no table
+// data, no error message text (messages can echo user input; the
+// machine code cannot).
+//
+// The log is plain JSONL so operators can tail/grep/ship it with
+// anything; writes go through one mutex so concurrent requests never
+// interleave partial lines.
+package audit
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record is one audit line.
+type Record struct {
+	// Time is the request start in RFC3339Nano (UTC).
+	Time string `json:"time"`
+	// RequestID is the per-request ID also echoed in X-Request-Id.
+	RequestID string `json:"request_id"`
+	// Tenant is the authenticated tenant ID ("default" in open mode;
+	// empty when the request failed authentication).
+	Tenant string `json:"tenant,omitempty"`
+	Route  string `json:"route"`
+	Method string `json:"method"`
+	Status int    `json:"status"`
+	// Code is the machine-readable api error code for non-2xx outcomes.
+	Code string `json:"code,omitempty"`
+	// Rows is how many table rows the request processed (0 for
+	// row-less calls like registry deletes).
+	Rows int `json:"rows,omitempty"`
+	// DurationMS is wall time in milliseconds.
+	DurationMS int64 `json:"duration_ms"`
+	// Remote is the client address (host:port as seen by the server).
+	Remote string `json:"remote,omitempty"`
+	// Job links the line to an async job when the request submitted or
+	// cancelled one.
+	Job string `json:"job,omitempty"`
+}
+
+// Logger appends Records to a writer. The zero value (and a nil
+// *Logger) discards everything, so call sites never nil-check.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+	c  io.Closer
+}
+
+// NewLogger writes records to w (no closing; for tests and pipes).
+func NewLogger(w io.Writer) *Logger { return &Logger{w: w} }
+
+// Open appends to the JSONL file at path, creating it mode 0600. The
+// audit trail is operator data — group/world bits stay off like the
+// job store's.
+func Open(path string) (*Logger, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	return &Logger{w: f, c: f}, nil
+}
+
+// Append writes one record as a single JSON line. Marshal errors are
+// impossible (Record is all plain fields); write errors are returned so
+// the server can surface a failing audit disk, but requests are never
+// refused over them.
+func (l *Logger) Append(rec Record) error {
+	if l == nil || l.w == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.w.Write(data)
+	return err
+}
+
+// Close closes the underlying file, if Open created one.
+func (l *Logger) Close() error {
+	if l == nil || l.c == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Close()
+}

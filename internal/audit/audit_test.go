@@ -1,0 +1,117 @@
+package audit
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAppendWritesOneLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	rec := Record{
+		Time: "2026-08-07T00:00:00Z", RequestID: "r-1", Tenant: "a",
+		Route: "/v1/protect", Method: "POST", Status: 200, Rows: 20000,
+		DurationMS: 42, Remote: "127.0.0.1:9999",
+	}
+	if err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if strings.Count(line, "\n") != 1 || !strings.HasSuffix(line, "\n") {
+		t.Fatalf("Append wrote %q, want exactly one newline-terminated line", line)
+	}
+	var got Record
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != rec {
+		t.Fatalf("round-trip = %+v, want %+v", got, rec)
+	}
+}
+
+func TestNilLoggerDiscards(t *testing.T) {
+	var l *Logger
+	if err := l.Append(Record{RequestID: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Logger{}).Append(Record{RequestID: "r"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{RequestID: "r-1", Route: "/v1/detect", Status: 200})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the file is appended to, not truncated.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Append(Record{RequestID: "r-2", Route: "/v1/detect", Status: 403, Code: "forbidden"})
+	l2.Close()
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var ids []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		ids = append(ids, rec.RequestID)
+	}
+	if len(ids) != 2 || ids[0] != "r-1" || ids[1] != "r-2" {
+		t.Fatalf("request IDs = %v, want [r-1 r-2]", ids)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Mode().Perm() != 0o600 {
+		t.Fatalf("audit file mode = %v, %v; want 0600", fi.Mode().Perm(), err)
+	}
+}
+
+func TestConcurrentAppendsDoNotInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Append(Record{RequestID: "r", Route: "/v1/protect", Status: 200, DurationMS: int64(j)})
+			}
+		}()
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	n := 0
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("interleaved/corrupt line %q: %v", sc.Text(), err)
+		}
+		n++
+	}
+	if n != 8*200 {
+		t.Fatalf("got %d lines, want %d", n, 8*200)
+	}
+}

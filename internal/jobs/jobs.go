@@ -33,8 +33,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
+
+	"repro/internal/tenant"
 )
+
+// normalizeTenant resolves a job's effective tenant.
+func normalizeTenant(id string) string {
+	if id == "" {
+		return tenant.DefaultID
+	}
+	return id
+}
 
 // State is a job's lifecycle state.
 type State string
@@ -101,11 +112,17 @@ type Delivery struct {
 // secrets at rest, and the store file is written 0600. Deployments that
 // must not persist secrets run the job store in memory.
 type Job struct {
-	ID    string `json:"id"`
-	Kind  string `json:"kind"`
-	State State  `json:"state"`
-	// IdempotencyKey dedups submissions per kind: a second submit with
-	// the same key returns this job instead of creating a new one.
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// TenantID names the tenant that submitted the job; get/list/cancel
+	// and the SSE event stream are scoped to it. Empty means
+	// tenant.DefaultID — stores written before multi-tenancy migrate on
+	// load.
+	TenantID string `json:"tenant_id,omitempty"`
+	State    State  `json:"state"`
+	// IdempotencyKey dedups submissions per (tenant, kind): a second
+	// submit with the same key returns this job instead of creating a
+	// new one. Two tenants reusing the same key never collide.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
 	// Request is the submitted payload (the sync endpoint's JSON body).
 	Request json.RawMessage `json:"request,omitempty"`
@@ -141,6 +158,10 @@ func (j Job) Validate() error {
 	}
 	if j.Kind == "" {
 		return fmt.Errorf("jobs: job %s has an empty kind", j.ID)
+	}
+	// NUL delimits tenant/kind/key in the idempotency index.
+	if strings.ContainsRune(j.TenantID, '\x00') {
+		return fmt.Errorf("jobs: job %s has a NUL in its tenant ID", j.ID)
 	}
 	if !j.State.Valid() {
 		return fmt.Errorf("jobs: job %s has unknown state %q", j.ID, j.State)

@@ -235,8 +235,8 @@ func (m *Manager) sweep() {
 			m.logf("job %s: expiring after TTL: %v", j.ID, err)
 			continue
 		}
-		if j.IdempotencyKey != "" && m.idem[idemIndex(j.Kind, j.IdempotencyKey)] == j.ID {
-			delete(m.idem, idemIndex(j.Kind, j.IdempotencyKey))
+		if j.IdempotencyKey != "" && m.idem[idemIndex(j.TenantID, j.Kind, j.IdempotencyKey)] == j.ID {
+			delete(m.idem, idemIndex(j.TenantID, j.Kind, j.IdempotencyKey))
 		}
 		delete(m.progress, j.ID)
 		m.logf("job %s (%s) expired %s after finishing", j.ID, j.Kind, m.cfg.TTL)
@@ -251,7 +251,7 @@ func (m *Manager) sweep() {
 func (m *Manager) recover() error {
 	for _, j := range m.store.List() {
 		if j.IdempotencyKey != "" {
-			m.idem[idemIndex(j.Kind, j.IdempotencyKey)] = j.ID
+			m.idem[idemIndex(j.TenantID, j.Kind, j.IdempotencyKey)] = j.ID
 		}
 		switch j.State {
 		case StateRunning:
@@ -275,7 +275,11 @@ func (m *Manager) recover() error {
 
 // SubmitOptions carries the per-submission extras.
 type SubmitOptions struct {
-	// IdempotencyKey dedups submissions per kind ("" = no dedup).
+	// TenantID is the submitting tenant ("" = tenant.DefaultID). It is
+	// recorded on the job and scopes the idempotency key.
+	TenantID string
+	// IdempotencyKey dedups submissions per (tenant, kind) ("" = no
+	// dedup).
 	IdempotencyKey string
 	// Webhook is the completion callback URL (http/https; "" = none).
 	Webhook string
@@ -302,13 +306,15 @@ func (m *Manager) Submit(kind string, req json.RawMessage, opts SubmitOptions) (
 		maxAttempts = m.cfg.MaxAttempts
 	}
 
+	tenantID := normalizeTenant(opts.TenantID)
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining || m.stopped {
 		return Job{}, false, ErrDraining
 	}
 	if opts.IdempotencyKey != "" {
-		if id, ok := m.idem[idemIndex(kind, opts.IdempotencyKey)]; ok {
+		if id, ok := m.idem[idemIndex(tenantID, kind, opts.IdempotencyKey)]; ok {
 			if j, ok := m.store.Get(id); ok {
 				return m.overlayProgressLocked(j), true, nil
 			}
@@ -317,6 +323,7 @@ func (m *Manager) Submit(kind string, req json.RawMessage, opts SubmitOptions) (
 	j := Job{
 		ID:             NewID(),
 		Kind:           kind,
+		TenantID:       tenantID,
 		State:          StateQueued,
 		IdempotencyKey: opts.IdempotencyKey,
 		Request:        req,
@@ -331,7 +338,7 @@ func (m *Manager) Submit(kind string, req json.RawMessage, opts SubmitOptions) (
 		return Job{}, false, err
 	}
 	if j.IdempotencyKey != "" {
-		m.idem[idemIndex(kind, j.IdempotencyKey)] = j.ID
+		m.idem[idemIndex(j.TenantID, kind, j.IdempotencyKey)] = j.ID
 	}
 	m.queue = append(m.queue, j.ID)
 	m.cond.Signal()
@@ -356,6 +363,9 @@ func (m *Manager) Get(id string) (Job, bool) {
 type Filter struct {
 	Kind  string
 	State State
+	// Tenant restricts the listing to one tenant's jobs ("" = all —
+	// the operator view; tenant-facing handlers always set this).
+	Tenant string
 }
 
 // List returns matching jobs, newest first.
@@ -365,6 +375,9 @@ func (m *Manager) List(f Filter) []Job {
 	all := m.store.List()
 	out := make([]Job, 0, len(all))
 	for _, j := range all {
+		if f.Tenant != "" && normalizeTenant(j.TenantID) != f.Tenant {
+			continue
+		}
 		if f.Kind != "" && j.Kind != f.Kind {
 			continue
 		}
@@ -675,7 +688,11 @@ func (m *Manager) kindAllowed(kind string) bool {
 	return false
 }
 
-func idemIndex(kind, key string) string { return kind + "\x00" + key }
+// idemIndex keys the idempotency map by (tenant, kind, key) so two
+// tenants reusing the same Idempotency-Key never see each other's jobs.
+func idemIndex(tenantID, kind, key string) string {
+	return normalizeTenant(tenantID) + "\x00" + kind + "\x00" + key
+}
 
 func (m *Manager) logf(format string, args ...any) {
 	if m.cfg.Logger != nil {

@@ -84,6 +84,10 @@ func Open(path string) (*FileStore, error) {
 		return nil, fmt.Errorf("jobs: %s has format version %d, want %d", path, doc.Version, FormatVersion)
 	}
 	for _, j := range doc.Jobs {
+		// Migration: stores written before multi-tenancy carry no tenant
+		// ID; those jobs are adopted by the default tenant so existing
+		// queues keep loading and resuming.
+		j.TenantID = normalizeTenant(j.TenantID)
 		if err := j.Validate(); err != nil {
 			return nil, fmt.Errorf("jobs: %s: %w", path, err)
 		}

@@ -1,0 +1,350 @@
+// Package metrics is a minimal, stdlib-only metrics registry exposing
+// the Prometheus text format (version 0.0.4). It implements just the
+// three instrument kinds the service plane needs — counters, gauges and
+// cumulative histograms, each optionally split by one label — rather
+// than a general client library: no dependency budget exists for one,
+// and the text format is simple enough to emit by hand.
+//
+// All instruments are safe for concurrent use. Label values are
+// expected to come from a bounded set (route patterns, status codes,
+// job states) — callers must never feed user-controlled strings as
+// label values or the series count grows without bound.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a set of named metric families and renders them in
+// name order. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []family
+	byName   map[string]family
+}
+
+type family interface {
+	name() string
+	write(w io.Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]family)}
+}
+
+func (r *Registry) register(f family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name()]; dup {
+		panic("metrics: duplicate family " + f.name())
+	}
+	r.byName[f.name()] = f
+	r.families = append(r.families, f)
+	sort.Slice(r.families, func(i, j int) bool { return r.families[i].name() < r.families[j].name() })
+}
+
+// Write renders every family as Prometheus text exposition format.
+func (r *Registry) Write(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return strconv(f)
+}
+
+func strconv(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// ---- counters ----------------------------------------------------------
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64 // value ×1 (integer counts only)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CounterVec is a counter family split by one label.
+type CounterVec struct {
+	fname, help, label string
+	mu                 sync.Mutex
+	children           map[string]*Counter
+}
+
+// NewCounterVec registers a labeled counter family.
+func NewCounterVec(r *Registry, name, help, label string) *CounterVec {
+	v := &CounterVec{fname: name, help: help, label: label, children: make(map[string]*Counter)}
+	r.register(v)
+	return v
+}
+
+// With returns the child counter for the label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.children[value]
+	if c == nil {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+func (v *CounterVec) name() string { return v.fname }
+
+func (v *CounterVec) write(w io.Writer) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]uint64, len(keys))
+	for i, k := range keys {
+		vals[i] = v.children[k].Value()
+	}
+	v.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", v.fname, v.help, v.fname)
+	for i, k := range keys {
+		fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", v.fname, v.label, escapeLabel(k), vals[i])
+	}
+}
+
+// MultiCounterVec is a counter family split by a fixed tuple of labels
+// (e.g. route+method+code). The tuple arity is set at construction and
+// With panics on mismatch — a programming error, not a runtime state.
+type MultiCounterVec struct {
+	fname, help string
+	labels      []string
+	mu          sync.Mutex
+	children    map[string]*Counter // key: label values joined by \x00
+}
+
+// NewMultiCounterVec registers a counter family with multiple labels.
+func NewMultiCounterVec(r *Registry, name, help string, labels ...string) *MultiCounterVec {
+	v := &MultiCounterVec{fname: name, help: help, labels: labels, children: make(map[string]*Counter)}
+	r.register(v)
+	return v
+}
+
+// With returns the child for the label-value tuple.
+func (v *MultiCounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", v.fname, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.children[key]
+	if c == nil {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+func (v *MultiCounterVec) name() string { return v.fname }
+
+func (v *MultiCounterVec) write(w io.Writer) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]uint64, len(keys))
+	for i, k := range keys {
+		vals[i] = v.children[k].Value()
+	}
+	v.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", v.fname, v.help, v.fname)
+	for i, key := range keys {
+		parts := strings.Split(key, "\x00")
+		pairs := make([]string, len(parts))
+		for j, p := range parts {
+			pairs[j] = fmt.Sprintf("%s=\"%s\"", v.labels[j], escapeLabel(p))
+		}
+		fmt.Fprintf(w, "%s{%s} %d\n", v.fname, strings.Join(pairs, ","), vals[i])
+	}
+}
+
+// ---- gauges ------------------------------------------------------------
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds 1; Dec subtracts 1; Set replaces the value.
+func (g *Gauge) Inc()         { g.v.Add(1) }
+func (g *Gauge) Dec()         { g.v.Add(-1) }
+func (g *Gauge) Set(n int64)  { g.v.Store(n) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+func (g *Gauge) Add(n int64)  { g.v.Add(n) }
+
+// NewGauge registers an unlabeled gauge.
+func NewGauge(r *Registry, name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&gaugeFamily{fname: name, help: help, g: g})
+	return g
+}
+
+type gaugeFamily struct {
+	fname, help string
+	g           *Gauge
+}
+
+func (f *gaugeFamily) name() string { return f.fname }
+
+func (f *gaugeFamily) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", f.fname, f.help, f.fname, f.fname, f.g.Value())
+}
+
+// GaugeFunc is a gauge family whose samples are computed at scrape time
+// — used for job-state counts, which live in the job manager, not here.
+type GaugeFunc struct {
+	fname, help, label string
+	fn                 func() map[string]int64
+}
+
+// NewGaugeFunc registers a labeled gauge computed by fn at scrape time.
+// fn must be safe for concurrent use.
+func NewGaugeFunc(r *Registry, name, help, label string, fn func() map[string]int64) {
+	r.register(&GaugeFunc{fname: name, help: help, label: label, fn: fn})
+}
+
+func (f *GaugeFunc) name() string { return f.fname }
+
+func (f *GaugeFunc) write(w io.Writer) {
+	samples := f.fn()
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", f.fname, f.help, f.fname)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", f.fname, f.label, escapeLabel(k), samples[k])
+	}
+}
+
+// ---- histograms --------------------------------------------------------
+
+// DurationBuckets is the default latency bucket ladder in seconds,
+// spanning the service's range from sub-10ms cache-warm requests to the
+// 60s request timeout.
+var DurationBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// HistogramVec is a cumulative histogram family split by one label.
+type HistogramVec struct {
+	fname, help, label string
+	bounds             []float64
+	mu                 sync.Mutex
+	children           map[string]*histogram
+}
+
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // per-bucket (non-cumulative) observation counts
+	sum    float64
+	total  uint64
+}
+
+// NewHistogramVec registers a labeled histogram family with the given
+// upper bounds (ascending; +Inf is implicit).
+func NewHistogramVec(r *Registry, name, help, label string, bounds []float64) *HistogramVec {
+	v := &HistogramVec{
+		fname: name, help: help, label: label,
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]*histogram),
+	}
+	r.register(v)
+	return v
+}
+
+// Observe records one sample for the label value.
+func (v *HistogramVec) Observe(value string, sample float64) {
+	v.mu.Lock()
+	h := v.children[value]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(v.bounds)+1)}
+		v.children[value] = h
+	}
+	v.mu.Unlock()
+	idx := sort.SearchFloat64s(v.bounds, sample)
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sum += sample
+	h.total++
+	h.mu.Unlock()
+}
+
+func (v *HistogramVec) name() string { return v.fname }
+
+func (v *HistogramVec) write(w io.Writer) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]*histogram, len(keys))
+	for i, k := range keys {
+		children[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", v.fname, v.help, v.fname)
+	for i, k := range keys {
+		h := children[i]
+		h.mu.Lock()
+		counts := append([]uint64(nil), h.counts...)
+		sum, total := h.sum, h.total
+		h.mu.Unlock()
+		lv := escapeLabel(k)
+		var cum uint64
+		for j, bound := range v.bounds {
+			cum += counts[j]
+			fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"%s\"} %d\n", v.fname, v.label, lv, formatFloat(bound), cum)
+		}
+		cum += counts[len(v.bounds)]
+		fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"+Inf\"} %d\n", v.fname, v.label, lv, cum)
+		fmt.Fprintf(w, "%s_sum{%s=\"%s\"} %s\n", v.fname, v.label, lv, strconv(sum))
+		fmt.Fprintf(w, "%s_count{%s=\"%s\"} %d\n", v.fname, v.label, lv, total)
+	}
+}

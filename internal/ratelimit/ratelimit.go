@@ -1,0 +1,122 @@
+// Package ratelimit is a keyed token-bucket limiter for the service
+// plane: one bucket per key (tenant ID, remote IP), refilled
+// continuously at the key's rate, with idle buckets evicted so a churn
+// of one-shot clients cannot grow the map without bound.
+//
+// The clock is injectable, so limiter behavior under bursts, refill and
+// eviction is testable without real sleeps.
+package ratelimit
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a set of token buckets indexed by string key. The zero
+// value is not usable; call New.
+type Limiter struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time
+	// idleAfter is how long a bucket may go untouched before eviction.
+	idleAfter time.Duration
+	// lastSweep tracks the previous eviction pass; sweeps run
+	// opportunistically during Allow, at most once per idleAfter.
+	lastSweep time.Time
+}
+
+type bucket struct {
+	tokens float64   // current fill, <= burst
+	last   time.Time // last refill instant
+}
+
+// DefaultIdleAfter is the eviction horizon when New receives 0: a
+// bucket untouched for this long is forgotten (a forgotten bucket
+// restarts full, so eviction can only be generous, never punitive).
+const DefaultIdleAfter = 10 * time.Minute
+
+// New returns a limiter evicting buckets idle longer than idleAfter
+// (0 = DefaultIdleAfter). now is the clock (nil = time.Now).
+func New(idleAfter time.Duration, now func() time.Time) *Limiter {
+	if idleAfter <= 0 {
+		idleAfter = DefaultIdleAfter
+	}
+	if now == nil {
+		now = time.Now
+	}
+	l := &Limiter{
+		buckets:   make(map[string]*bucket),
+		now:       now,
+		idleAfter: idleAfter,
+	}
+	l.lastSweep = now()
+	return l
+}
+
+// Allow spends one token from key's bucket, which refills at rate
+// tokens/second up to burst. It reports whether the request may
+// proceed; when refused, retryAfter is how long until one full token
+// has accumulated — the Retry-After a 429 should carry.
+//
+// rate <= 0 or burst <= 0 means "unlimited": the call is allowed and no
+// bucket is created.
+func (l *Limiter) Allow(key string, rate float64, burst int) (ok bool, retryAfter time.Duration) {
+	if rate <= 0 || burst <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.now()
+	l.sweepLocked(t)
+	b := l.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: float64(burst), last: t}
+		l.buckets[key] = b
+	} else {
+		elapsed := t.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * rate
+			if b.tokens > float64(burst) {
+				b.tokens = float64(burst)
+			}
+		}
+		b.last = t
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	// Time until the deficit (1 - tokens) refills at rate/sec, rounded
+	// up to a whole second so the header is honest ("come back in 0s"
+	// invites an immediate second 429).
+	deficit := 1 - b.tokens
+	retryAfter = time.Duration(deficit / rate * float64(time.Second))
+	if rem := retryAfter % time.Second; rem != 0 {
+		retryAfter += time.Second - rem
+	}
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	return false, retryAfter
+}
+
+// sweepLocked drops buckets untouched for idleAfter, at most once per
+// idleAfter so a hot limiter does not scan the map on every request.
+func (l *Limiter) sweepLocked(t time.Time) {
+	if t.Sub(l.lastSweep) < l.idleAfter {
+		return
+	}
+	l.lastSweep = t
+	for key, b := range l.buckets {
+		if t.Sub(b.last) >= l.idleAfter {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// Len reports the live bucket count (eviction observability; tests).
+func (l *Limiter) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

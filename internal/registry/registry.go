@@ -34,6 +34,7 @@ package registry
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crypt"
+	"repro/internal/tenant"
 )
 
 // FormatVersion is the registry file format version.
@@ -57,6 +59,11 @@ var ErrConflict = errors.New("registry: recipient already registered with a diff
 
 // Record is one registered recipient.
 type Record struct {
+	// TenantID names the tenant that owns this record; the store's
+	// *In accessors see only their own tenant's records. Empty means
+	// tenant.DefaultID — records written before multi-tenancy (and CLI
+	// usage, which is single-owner) load and persist unchanged.
+	TenantID string `json:"tenant_id,omitempty"`
 	// RecipientID is the stable recipient identifier; it salted the
 	// copy's mark and keys this record.
 	RecipientID string `json:"recipient_id"`
@@ -83,6 +90,12 @@ type Record struct {
 func (r Record) Validate() error {
 	if r.RecipientID == "" {
 		return fmt.Errorf("registry: record has an empty recipient ID")
+	}
+	// NUL separates tenant from recipient in the store's composite
+	// key; allowing it in either part would let crafted IDs collide
+	// across tenants.
+	if bytes.ContainsAny([]byte(r.TenantID), "\x00") || bytes.ContainsAny([]byte(r.RecipientID), "\x00") {
+		return fmt.Errorf("registry: recipient %q: IDs must not contain NUL", r.RecipientID)
 	}
 	if r.KeyFingerprint == "" {
 		return fmt.Errorf("registry: recipient %q: empty key fingerprint", r.RecipientID)
@@ -112,9 +125,12 @@ func RecordOf(recipientID string, key crypt.WatermarkKey, plan core.Plan) Record
 }
 
 // Candidate converts a record plus the recipient's key into a traceback
-// candidate, verifying the key against the stored fingerprint.
+// candidate, verifying the key against the stored fingerprint. The
+// fingerprint is secret-derived, so the comparison is constant-time:
+// a mismatch must not leak how many leading bytes a guessed secret got
+// right.
 func (r Record) Candidate(key crypt.WatermarkKey) (core.Candidate, error) {
-	if key.Fingerprint() != r.KeyFingerprint {
+	if subtle.ConstantTimeCompare([]byte(key.Fingerprint()), []byte(r.KeyFingerprint)) != 1 {
 		return core.Candidate{}, fmt.Errorf(
 			"registry: recipient %q: key does not match the registered fingerprint (wrong secret, or the record was registered under a foreign key): %w",
 			r.RecipientID, core.ErrKeyMismatch)
@@ -149,11 +165,27 @@ func CandidatesFromSecret(recs []Record, secret string) ([]core.Candidate, []str
 	return out, skipped, nil
 }
 
-// Store is the concurrent-safe recipient registry.
+// Store is the concurrent-safe recipient registry. Records are keyed
+// by (tenant, recipient): two tenants may each register a recipient
+// named "hospital-a" without colliding, and the *In accessors scope
+// every read and write to one tenant.
 type Store struct {
 	mu   sync.RWMutex
-	path string // "" = in-memory only
-	recs map[string]Record
+	path string            // "" = in-memory only
+	recs map[string]Record // key: tenant + "\x00" + recipient ID
+}
+
+// tenantOf resolves a record's effective tenant.
+func tenantOf(id string) string {
+	if id == "" {
+		return tenant.DefaultID
+	}
+	return id
+}
+
+// storeKey is the composite map key for a record.
+func storeKey(tenantID, recipientID string) string {
+	return tenantOf(tenantID) + "\x00" + recipientID
 }
 
 // New returns an empty in-memory store (nothing is ever persisted).
@@ -190,13 +222,19 @@ func Open(path string) (*Store, error) {
 		return nil, fmt.Errorf("registry: %s has format version %d, want %d", path, doc.Version, FormatVersion)
 	}
 	for _, r := range doc.Recipients {
+		// Migration: registries written before multi-tenancy carry no
+		// tenant ID; those records are adopted by the default tenant so
+		// existing files keep loading (and keep serving the CLI, which
+		// always operates as the default tenant).
+		r.TenantID = tenantOf(r.TenantID)
 		if err := r.Validate(); err != nil {
 			return nil, fmt.Errorf("registry: %s: %w", path, err)
 		}
-		if _, dup := s.recs[r.RecipientID]; dup {
-			return nil, fmt.Errorf("registry: %s: duplicate recipient %q", path, r.RecipientID)
+		key := storeKey(r.TenantID, r.RecipientID)
+		if _, dup := s.recs[key]; dup {
+			return nil, fmt.Errorf("registry: %s: duplicate recipient %q (tenant %q)", path, r.RecipientID, r.TenantID)
 		}
-		s.recs[r.RecipientID] = r
+		s.recs[key] = r
 	}
 	return s, nil
 }
@@ -211,15 +249,22 @@ func (s *Store) Len() int {
 	return len(s.recs)
 }
 
-// Get returns the record for id.
+// Get returns the default tenant's record for id (the single-owner CLI
+// view). Service handlers use GetIn with the authenticated tenant.
 func (s *Store) Get(id string) (Record, bool) {
+	return s.GetIn(tenant.DefaultID, id)
+}
+
+// GetIn returns tenantID's record for id.
+func (s *Store) GetIn(tenantID, id string) (Record, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	r, ok := s.recs[id]
+	r, ok := s.recs[storeKey(tenantID, id)]
 	return r, ok
 }
 
-// List returns every record sorted by recipient ID.
+// List returns every record across all tenants, sorted by (tenant,
+// recipient) — the operator/CLI view. Tenant-scoped callers use ListIn.
 func (s *Store) List() []Record {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -227,8 +272,32 @@ func (s *Store) List() []Record {
 	for _, r := range s.recs {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].RecipientID < out[j].RecipientID })
+	sortRecords(out)
 	return out
+}
+
+// ListIn returns tenantID's records sorted by recipient ID.
+func (s *Store) ListIn(tenantID string) []Record {
+	tenantID = tenantOf(tenantID)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Record, 0, len(s.recs))
+	for _, r := range s.recs {
+		if r.TenantID == tenantID {
+			out = append(out, r)
+		}
+	}
+	sortRecords(out)
+	return out
+}
+
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].TenantID != recs[j].TenantID {
+			return recs[i].TenantID < recs[j].TenantID
+		}
+		return recs[i].RecipientID < recs[j].RecipientID
+	})
 }
 
 // Put validates and inserts a record, persisting the store. Re-putting
@@ -238,24 +307,26 @@ func (s *Store) List() []Record {
 // already-released copy (its leak could no longer be traced). Delete
 // the old record first to force the replacement.
 func (s *Store) Put(rec Record) error {
+	rec.TenantID = tenantOf(rec.TenantID)
 	if err := rec.Validate(); err != nil {
 		return err
 	}
+	key := storeKey(rec.TenantID, rec.RecipientID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	prev, had := s.recs[rec.RecipientID]
+	prev, had := s.recs[key]
 	if had && (prev.Mark != rec.Mark || prev.KeyFingerprint != rec.KeyFingerprint) {
 		return fmt.Errorf(
 			"registry: recipient %q is already registered with a different mark/key; delete the old record first (replacing it would make the released copy untraceable): %w",
 			rec.RecipientID, ErrConflict)
 	}
-	s.recs[rec.RecipientID] = rec
+	s.recs[key] = rec
 	if err := s.persistLocked(); err != nil {
 		// Keep memory and disk in agreement on failure.
 		if had {
-			s.recs[rec.RecipientID] = prev
+			s.recs[key] = prev
 		} else {
-			delete(s.recs, rec.RecipientID)
+			delete(s.recs, key)
 		}
 		return err
 	}
@@ -268,8 +339,10 @@ func (s *Store) Put(rec Record) error {
 // registers all its recipients or none, never a prefix. The same
 // ErrConflict rule as Put applies per record.
 func (s *Store) PutAll(recs []Record) error {
-	for _, r := range recs {
-		if err := r.Validate(); err != nil {
+	recs = append([]Record(nil), recs...)
+	for i := range recs {
+		recs[i].TenantID = tenantOf(recs[i].TenantID)
+		if err := recs[i].Validate(); err != nil {
 			return err
 		}
 	}
@@ -277,11 +350,12 @@ func (s *Store) PutAll(recs []Record) error {
 	defer s.mu.Unlock()
 	seen := make(map[string]bool, len(recs))
 	for _, r := range recs {
-		if seen[r.RecipientID] {
+		key := storeKey(r.TenantID, r.RecipientID)
+		if seen[key] {
 			return fmt.Errorf("registry: duplicate recipient %q in batch", r.RecipientID)
 		}
-		seen[r.RecipientID] = true
-		if prev, had := s.recs[r.RecipientID]; had && (prev.Mark != r.Mark || prev.KeyFingerprint != r.KeyFingerprint) {
+		seen[key] = true
+		if prev, had := s.recs[key]; had && (prev.Mark != r.Mark || prev.KeyFingerprint != r.KeyFingerprint) {
 			return fmt.Errorf(
 				"registry: recipient %q is already registered with a different mark/key; delete the old record first (replacing it would make the released copy untraceable): %w",
 				r.RecipientID, ErrConflict)
@@ -293,16 +367,17 @@ func (s *Store) PutAll(recs []Record) error {
 	}
 	prev := make(map[string]prevState, len(recs))
 	for _, r := range recs {
-		p, had := s.recs[r.RecipientID]
-		prev[r.RecipientID] = prevState{rec: p, had: had}
-		s.recs[r.RecipientID] = r
+		key := storeKey(r.TenantID, r.RecipientID)
+		p, had := s.recs[key]
+		prev[key] = prevState{rec: p, had: had}
+		s.recs[key] = r
 	}
 	if err := s.persistLocked(); err != nil {
-		for id, p := range prev {
+		for key, p := range prev {
 			if p.had {
-				s.recs[id] = p.rec
+				s.recs[key] = p.rec
 			} else {
-				delete(s.recs, id)
+				delete(s.recs, key)
 			}
 		}
 		return err
@@ -310,18 +385,25 @@ func (s *Store) PutAll(recs []Record) error {
 	return nil
 }
 
-// Delete removes a record, persisting the store. It reports whether the
-// record existed.
+// Delete removes the default tenant's record for id (the CLI view);
+// service handlers use DeleteIn. It reports whether the record existed.
 func (s *Store) Delete(id string) (bool, error) {
+	return s.DeleteIn(tenant.DefaultID, id)
+}
+
+// DeleteIn removes tenantID's record for id, persisting the store. It
+// reports whether the record existed.
+func (s *Store) DeleteIn(tenantID, id string) (bool, error) {
+	key := storeKey(tenantID, id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	prev, had := s.recs[id]
+	prev, had := s.recs[key]
 	if !had {
 		return false, nil
 	}
-	delete(s.recs, id)
+	delete(s.recs, key)
 	if err := s.persistLocked(); err != nil {
-		s.recs[id] = prev
+		s.recs[key] = prev
 		return false, err
 	}
 	return true, nil
@@ -342,9 +424,7 @@ func (s *Store) persistLocked() (err error) {
 	for _, r := range s.recs {
 		doc.Recipients = append(doc.Recipients, r)
 	}
-	sort.Slice(doc.Recipients, func(i, j int) bool {
-		return doc.Recipients[i].RecipientID < doc.Recipients[j].RecipientID
-	})
+	sortRecords(doc.Recipients)
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

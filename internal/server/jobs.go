@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/sse"
+	"repro/internal/tenant"
 )
 
 // This file is the async job surface of the service: POST
@@ -40,6 +41,21 @@ func (jr jobRunner) Run(ctx context.Context, job jobs.Job, progress func(jobs.Pr
 	ctx = core.WithProgress(ctx, func(p core.Progress) {
 		progress(jobs.Progress{Stage: p.Stage, Done: p.Done, Total: p.Total})
 	})
+	// Run the attempt in the submitting tenant's context so the cores
+	// scope their registry reads and writes exactly like the sync path.
+	// The live record (if the store still has one) carries the current
+	// quotas; a since-deleted tenant's queued work still runs, scoped to
+	// its ID.
+	rec := tenant.Record{ID: job.TenantID, Role: tenant.RoleMember}
+	if rec.ID == "" {
+		rec.ID = tenant.DefaultID
+	}
+	if jr.s.cfg.Tenants == nil {
+		rec.Role = tenant.RoleAdmin
+	} else if live, ok := jr.s.cfg.Tenants.Get(rec.ID); ok {
+		rec = live
+	}
+	ctx = withRequestInfo(ctx, &requestInfo{tenant: rec})
 	var (
 		resp any
 		err  error
@@ -143,18 +159,16 @@ func encodeJobResult(v any) (json.RawMessage, error) {
 // pipelines (202 in milliseconds regardless of what the pool is doing).
 func (s *Server) control(h func(w http.ResponseWriter, r *http.Request) (int, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		status, err := h(w, r)
-		if err != nil {
-			status = s.writeError(w, err)
+		if _, err := h(w, r); err != nil {
+			s.writeError(w, err)
 		}
-		s.logf("%s %s %d %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Millisecond))
 	}
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) (int, error) {
 	kind := r.PathValue("kind")
+	tid := tenantIDFrom(r.Context())
 	body, err := readAll(r.Body)
 	if err != nil {
 		return 0, err
@@ -162,7 +176,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) (int, e
 	if !json.Valid(body) {
 		return 0, badRequest(fmt.Errorf("job request body is not valid JSON"))
 	}
+	if err := s.checkJobQuota(r.Context(), tid); err != nil {
+		return 0, err
+	}
 	j, existing, err := s.jobs.Submit(kind, body, jobs.SubmitOptions{
+		TenantID:       tid,
 		IdempotencyKey: r.Header.Get(api.IdempotencyKeyHeader),
 		Webhook:        r.Header.Get(api.WebhookHeader),
 	})
@@ -180,13 +198,63 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) (int, e
 	if existing {
 		status = http.StatusOK
 	}
+	noteJob(r.Context(), j.ID)
 	writeJSON(w, status, api.JobResponse{Version: api.Version, Job: jobs.SnapshotOf(j), Result: j.Result})
 	return status, nil
 }
 
+// checkJobQuota enforces the tenant's MaxActiveJobs: queued plus
+// running jobs at submit time.
+func (s *Server) checkJobQuota(ctx context.Context, tid string) error {
+	info := requestInfoFrom(ctx)
+	if info == nil {
+		return nil
+	}
+	q := info.tenant.Quota.MaxActiveJobs
+	if q <= 0 {
+		return nil
+	}
+	active := 0
+	for _, j := range s.jobs.List(jobs.Filter{Tenant: tid}) {
+		if !j.State.Terminal() {
+			active++
+		}
+	}
+	if active >= q {
+		return quotaExceeded(fmt.Errorf("tenant %q already has %d active jobs (quota %d); wait for one to finish", tid, active, q))
+	}
+	return nil
+}
+
+// tenantJob resolves a job ID within the calling tenant: a job owned
+// by another tenant reads as absent, never as 403 — the job namespace
+// must not leak IDs across tenants.
+func (s *Server) tenantJob(ctx context.Context, id string) (jobs.Job, bool) {
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		return jobs.Job{}, false
+	}
+	owner := j.TenantID
+	if owner == "" {
+		owner = tenant.DefaultID
+	}
+	if owner != tenantIDFrom(ctx) {
+		return jobs.Job{}, false
+	}
+	return j, true
+}
+
+// noteJob records the job a request created or canceled for the audit
+// line.
+func noteJob(ctx context.Context, id string) {
+	if info := requestInfoFrom(ctx); info != nil {
+		info.jobID = id
+	}
+}
+
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) (int, error) {
 	id := r.PathValue("id")
-	j, ok := s.jobs.Get(id)
+	j, ok := s.tenantJob(r.Context(), id)
 	if !ok {
 		return 0, notFound(fmt.Errorf("no job %q", id))
 	}
@@ -199,7 +267,7 @@ const maxJobPage = 500
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) (int, error) {
 	q := r.URL.Query()
-	f := jobs.Filter{Kind: q.Get("kind"), State: jobs.State(q.Get("state"))}
+	f := jobs.Filter{Tenant: tenantIDFrom(r.Context()), Kind: q.Get("kind"), State: jobs.State(q.Get("state"))}
 	if f.State != "" && !f.State.Valid() {
 		return 0, badRequest(fmt.Errorf("unknown job state %q", f.State))
 	}
@@ -229,6 +297,9 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) (int, err
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) (int, error) {
 	id := r.PathValue("id")
+	if _, ok := s.tenantJob(r.Context(), id); !ok {
+		return 0, notFound(fmt.Errorf("no job %q", id))
+	}
 	j, err := s.jobs.Cancel(id)
 	if errors.Is(err, jobs.ErrNotFound) {
 		return 0, notFound(fmt.Errorf("no job %q", id))
@@ -236,6 +307,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) (int, e
 	if err != nil {
 		return 0, err
 	}
+	noteJob(r.Context(), j.ID)
 	writeJSON(w, http.StatusOK, api.JobResponse{Version: api.Version, Job: jobs.SnapshotOf(j)})
 	return http.StatusOK, nil
 }
@@ -255,7 +327,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	// twice, but none can be lost.
 	sub := s.hub.Subscribe(jobs.Topic(id), 64)
 	defer sub.Close()
-	j, ok := s.jobs.Get(id)
+	// Foreign tenants' jobs read as absent — the stream must not even
+	// confirm the ID exists.
+	j, ok := s.tenantJob(r.Context(), id)
 	if !ok {
 		s.writeError(w, notFound(fmt.Errorf("no job %q", id)))
 		return
@@ -272,7 +346,6 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_ = rc.Flush()
-	s.logf("%s %s 200 (stream open)", r.Method, r.URL.Path)
 	if j.State.Terminal() {
 		return
 	}

@@ -26,16 +26,20 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/audit"
 	"repro/internal/bitstr"
 	"repro/internal/core"
 	"repro/internal/crypt"
@@ -44,9 +48,11 @@ import (
 	"repro/internal/ontology"
 	"repro/internal/ownership"
 	"repro/internal/pool"
+	"repro/internal/ratelimit"
 	"repro/internal/registry"
 	"repro/internal/relation"
 	"repro/internal/sse"
+	"repro/internal/tenant"
 	"repro/internal/watermark"
 )
 
@@ -82,16 +88,35 @@ type Config struct {
 	// Runner, Kinds, Hub and ClassifyError fields are owned by the
 	// server and overwritten.
 	Jobs jobs.Config
-	// Logger receives one line per served request; nil disables logging.
+	// Logger receives the job layer's lines; nil disables them.
 	Logger *log.Logger
+	// Access receives one structured line per served request (request
+	// ID, tenant, route, status, duration); nil disables access logs.
+	Access *slog.Logger
+	// Tenants enables bearer authentication and per-tenant isolation:
+	// every request must present a token from this store. nil runs the
+	// server open — every request executes as the built-in "default"
+	// admin tenant with no quotas (the single-operator deployment).
+	Tenants *tenant.Store
+	// Audit receives one append-only JSONL record per mutating request;
+	// nil disables auditing.
+	Audit *audit.Logger
+	// IPRatePerMinute/IPBurst bound pre-authentication requests per
+	// remote IP — the token-guessing throttle. 0 disables the limiter.
+	IPRatePerMinute int
+	IPBurst         int
 }
 
 // Server implements the handlers.
 type Server struct {
-	cfg  Config
-	sem  chan struct{}
-	hub  *sse.Hub
-	jobs *jobs.Manager
+	cfg           Config
+	sem           chan struct{}
+	hub           *sse.Hub
+	jobs          *jobs.Manager
+	log           *slog.Logger
+	metrics       *serverMetrics
+	tenantLimiter *ratelimit.Limiter
+	ipLimiter     *ratelimit.Limiter
 }
 
 // New validates the configuration eagerly — an invalid Defaults fails
@@ -153,6 +178,21 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.jobs = mgr
+	s.log = cfg.Access
+	s.metrics = newServerMetrics(func() map[string]int64 {
+		out := make(map[string]int64)
+		for _, j := range s.jobs.List(jobs.Filter{}) {
+			out[string(j.State)]++
+		}
+		return out
+	})
+	s.tenantLimiter = ratelimit.New(0, nil)
+	if cfg.IPRatePerMinute > 0 {
+		if s.cfg.IPBurst <= 0 {
+			s.cfg.IPBurst = max(1, cfg.IPRatePerMinute/6)
+		}
+		s.ipLimiter = ratelimit.New(0, nil)
+	}
 	return s, nil
 }
 
@@ -171,32 +211,38 @@ func (s *Server) Close(ctx context.Context) error {
 	return err
 }
 
-// Handler returns the route mux.
+// Handler returns the route mux. Every route runs inside the tenant
+// plane (see plane.go); probes and /metrics are open, mutating routes
+// are audited.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	probe := planeOpts{open: true}
+	read := planeOpts{}
+	mutate := planeOpts{audit: true}
 	// Probes and job control run outside the in-flight semaphore: a
 	// saturated pipeline pool must fail neither health checks nor job
 	// submission/polling.
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("POST /v1/jobs/{kind}", s.control(s.handleJobSubmit))
-	mux.HandleFunc("GET /v1/jobs", s.control(s.handleJobList))
-	mux.HandleFunc("GET /v1/jobs/{id}", s.control(s.handleJobGet))
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.control(s.handleJobCancel))
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("POST /v1/protect", s.pipeline(s.handleProtect))
-	mux.HandleFunc("POST /v1/plan", s.streamPipeline(s.handlePlan))
-	mux.HandleFunc("POST /v1/apply", s.streamPipeline(s.handleApply))
-	mux.HandleFunc("POST /v1/append", s.streamPipeline(s.handleAppend))
-	mux.HandleFunc("POST /v1/detect", s.streamPipeline(s.handleDetect))
-	mux.HandleFunc("POST /v1/dispute", s.pipeline(s.handleDispute))
-	mux.HandleFunc("POST /v1/fingerprint", s.pipeline(s.handleFingerprint))
-	mux.HandleFunc("POST /v1/traceback", s.streamPipeline(s.handleTraceback))
-	mux.HandleFunc("GET /v1/recipients", s.pipeline(s.handleRecipientsList))
-	mux.HandleFunc("POST /v1/recipients", s.pipeline(s.handleRecipientImport))
-	mux.HandleFunc("GET /v1/recipients/{id}", s.pipeline(s.handleRecipientGet))
-	mux.HandleFunc("DELETE /v1/recipients/{id}", s.pipeline(s.handleRecipientDelete))
+	mux.HandleFunc("GET /v1/healthz", s.plane("/v1/healthz", probe, s.handleHealthz))
+	mux.HandleFunc("GET /healthz", s.plane("/healthz", probe, s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.plane("/readyz", probe, s.handleReadyz))
+	mux.HandleFunc("GET /metrics", s.plane("/metrics", probe, s.handleMetrics))
+	mux.HandleFunc("POST /v1/jobs/{kind}", s.plane("/v1/jobs/{kind}", mutate, s.control(s.handleJobSubmit)))
+	mux.HandleFunc("GET /v1/jobs", s.plane("/v1/jobs", read, s.control(s.handleJobList)))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.plane("/v1/jobs/{id}", read, s.control(s.handleJobGet)))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.plane("/v1/jobs/{id}", mutate, s.control(s.handleJobCancel)))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.plane("/v1/jobs/{id}/events", read, s.handleJobEvents))
+	mux.HandleFunc("POST /v1/protect", s.plane("/v1/protect", mutate, s.pipeline(s.handleProtect)))
+	mux.HandleFunc("POST /v1/plan", s.plane("/v1/plan", mutate, s.streamPipeline(s.handlePlan)))
+	mux.HandleFunc("POST /v1/apply", s.plane("/v1/apply", mutate, s.streamPipeline(s.handleApply)))
+	mux.HandleFunc("POST /v1/append", s.plane("/v1/append", mutate, s.streamPipeline(s.handleAppend)))
+	mux.HandleFunc("POST /v1/detect", s.plane("/v1/detect", mutate, s.streamPipeline(s.handleDetect)))
+	mux.HandleFunc("POST /v1/dispute", s.plane("/v1/dispute", mutate, s.pipeline(s.handleDispute)))
+	mux.HandleFunc("POST /v1/fingerprint", s.plane("/v1/fingerprint", mutate, s.pipeline(s.handleFingerprint)))
+	mux.HandleFunc("POST /v1/traceback", s.plane("/v1/traceback", mutate, s.streamPipeline(s.handleTraceback)))
+	mux.HandleFunc("GET /v1/recipients", s.plane("/v1/recipients", read, s.pipeline(s.handleRecipientsList)))
+	mux.HandleFunc("POST /v1/recipients", s.plane("/v1/recipients", mutate, s.pipeline(s.handleRecipientImport)))
+	mux.HandleFunc("GET /v1/recipients/{id}", s.plane("/v1/recipients/{id}", read, s.pipeline(s.handleRecipientGet)))
+	mux.HandleFunc("DELETE /v1/recipients/{id}", s.plane("/v1/recipients/{id}", mutate, s.pipeline(s.handleRecipientDelete)))
 	return mux
 }
 
@@ -221,7 +267,6 @@ func (s *Server) streamPipeline(h func(w http.ResponseWriter, r *http.Request) (
 
 func (s *Server) envelope(h func(w http.ResponseWriter, r *http.Request) (int, error), streaming bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
@@ -229,13 +274,11 @@ func (s *Server) envelope(h func(w http.ResponseWriter, r *http.Request) (int, e
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 
-		status := http.StatusOK
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
-			var err error
-			if status, err = h(w, r); err != nil {
-				status = s.writeError(w, err)
+			if _, err := h(w, r); err != nil {
+				s.writeError(w, err)
 			}
 		case <-ctx.Done():
 			// Deadline spent waiting for a slot means the server is
@@ -246,9 +289,8 @@ func (s *Server) envelope(h func(w http.ResponseWriter, r *http.Request) (int, e
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 				err = overloadedError{err: err}
 			}
-			status = s.writeError(w, err)
+			s.writeError(w, err)
 		}
-		s.logf("%s %s %d %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Millisecond))
 	}
 }
 
@@ -287,7 +329,7 @@ func (s *Server) runProtect(ctx context.Context, req api.ProtectRequest) (api.Pr
 		// only after a full (wasted) protect pass.
 		return zero, badRequest(fmt.Errorf("unknown output format %q (want %q or %q)", req.Output, api.OutputRows, api.OutputCSV))
 	}
-	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
+	fw, tbl, key, err := s.prepare(ctx, req.Table, req.Key, req.Options)
 	if err != nil {
 		return zero, err
 	}
@@ -356,7 +398,7 @@ func (s *Server) runPlan(ctx context.Context, req api.PlanRequest) (api.PlanResp
 		if err != nil {
 			return zero, badRequest(err)
 		}
-		ps, err := fw.PlanStream(ctx, sr, crypt.NewWatermarkKeyFromSecret(req.Key.Secret, req.Key.Eta))
+		ps, err := fw.PlanStream(ctx, &quotaSegments{ctx: ctx, src: sr}, crypt.NewWatermarkKeyFromSecret(req.Key.Secret, req.Key.Eta))
 		if err != nil {
 			return zero, err
 		}
@@ -372,7 +414,7 @@ func (s *Server) runPlan(ctx context.Context, req api.PlanRequest) (api.PlanResp
 			},
 		}, nil
 	}
-	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
+	fw, tbl, key, err := s.prepare(ctx, req.Table, req.Key, req.Options)
 	if err != nil {
 		return zero, err
 	}
@@ -414,7 +456,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) (int, erro
 		// only has to satisfy validation.
 		req.Options.K = max(req.Plan.K, 1)
 	}
-	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
+	fw, tbl, key, err := s.prepare(r.Context(), req.Table, req.Key, req.Options)
 	if err != nil {
 		return 0, err
 	}
@@ -489,13 +531,13 @@ func (s *Server) runDetect(ctx context.Context, req api.DetectRequest) (api.Dete
 		if err != nil {
 			return zero, badRequest(err)
 		}
-		det, err := fw.DetectStream(ctx, sr, req.Provenance, crypt.NewWatermarkKeyFromSecret(req.Key.Secret, req.Key.Eta))
+		det, err := fw.DetectStream(ctx, &quotaSegments{ctx: ctx, src: sr}, req.Provenance, crypt.NewWatermarkKeyFromSecret(req.Key.Secret, req.Key.Eta))
 		if err != nil {
 			return zero, err
 		}
 		return detectResponseOf(&det.Detection), nil
 	}
-	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
+	fw, tbl, key, err := s.prepare(ctx, req.Table, req.Key, req.Options)
 	if err != nil {
 		return zero, err
 	}
@@ -533,7 +575,7 @@ func (s *Server) handleDispute(w http.ResponseWriter, r *http.Request) (int, err
 	if req.Options.K == 0 {
 		req.Options.K = max(req.Provenance.K, 1)
 	}
-	fw, tbl, ownerKey, err := s.prepare(req.Table, req.OwnerKey, req.Options)
+	fw, tbl, ownerKey, err := s.prepare(r.Context(), req.Table, req.OwnerKey, req.Options)
 	if err != nil {
 		return 0, err
 	}
@@ -619,6 +661,9 @@ func (s *Server) runFingerprint(ctx context.Context, req api.FingerprintRequest)
 	if err != nil {
 		return zero, badRequest(err)
 	}
+	if err := checkRowQuota(ctx, tbl.NumRows()); err != nil {
+		return zero, err
+	}
 	recipients := make([]core.Recipient, len(req.Recipients))
 	for i, ref := range req.Recipients {
 		recipients[i] = core.Recipient{
@@ -641,6 +686,7 @@ func (s *Server) runFingerprint(ctx context.Context, req api.FingerprintRequest)
 			return zero, badRequest(err)
 		}
 		records[i] = registry.RecordOf(res.RecipientID, recipients[i].Key, res.Protected.Plan)
+		records[i].TenantID = tenantIDFrom(ctx)
 		records[i].CreatedAt = time.Now().UTC().Format(time.RFC3339)
 		resp.Recipients[i] = api.FingerprintRecipient{
 			ID:             res.RecipientID,
@@ -701,6 +747,7 @@ func (s *Server) runFingerprintCSV(ctx context.Context, fw *core.Framework, tbl 
 	records := make([]registry.Record, len(results))
 	for i, res := range results {
 		records[i] = registry.RecordOf(res.RecipientID, recipients[i].Key, res.Streamed.Plan)
+		records[i].TenantID = tenantIDFrom(ctx)
 		records[i].CreatedAt = time.Now().UTC().Format(time.RFC3339)
 		resp.Recipients[i] = api.FingerprintRecipient{
 			ID:             res.RecipientID,
@@ -752,7 +799,9 @@ func (s *Server) runTraceback(ctx context.Context, req api.TracebackRequest) (ap
 	if req.Secret == "" {
 		return zero, badRequest(fmt.Errorf("traceback needs the master secret"))
 	}
-	recs := s.cfg.Registry.List()
+	// Traceback only ever sees the calling tenant's registrations —
+	// candidate sets never cross tenants.
+	recs := s.cfg.Registry.ListIn(tenantIDFrom(ctx))
 	if len(recs) == 0 {
 		return zero, badRequest(fmt.Errorf("no recipients registered; run /v1/fingerprint or import records first"))
 	}
@@ -785,7 +834,7 @@ func (s *Server) runTraceback(ctx context.Context, req api.TracebackRequest) (ap
 		if err != nil {
 			return zero, badRequest(err)
 		}
-		tb, err := fw.TracebackStream(ctx, sr, cands)
+		tb, err := fw.TracebackStream(ctx, &quotaSegments{ctx: ctx, src: sr}, cands)
 		if err != nil {
 			return zero, err
 		}
@@ -794,6 +843,9 @@ func (s *Server) runTraceback(ctx context.Context, req api.TracebackRequest) (ap
 	tbl, err := api.DecodeTable(req.Table)
 	if err != nil {
 		return zero, badRequest(err)
+	}
+	if err := checkRowQuota(ctx, tbl.NumRows()); err != nil {
+		return zero, err
 	}
 	tb, err := fw.TracebackContext(ctx, tbl, cands)
 	if err != nil {
@@ -827,7 +879,7 @@ func tracebackResponseOf(tb *core.Traceback, skipped []string) api.TracebackResp
 }
 
 func (s *Server) handleRecipientsList(w http.ResponseWriter, r *http.Request) (int, error) {
-	recs := s.cfg.Registry.List()
+	recs := s.cfg.Registry.ListIn(tenantIDFrom(r.Context()))
 	resp := api.RecipientsResponse{Version: api.Version, Recipients: make([]api.RecipientSummary, len(recs))}
 	for i, rec := range recs {
 		resp.Recipients[i] = api.SummaryOf(rec)
@@ -848,7 +900,11 @@ func verifyRecordSecret(r *http.Request, rec registry.Record) error {
 	if secret == "" {
 		return badRequest(fmt.Errorf("registry record access needs the master secret in the %s header", api.SecretHeader))
 	}
-	if crypt.RecipientWatermarkKey(secret, rec.RecipientID, rec.Eta).Fingerprint() != rec.KeyFingerprint {
+	// Constant-time: the fingerprint is derived from the secret, so a
+	// byte-wise early exit would leak match-prefix length to a caller
+	// timing guesses.
+	derived := crypt.RecipientWatermarkKey(secret, rec.RecipientID, rec.Eta).Fingerprint()
+	if subtle.ConstantTimeCompare([]byte(derived), []byte(rec.KeyFingerprint)) != 1 {
 		return fmt.Errorf("server: secret does not match recipient %q's registered key: %w", rec.RecipientID, core.ErrKeyMismatch)
 	}
 	return nil
@@ -856,7 +912,7 @@ func verifyRecordSecret(r *http.Request, rec registry.Record) error {
 
 func (s *Server) handleRecipientGet(w http.ResponseWriter, r *http.Request) (int, error) {
 	id := r.PathValue("id")
-	rec, ok := s.cfg.Registry.Get(id)
+	rec, ok := s.cfg.Registry.GetIn(tenantIDFrom(r.Context()), id)
 	if !ok {
 		return 0, notFound(fmt.Errorf("recipient %q is not registered", id))
 	}
@@ -869,14 +925,15 @@ func (s *Server) handleRecipientGet(w http.ResponseWriter, r *http.Request) (int
 
 func (s *Server) handleRecipientDelete(w http.ResponseWriter, r *http.Request) (int, error) {
 	id := r.PathValue("id")
-	rec, ok := s.cfg.Registry.Get(id)
+	tid := tenantIDFrom(r.Context())
+	rec, ok := s.cfg.Registry.GetIn(tid, id)
 	if !ok {
 		return 0, notFound(fmt.Errorf("recipient %q is not registered", id))
 	}
 	if err := verifyRecordSecret(r, rec); err != nil {
 		return 0, err
 	}
-	had, err := s.cfg.Registry.Delete(id)
+	had, err := s.cfg.Registry.DeleteIn(tid, id)
 	if err != nil {
 		return 0, err
 	}
@@ -892,6 +949,10 @@ func (s *Server) handleRecipientImport(w http.ResponseWriter, r *http.Request) (
 	if err := api.DecodeJSON(r.Body, &rec); err != nil {
 		return 0, badRequest(err)
 	}
+	// The record lands in the caller's tenant regardless of any
+	// tenant_id in the document — imports cannot plant records in a
+	// foreign namespace.
+	rec.TenantID = tenantIDFrom(r.Context())
 	if err := rec.Validate(); err != nil {
 		return 0, badRequest(err)
 	}
@@ -919,7 +980,7 @@ const maxEnumLimit = 1 << 16
 // Remote resource levers are clamped: Workers never exceeds the
 // machine's core count (more never changes output, only scheduler
 // pressure) and EnumLimit is bounded by maxEnumLimit.
-func (s *Server) prepare(t api.Table, k api.Key, opts *api.Options) (*core.Framework, *relation.Table, crypt.WatermarkKey, error) {
+func (s *Server) prepare(ctx context.Context, t api.Table, k api.Key, opts *api.Options) (*core.Framework, *relation.Table, crypt.WatermarkKey, error) {
 	var zero crypt.WatermarkKey
 	fw, err := s.frameworkFor(opts)
 	if err != nil {
@@ -928,6 +989,9 @@ func (s *Server) prepare(t api.Table, k api.Key, opts *api.Options) (*core.Frame
 	tbl, err := api.DecodeTable(t)
 	if err != nil {
 		return nil, nil, zero, badRequest(err)
+	}
+	if err := checkRowQuota(ctx, tbl.NumRows()); err != nil {
+		return nil, nil, zero, err
 	}
 	if k.Secret == "" || k.Eta == 0 {
 		return nil, nil, zero, badRequest(fmt.Errorf("key needs a non-empty secret and eta >= 1"))
@@ -999,9 +1063,21 @@ func (s *Server) classify(err error) (code string, status int) {
 		nf  notFoundError
 		ol  overloadedError
 		tmr tooManyRecipientsError
+		ua  unauthorizedError
+		fb  forbiddenError
+		rl  rateLimitedError
+		qe  quotaExceededError
 		mbe *http.MaxBytesError
 	)
 	switch {
+	case errors.As(err, &ua):
+		return api.CodeUnauthorized, http.StatusUnauthorized
+	case errors.As(err, &fb):
+		return api.CodeForbidden, http.StatusForbidden
+	case errors.As(err, &rl):
+		return api.CodeRateLimited, http.StatusTooManyRequests
+	case errors.As(err, &qe):
+		return api.CodeQuotaExceeded, http.StatusTooManyRequests
 	case errors.As(err, &ol):
 		return api.CodeOverloaded, http.StatusServiceUnavailable
 	case errors.As(err, &mbe):
@@ -1021,6 +1097,19 @@ func (s *Server) classify(err error) (code string, status int) {
 
 func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	code, status := s.classify(err)
+	switch status {
+	case http.StatusUnauthorized:
+		w.Header().Set("WWW-Authenticate", "Bearer")
+	case http.StatusTooManyRequests:
+		var rl rateLimitedError
+		if errors.As(err, &rl) && rl.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(rl.retryAfter/time.Second)))
+		}
+	}
+	if sw, ok := w.(*statusWriter); ok {
+		// Surface the wire code to the plane's audit record.
+		sw.code = code
+	}
 	writeJSON(w, status, api.ErrorResponse{Error: api.Error{Code: code, Message: err.Error()}})
 	return status
 }
@@ -1033,9 +1122,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is gone; nothing useful to do on error
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf(format, args...)
+// logWarn emits an internal (non-access) note on the structured
+// logger; a no-op without one.
+func (s *Server) logWarn(msg string, args ...any) {
+	if s.log != nil {
+		s.log.Warn(msg, args...)
 	}
 }
 

@@ -93,12 +93,33 @@ func (f *flushingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// quotaSegments layers the tenant's per-request row accounting (and
+// its MaxRowsPerRequest quota) over any segment source: every yielded
+// segment's rows count toward the request's cumulative total, so a
+// stream of small segments hits the same wall as one oversized table.
+type quotaSegments struct {
+	ctx context.Context
+	src core.Segments
+}
+
+func (q *quotaSegments) Schema() *relation.Schema { return q.src.Schema() }
+
+func (q *quotaSegments) Next() (*relation.Table, error) {
+	seg, err := q.src.Next()
+	if seg != nil {
+		if qerr := checkRowQuota(q.ctx, seg.NumRows()); qerr != nil {
+			return nil, qerr
+		}
+	}
+	return seg, err
+}
+
 // streamSetup is the decoded header metadata of one streaming request.
 type streamSetup struct {
 	fw   *core.Framework
 	plan *core.Plan
 	key  crypt.WatermarkKey
-	src  *meteredSegments
+	src  core.Segments
 }
 
 // decodeStreamRequest builds the framework, plan, key and metered
@@ -175,7 +196,7 @@ func (s *Server) decodeStreamCommon(r *http.Request, defaultK int) (*streamSetup
 	return &streamSetup{
 		fw:  fw,
 		key: crypt.NewWatermarkKeyFromSecret(secret, eta),
-		src: &meteredSegments{sr: sr, cr: cr, limit: s.cfg.MaxBodyBytes},
+		src: &quotaSegments{ctx: r.Context(), src: &meteredSegments{sr: sr, cr: cr, limit: s.cfg.MaxBodyBytes}},
 	}, nil
 }
 
@@ -267,7 +288,7 @@ func (s *Server) handleTracebackCSV(w http.ResponseWriter, r *http.Request) (int
 	if secret == "" {
 		return 0, badRequest(fmt.Errorf("traceback needs the master secret in the %s header", api.SecretHeader))
 	}
-	recs := s.cfg.Registry.List()
+	recs := s.cfg.Registry.ListIn(tenantIDFrom(r.Context()))
 	if len(recs) == 0 {
 		return 0, badRequest(fmt.Errorf("no recipients registered; run /v1/fingerprint or import records first"))
 	}
@@ -309,7 +330,7 @@ func (s *Server) handleTracebackCSV(w http.ResponseWriter, r *http.Request) (int
 	if err != nil {
 		return 0, badRequest(err)
 	}
-	src := &meteredSegments{sr: sr, cr: cr, limit: s.cfg.MaxBodyBytes}
+	src := &quotaSegments{ctx: r.Context(), src: &meteredSegments{sr: sr, cr: cr, limit: s.cfg.MaxBodyBytes}}
 	tb, err := fw.TracebackStream(r.Context(), src, cands)
 	if err != nil {
 		return 0, err
@@ -351,7 +372,7 @@ func (s *Server) runStream(
 	code, _ := s.classify(err)
 	body, _ := json.Marshal(api.Error{Code: code, Message: err.Error()})
 	w.Header().Set(api.ErrorTrailer, string(body))
-	s.logf("stream %s failed mid-body: %v", r.URL.Path, err)
+	s.logWarn("stream failed mid-body", "path", r.URL.Path, "error", err.Error())
 	return http.StatusOK, nil
 }
 
@@ -395,7 +416,7 @@ func (s *Server) runApplyJSON(ctx context.Context, req api.ApplyRequest) (api.Ap
 	if req.Options.K == 0 {
 		req.Options.K = max(req.Plan.K, 1)
 	}
-	fw, tbl, key, err := s.prepare(req.Table, req.Key, req.Options)
+	fw, tbl, key, err := s.prepare(ctx, req.Table, req.Key, req.Options)
 	if err != nil {
 		return zero, err
 	}
